@@ -1,0 +1,121 @@
+// Command clickgen generates a synthetic sponsored-search click log and
+// writes the resulting click graph in the text edge format, standing in
+// for the two-week Yahoo! log of the Simrank++ paper.
+//
+// Usage:
+//
+//	clickgen [-seed N] [-sessions N] [-categories N] [-out FILE]
+//	         [-bids FILE] [-stats]
+//
+// With -stats it also prints graph statistics and the fitted power-law
+// exponents of the degree distributions, the sanity check that the
+// generator reproduces the distributions the paper reports (§9.2).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sponsored"
+	"simrankpp/internal/workload"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		sessions   = flag.Int("sessions", 600000, "simulated query sessions")
+		categories = flag.Int("categories", 14, "intent-hierarchy categories")
+		out        = flag.String("out", "", "output file for the click graph (default stdout)")
+		bidsOut    = flag.String("bids", "", "optional output file for the bid-term list, one per line")
+		stats      = flag.Bool("stats", false, "print dataset statistics to stderr")
+	)
+	flag.Parse()
+
+	ucfg := workload.DefaultUniverseConfig()
+	ucfg.Seed = *seed
+	ucfg.Categories = *categories
+	u, err := workload.BuildUniverse(ucfg)
+	if err != nil {
+		fatal(err)
+	}
+	scfg := sponsored.DefaultConfig()
+	scfg.Seed = *seed + 1
+	scfg.Sessions = *sessions
+	res, err := sponsored.Simulate(u, scfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeOrDie(f)
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := clickgraph.Write(bw, res.Graph); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *bidsOut != "" {
+		f, err := os.Create(*bidsOut)
+		if err != nil {
+			fatal(err)
+		}
+		terms := make([]string, 0, len(res.BidTerms))
+		for t := range res.BidTerms {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		bw := bufio.NewWriter(f)
+		for _, t := range terms {
+			fmt.Fprintln(bw, t)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		closeOrDie(f)
+	}
+
+	if *stats {
+		s := clickgraph.ComputeStats(res.Graph)
+		fmt.Fprintf(os.Stderr, "queries=%d ads=%d edges=%d components=%d largest=%d\n",
+			s.Queries, s.Ads, s.Edges, s.Components, s.LargestComponent)
+		fmt.Fprintf(os.Stderr, "mean ads/query=%.2f mean queries/ad=%.2f clicks=%d impressions=%d\n",
+			s.MeanAdsPerQuery, s.MeanQueriesPerAd, s.TotalClicks, s.TotalImpressions)
+		fmt.Fprintf(os.Stderr, "power-law fit: ads-per-query alpha=%.2f queries-per-ad alpha=%.2f\n",
+			fitHistogram(clickgraph.QueryDegreeHistogram(res.Graph)),
+			fitHistogram(clickgraph.AdDegreeHistogram(res.Graph)))
+	}
+}
+
+func fitHistogram(h map[int]int) float64 {
+	var degrees []int
+	for d, c := range h {
+		for i := 0; i < c; i++ {
+			degrees = append(degrees, d)
+		}
+	}
+	return workload.FitExponent(degrees)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clickgen:", err)
+	os.Exit(1)
+}
+
+func closeOrDie(f *os.File) {
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Command simrank computes query rewrites from a click graph file: the
+// front-end of Figure 2 as a batch tool.
+//
+// Usage:
+//
+//	simrank -graph FILE [-method simple|evidence|weighted|pearson]
+//	        [-query Q | -all] [-top K] [-c 0.8] [-iterations 7]
+//	        [-bids FILE] [-strict-evidence]
+//
+// With -query it prints rewrites for one query; with -all it prints the
+// top rewrites for every query. When -bids is given, rewrites are passed
+// through the full §9.3 pipeline (stem dedup + bid filtering + depth 5).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/rewrite"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "click graph file (required)")
+		method    = flag.String("method", "weighted", "simple|evidence|weighted|pearson")
+		query     = flag.String("query", "", "single query to rewrite")
+		all       = flag.Bool("all", false, "rewrite every query in the graph")
+		top       = flag.Int("top", 5, "rewrites to print per query")
+		c         = flag.Float64("c", 0.8, "SimRank decay factor (C1 = C2)")
+		iters     = flag.Int("iterations", 7, "SimRank iterations")
+		prune     = flag.Float64("prune", 1e-5, "sparse-engine pruning threshold (0 = exact)")
+		bidsPath  = flag.String("bids", "", "bid-term list file enabling the full filtering pipeline")
+		strict    = flag.Bool("strict-evidence", false, "apply Equation 7.3 literally (zero evidence for no common ads)")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatal(fmt.Errorf("-graph is required"))
+	}
+	if !*all && *query == "" {
+		fatal(fmt.Errorf("give -query or -all"))
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := clickgraph.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	var bidTerms map[string]bool
+	if *bidsPath != "" {
+		bidTerms, err = readBidTerms(*bidsPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	src, err := buildSource(g, *method, *c, *iters, *prune, *strict)
+	if err != nil {
+		fatal(err)
+	}
+	pipe := rewrite.NewPipeline(g, bidTerms)
+	pipe.MaxRewrites = *top
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	printFor := func(qid int) error {
+		cands, err := pipe.Rewrite(src, qid)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", g.Query(qid))
+		for i, cand := range cands {
+			fmt.Fprintf(out, "  %d. %-40s %.6f\n", i+1, cand.Text, cand.Score)
+		}
+		return nil
+	}
+	if *all {
+		for qid := 0; qid < g.NumQueries(); qid++ {
+			if err := printFor(qid); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	qid, ok := g.QueryID(*query)
+	if !ok {
+		fatal(fmt.Errorf("query %q not in graph", *query))
+	}
+	if err := printFor(qid); err != nil {
+		fatal(err)
+	}
+}
+
+func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict bool) (rewrite.Source, error) {
+	if method == "pearson" {
+		return &rewrite.PearsonSource{Graph: g, Channel: core.ChannelRate}, nil
+	}
+	cfg := core.DefaultConfig()
+	cfg.C1, cfg.C2 = c, c
+	cfg.Iterations = iters
+	cfg.PruneEpsilon = prune
+	cfg.StrictEvidence = strict
+	switch method {
+	case "simple":
+		cfg.Variant = core.Simple
+	case "evidence":
+		cfg.Variant = core.Evidence
+	case "weighted":
+		cfg.Variant = core.Weighted
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+	res, err := core.Run(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &rewrite.ResultSource{Result: res}, nil
+}
+
+func readBidTerms(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	terms := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			terms[line] = true
+		}
+	}
+	return terms, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrank:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small click graph, compute all three Simrank++
+// similarity variants, and print rewrites for one query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+)
+
+func main() {
+	// 1. Build a click graph. An edge records that an ad was clicked for
+	//    a query, with impressions, clicks, and the position-adjusted
+	//    expected click rate.
+	b := clickgraph.NewBuilder()
+	edges := []struct {
+		query, ad string
+		impr      int64
+		clicks    int64
+		rate      float64
+	}{
+		{"camera", "hp.com", 100, 20, 0.20},
+		{"camera", "bestbuy.com", 150, 30, 0.21},
+		{"digital camera", "hp.com", 80, 18, 0.22},
+		{"digital camera", "bestbuy.com", 90, 17, 0.19},
+		{"digital camera", "dpreview.com", 40, 6, 0.15},
+		{"pc", "hp.com", 120, 12, 0.10},
+		{"tv", "bestbuy.com", 70, 9, 0.13},
+		{"tv", "dpreview.com", 30, 4, 0.13},
+		{"flower", "teleflora.com", 60, 21, 0.35},
+		{"flower", "orchids.com", 50, 18, 0.36},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.query, e.ad, clickgraph.EdgeWeights{
+			Impressions: e.impr, Clicks: e.clicks, ExpectedClickRate: e.rate,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	// 2. Run each similarity variant. DefaultConfig is the paper's
+	//    setting: C1 = C2 = 0.8, 7 iterations.
+	for _, variant := range []core.Variant{core.Simple, core.Evidence, core.Weighted} {
+		cfg := core.DefaultConfig().WithVariant(variant)
+		res, err := core.Run(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Read off rewrites for "camera".
+		camera, ok := g.QueryID("camera")
+		if !ok {
+			log.Fatal("camera not in graph")
+		}
+		fmt.Printf("%s — rewrites for %q:\n", variant, "camera")
+		for i, s := range res.TopRewrites(camera, 3) {
+			fmt.Printf("  %d. %-18s %.4f\n", i+1, g.Query(s.Node), s.Score)
+		}
+		fmt.Println()
+	}
+
+	// 4. The online path: score a single query against its neighborhood
+	//    without an all-pairs run.
+	camera, _ := g.QueryID("camera")
+	local, err := core.LocalSimilarities(g, camera, core.DefaultConfig().WithVariant(core.Weighted), core.DefaultLocalConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("online (neighborhood) weighted rewrites for \"camera\":")
+	for i, s := range local {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %d. %-18s %.4f\n", i+1, g.Query(s.Node), s.Score)
+	}
+}

@@ -1,0 +1,141 @@
+package simrankpp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/eval"
+	"simrankpp/internal/judge"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/rewrite"
+	"simrankpp/internal/sponsored"
+	"simrankpp/internal/workload"
+)
+
+// TestEndToEndPipeline drives the whole system the way the binaries do:
+// generate a log, serialize and reload the graph, extract subgraphs,
+// compute similarities (serial, parallel, and from a persisted result),
+// run the rewriting pipeline, and grade with the oracle — asserting
+// cross-module consistency at every hop.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Universe + simulated log.
+	ucfg := workload.DefaultUniverseConfig()
+	ucfg.Categories = 5
+	ucfg.SubtopicsPerCategory = 4
+	ucfg.IntentsPerSubtopic = 4
+	u, err := workload.BuildUniverse(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := sponsored.DefaultConfig()
+	scfg.Sessions = 80000
+	log, err := sponsored.Simulate(u, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Graph round trip through the text format (cmd/clickgen ↔
+	//    cmd/simrank handshake).
+	var buf bytes.Buffer
+	if err := clickgraph.Write(&buf, log.Graph); err != nil {
+		t.Fatal(err)
+	}
+	g, err := clickgraph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != log.Graph.NumEdges() || g.NumQueries() != log.Graph.NumQueries() {
+		t.Fatalf("graph round trip lost data: %d/%d edges, %d/%d queries",
+			g.NumEdges(), log.Graph.NumEdges(), g.NumQueries(), log.Graph.NumQueries())
+	}
+
+	// 3. Subgraph extraction covers disjoint node sets (cmd/partition).
+	subs, err := partition.Extract(g, 3, partition.DefaultPPRConfig(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) == 0 {
+		t.Fatal("no subgraphs extracted")
+	}
+
+	// 4. Similarity three ways: serial, parallel, and persisted-reloaded
+	//    must agree.
+	cfg := core.DefaultConfig().WithVariant(core.Weighted)
+	cfg.PruneEpsilon = 1e-6
+	serial, err := core.Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.RunParallel(g, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scores bytes.Buffer
+	if err := core.WriteResult(&scores, serial); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.ReadResult(&scores, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	serial.QueryScores.Range(func(i, j int, v float64) bool {
+		if pv := par.QuerySim(i, j); pv < v-1e-9 || pv > v+1e-9 {
+			t.Fatalf("parallel sim(%d,%d) = %v, serial %v", i, j, pv, v)
+		}
+		if lv := loaded.QuerySim(i, j); lv != v {
+			t.Fatalf("persisted sim(%d,%d) = %v, serial %v", i, j, lv, v)
+		}
+		checked++
+		return checked < 500
+	})
+	if checked == 0 {
+		t.Fatal("no query pairs scored")
+	}
+
+	// 5. Rewriting pipeline + editorial grading: rewrites must be
+	//    bid-filtered, stem-distinct, depth-capped, and gradeable.
+	pipe := rewrite.NewPipeline(g, log.BidTerms)
+	src := &rewrite.ResultSource{Result: loaded}
+	oracle := judge.New(u)
+	sample := []int{}
+	for q := 0; q < g.NumQueries() && len(sample) < 25; q += 7 {
+		sample = append(sample, q)
+	}
+	var judged []eval.QueryJudgments
+	for _, q := range sample {
+		cands, err := pipe.Rewrite(src, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) > 5 {
+			t.Fatalf("depth cap violated: %d rewrites", len(cands))
+		}
+		qj := eval.QueryJudgments{Query: g.Query(q)}
+		for _, c := range cands {
+			if !log.BidTerms[c.Text] {
+				t.Fatalf("unbid rewrite %q survived filtering", c.Text)
+			}
+			grade := oracle.Grade(qj.Query, c.Text)
+			if grade < judge.GradePrecise || grade > judge.GradeMismatch {
+				t.Fatalf("grade %d out of range", grade)
+			}
+			qj.Rewrites = append(qj.Rewrites, eval.Judged{Text: c.Text, Grade: grade})
+		}
+		judged = append(judged, qj)
+	}
+
+	// 6. Metrics must be computable and sane on the graded output.
+	cov := eval.Coverage(judged)
+	if cov <= 0 || cov > 1 {
+		t.Fatalf("coverage %v out of range", cov)
+	}
+	pax := eval.PrecisionAtX(judged, 5, 2)
+	for x, p := range pax {
+		if p < 0 || p > 1 {
+			t.Fatalf("P@%d = %v out of range", x+1, p)
+		}
+	}
+}

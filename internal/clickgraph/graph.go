@@ -1,0 +1,407 @@
+// Package clickgraph implements the weighted bipartite click graph at the
+// heart of the Simrank++ paper (§2): queries on one side, ads on the other,
+// and an edge (q, α) whenever at least one user who issued q clicked α
+// during the observation window. Each edge carries three weights —
+// impressions, clicks, and the position-adjusted expected click rate — and
+// the graph exposes CSR adjacency in both directions for the SimRank
+// engines.
+package clickgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"simrankpp/internal/sparse"
+)
+
+// Side distinguishes the two node partitions.
+type Side int
+
+const (
+	// QuerySide is the partition of user queries.
+	QuerySide Side = iota
+	// AdSide is the partition of advertisements.
+	AdSide
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	switch s {
+	case QuerySide:
+		return "query"
+	case AdSide:
+		return "ad"
+	default:
+		return fmt.Sprintf("Side(%d)", int(s))
+	}
+}
+
+// EdgeWeights are the three per-edge measurements the back-end records
+// (§2): how often the ad was displayed for the query, how often it was
+// clicked, and the position-adjusted clicks-over-impressions estimate.
+type EdgeWeights struct {
+	Impressions int64
+	Clicks      int64
+	// ExpectedClickRate is the position-adjusted click-through estimate in
+	// [0, 1]. All weighted experiments in the paper use this weight.
+	ExpectedClickRate float64
+}
+
+// Edge is a (query, ad) connection with its weights.
+type Edge struct {
+	Query, Ad string
+	EdgeWeights
+}
+
+// Builder accumulates edges and compiles an immutable Graph. Adding the
+// same (query, ad) pair twice merges the observations: impressions and
+// clicks sum, and the expected click rate is re-estimated as an
+// impressions-weighted mean.
+type Builder struct {
+	queryID map[string]int
+	adID    map[string]int
+	queries []string
+	ads     []string
+	edges   map[[2]int]EdgeWeights
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		queryID: make(map[string]int),
+		adID:    make(map[string]int),
+		edges:   make(map[[2]int]EdgeWeights),
+	}
+}
+
+func (b *Builder) internQuery(q string) int {
+	if id, ok := b.queryID[q]; ok {
+		return id
+	}
+	id := len(b.queries)
+	b.queryID[q] = id
+	b.queries = append(b.queries, q)
+	return id
+}
+
+func (b *Builder) internAd(a string) int {
+	if id, ok := b.adID[a]; ok {
+		return id
+	}
+	id := len(b.ads)
+	b.adID[a] = id
+	b.ads = append(b.ads, a)
+	return id
+}
+
+// AddQuery ensures a query node exists even if it has no edges yet.
+func (b *Builder) AddQuery(q string) { b.internQuery(q) }
+
+// AddAd ensures an ad node exists even if it has no edges yet.
+func (b *Builder) AddAd(a string) { b.internAd(a) }
+
+// AddEdge records an observation for (query, ad). It returns an error for
+// physically impossible weights: negative counts, clicks exceeding
+// impressions when impressions are recorded, or an expected click rate
+// outside [0, 1].
+func (b *Builder) AddEdge(query, ad string, w EdgeWeights) error {
+	if w.Impressions < 0 || w.Clicks < 0 {
+		return fmt.Errorf("clickgraph: negative counts for (%q,%q): %+v", query, ad, w)
+	}
+	if w.Impressions > 0 && w.Clicks > w.Impressions {
+		return fmt.Errorf("clickgraph: clicks %d exceed impressions %d for (%q,%q)",
+			w.Clicks, w.Impressions, query, ad)
+	}
+	if w.ExpectedClickRate < 0 || w.ExpectedClickRate > 1 {
+		return fmt.Errorf("clickgraph: expected click rate %v outside [0,1] for (%q,%q)",
+			w.ExpectedClickRate, query, ad)
+	}
+	qi, ai := b.internQuery(query), b.internAd(ad)
+	key := [2]int{qi, ai}
+	if old, ok := b.edges[key]; ok {
+		merged := EdgeWeights{
+			Impressions: old.Impressions + w.Impressions,
+			Clicks:      old.Clicks + w.Clicks,
+		}
+		// Impressions-weighted mean of the two rate estimates; fall back to
+		// a plain mean when neither observation carries impressions.
+		ti, tn := float64(old.Impressions), float64(w.Impressions)
+		if ti+tn > 0 {
+			merged.ExpectedClickRate = (old.ExpectedClickRate*ti + w.ExpectedClickRate*tn) / (ti + tn)
+		} else {
+			merged.ExpectedClickRate = (old.ExpectedClickRate + w.ExpectedClickRate) / 2
+		}
+		b.edges[key] = merged
+		return nil
+	}
+	b.edges[key] = w
+	return nil
+}
+
+// AddClick is shorthand for a single displayed-and-clicked observation with
+// the given rate estimate.
+func (b *Builder) AddClick(query, ad string, rate float64) error {
+	return b.AddEdge(query, ad, EdgeWeights{Impressions: 1, Clicks: 1, ExpectedClickRate: rate})
+}
+
+// NumQueries returns the number of distinct queries added so far.
+func (b *Builder) NumQueries() int { return len(b.queries) }
+
+// NumAds returns the number of distinct ads added so far.
+func (b *Builder) NumAds() int { return len(b.ads) }
+
+// NumEdges returns the number of distinct (query, ad) pairs added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build compiles the accumulated edges into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	nq, na := len(b.queries), len(b.ads)
+	type flat struct {
+		q, a int
+		w    EdgeWeights
+	}
+	flats := make([]flat, 0, len(b.edges))
+	for k, w := range b.edges {
+		flats = append(flats, flat{q: k[0], a: k[1], w: w})
+	}
+	sort.Slice(flats, func(i, j int) bool {
+		if flats[i].q != flats[j].q {
+			return flats[i].q < flats[j].q
+		}
+		return flats[i].a < flats[j].a
+	})
+
+	rate := sparse.NewCOO(nq, na)
+	clicks := sparse.NewCOO(nq, na)
+	impr := sparse.NewCOO(nq, na)
+	for _, f := range flats {
+		// Coordinates come from the interner, so Append cannot fail.
+		_ = rate.Append(f.q, f.a, f.w.ExpectedClickRate)
+		_ = clicks.Append(f.q, f.a, float64(f.w.Clicks))
+		_ = impr.Append(f.q, f.a, float64(f.w.Impressions))
+	}
+	g := &Graph{
+		queries:  append([]string(nil), b.queries...),
+		ads:      append([]string(nil), b.ads...),
+		queryID:  make(map[string]int, nq),
+		adID:     make(map[string]int, na),
+		rateQA:   rate.Compile(),
+		clicksQA: clicks.Compile(),
+		imprQA:   impr.Compile(),
+	}
+	g.rateAQ = g.rateQA.Transpose()
+	g.clicksAQ = g.clicksQA.Transpose()
+	g.imprAQ = g.imprQA.Transpose()
+	for i, q := range g.queries {
+		g.queryID[q] = i
+	}
+	for i, a := range g.ads {
+		g.adID[a] = i
+	}
+	return g
+}
+
+// Graph is an immutable weighted bipartite click graph. Node ids are dense
+// ints per side: query ids in [0, NumQueries), ad ids in [0, NumAds).
+type Graph struct {
+	queries []string
+	ads     []string
+	queryID map[string]int
+	adID    map[string]int
+
+	// Query→ad CSR matrices, one per weight channel, plus their transposes.
+	rateQA, rateAQ     *sparse.CSR
+	clicksQA, clicksAQ *sparse.CSR
+	imprQA, imprAQ     *sparse.CSR
+}
+
+// NumQueries returns the number of query nodes.
+func (g *Graph) NumQueries() int { return len(g.queries) }
+
+// NumAds returns the number of ad nodes.
+func (g *Graph) NumAds() int { return len(g.ads) }
+
+// NumEdges returns the number of (query, ad) edges.
+func (g *Graph) NumEdges() int { return g.rateQA.NNZ() }
+
+// Query returns the query string for id, panicking on out-of-range ids as
+// any slice index would.
+func (g *Graph) Query(id int) string { return g.queries[id] }
+
+// Ad returns the ad string for id.
+func (g *Graph) Ad(id int) string { return g.ads[id] }
+
+// QueryID returns the id of query q and whether it exists.
+func (g *Graph) QueryID(q string) (int, bool) {
+	id, ok := g.queryID[q]
+	return id, ok
+}
+
+// AdID returns the id of ad a and whether it exists.
+func (g *Graph) AdID(a string) (int, bool) {
+	id, ok := g.adID[a]
+	return id, ok
+}
+
+// Queries returns all query strings indexed by id. Callers must not mutate
+// the returned slice.
+func (g *Graph) Queries() []string { return g.queries }
+
+// Ads returns all ad strings indexed by id. Callers must not mutate the
+// returned slice.
+func (g *Graph) Ads() []string { return g.ads }
+
+// AdsOf returns the ad neighbors of query q with their expected click
+// rates, as shared slices that must not be mutated. This is E(q) in the
+// paper's notation.
+func (g *Graph) AdsOf(q int) (ads []int, rates []float64) { return g.rateQA.Row(q) }
+
+// QueriesOf returns the query neighbors of ad a with their expected click
+// rates. This is E(α).
+func (g *Graph) QueriesOf(a int) (queries []int, rates []float64) { return g.rateAQ.Row(a) }
+
+// QueryDegree returns N(q), the number of ads adjacent to query q.
+func (g *Graph) QueryDegree(q int) int { return g.rateQA.RowNNZ(q) }
+
+// AdDegree returns N(α), the number of queries adjacent to ad a.
+func (g *Graph) AdDegree(a int) int { return g.rateAQ.RowNNZ(a) }
+
+// HasEdge reports whether (q, a) is an edge.
+func (g *Graph) HasEdge(q, a int) bool {
+	cols, _ := g.rateQA.Row(q)
+	i := sort.SearchInts(cols, a)
+	return i < len(cols) && cols[i] == a
+}
+
+// EdgeWeightsOf returns the full weights of edge (q, a) and whether the
+// edge exists.
+func (g *Graph) EdgeWeightsOf(q, a int) (EdgeWeights, bool) {
+	if !g.HasEdge(q, a) {
+		return EdgeWeights{}, false
+	}
+	return EdgeWeights{
+		Impressions:       int64(g.imprQA.At(q, a)),
+		Clicks:            int64(g.clicksQA.At(q, a)),
+		ExpectedClickRate: g.rateQA.At(q, a),
+	}, true
+}
+
+// Rate returns the expected click rate of edge (q, a), 0 if absent.
+func (g *Graph) Rate(q, a int) float64 { return g.rateQA.At(q, a) }
+
+// Clicks returns the click count of edge (q, a), 0 if absent.
+func (g *Graph) Clicks(q, a int) int64 { return int64(g.clicksQA.At(q, a)) }
+
+// ClicksOfQuery returns the ad neighbors of q with raw click counts.
+func (g *Graph) ClicksOfQuery(q int) (ads []int, clicks []float64) { return g.clicksQA.Row(q) }
+
+// ClicksOfAd returns the query neighbors of a with raw click counts.
+func (g *Graph) ClicksOfAd(a int) (queries []int, clicks []float64) { return g.clicksAQ.Row(a) }
+
+// Edges calls fn for every edge in (query id, ad id) order. If fn returns
+// false, iteration stops.
+func (g *Graph) Edges(fn func(q, a int, w EdgeWeights) bool) {
+	for q := 0; q < g.NumQueries(); q++ {
+		cols, rates := g.rateQA.Row(q)
+		lo := g.clicksQA.RowPtr[q]
+		imLo := g.imprQA.RowPtr[q]
+		for i, a := range cols {
+			w := EdgeWeights{
+				Impressions:       int64(g.imprQA.Val[imLo+i]),
+				Clicks:            int64(g.clicksQA.Val[lo+i]),
+				ExpectedClickRate: rates[i],
+			}
+			if !fn(q, a, w) {
+				return
+			}
+		}
+	}
+}
+
+// CommonAds returns the ads adjacent to both q1 and q2, i.e. E(q1) ∩ E(q2),
+// in ascending id order.
+func (g *Graph) CommonAds(q1, q2 int) []int {
+	a1, _ := g.rateQA.Row(q1)
+	a2, _ := g.rateQA.Row(q2)
+	return intersectSorted(a1, a2)
+}
+
+// CommonQueries returns the queries adjacent to both a1 and a2.
+func (g *Graph) CommonQueries(a1, a2 int) []int {
+	q1, _ := g.rateAQ.Row(a1)
+	q2, _ := g.rateAQ.Row(a2)
+	return intersectSorted(q1, q2)
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// RemoveEdges returns a new Graph equal to g minus the listed (query id,
+// ad id) edges. Node ids are preserved, including nodes left isolated.
+// Unknown edges are ignored. The desirability experiment (§9.3) uses this
+// to delete the direct evidence between a query and its rewrite candidates.
+func (g *Graph) RemoveEdges(drop [][2]int) *Graph {
+	skip := make(map[[2]int]bool, len(drop))
+	for _, e := range drop {
+		skip[e] = true
+	}
+	b := NewBuilder()
+	for _, q := range g.queries {
+		b.AddQuery(q)
+	}
+	for _, a := range g.ads {
+		b.AddAd(a)
+	}
+	g.Edges(func(q, a int, w EdgeWeights) bool {
+		if !skip[[2]int{q, a}] {
+			// Weights were validated when first added, so re-adding them
+			// cannot fail.
+			_ = b.AddEdge(g.queries[q], g.ads[a], w)
+		}
+		return true
+	})
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph on the given query and ad id sets,
+// with nodes re-interned (ids are NOT preserved). Edges survive only if
+// both endpoints are kept.
+func (g *Graph) InducedSubgraph(queryIDs, adIDs []int) *Graph {
+	keepQ := make(map[int]bool, len(queryIDs))
+	for _, q := range queryIDs {
+		keepQ[q] = true
+	}
+	keepA := make(map[int]bool, len(adIDs))
+	for _, a := range adIDs {
+		keepA[a] = true
+	}
+	b := NewBuilder()
+	for _, q := range queryIDs {
+		b.AddQuery(g.queries[q])
+	}
+	for _, a := range adIDs {
+		b.AddAd(g.ads[a])
+	}
+	g.Edges(func(q, a int, w EdgeWeights) bool {
+		if keepQ[q] && keepA[a] {
+			_ = b.AddEdge(g.queries[q], g.ads[a], w)
+		}
+		return true
+	})
+	return b.Build()
+}

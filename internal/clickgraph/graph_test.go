@@ -1,0 +1,281 @@
+package clickgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, b *Builder, q, a string, w EdgeWeights) {
+	t.Helper()
+	if err := b.AddEdge(q, a, w); err != nil {
+		t.Fatalf("AddEdge(%q,%q): %v", q, a, err)
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	mustAdd(t, b, "q1", "a1", EdgeWeights{Impressions: 10, Clicks: 3, ExpectedClickRate: 0.3})
+	mustAdd(t, b, "q1", "a2", EdgeWeights{Impressions: 5, Clicks: 1, ExpectedClickRate: 0.2})
+	mustAdd(t, b, "q2", "a1", EdgeWeights{Impressions: 2, Clicks: 2, ExpectedClickRate: 0.9})
+	g := b.Build()
+
+	if g.NumQueries() != 2 || g.NumAds() != 2 || g.NumEdges() != 3 {
+		t.Fatalf("sizes: %d queries %d ads %d edges", g.NumQueries(), g.NumAds(), g.NumEdges())
+	}
+	q1, ok := g.QueryID("q1")
+	if !ok {
+		t.Fatal("q1 missing")
+	}
+	a1, ok := g.AdID("a1")
+	if !ok {
+		t.Fatal("a1 missing")
+	}
+	w, ok := g.EdgeWeightsOf(q1, a1)
+	if !ok || w.Impressions != 10 || w.Clicks != 3 || w.ExpectedClickRate != 0.3 {
+		t.Errorf("EdgeWeightsOf(q1,a1) = %+v,%v", w, ok)
+	}
+	if g.QueryDegree(q1) != 2 {
+		t.Errorf("QueryDegree(q1) = %d want 2", g.QueryDegree(q1))
+	}
+	if g.AdDegree(a1) != 2 {
+		t.Errorf("AdDegree(a1) = %d want 2", g.AdDegree(a1))
+	}
+	if _, ok := g.QueryID("nope"); ok {
+		t.Error("unknown query resolved")
+	}
+}
+
+func TestBuilderRejectsBadWeights(t *testing.T) {
+	cases := []EdgeWeights{
+		{Impressions: -1},
+		{Clicks: -1},
+		{Impressions: 1, Clicks: 2},
+		{ExpectedClickRate: -0.1},
+		{ExpectedClickRate: 1.1},
+	}
+	for _, w := range cases {
+		b := NewBuilder()
+		if err := b.AddEdge("q", "a", w); err == nil {
+			t.Errorf("AddEdge accepted invalid weights %+v", w)
+		}
+	}
+}
+
+func TestBuilderMergesDuplicateEdges(t *testing.T) {
+	b := NewBuilder()
+	mustAdd(t, b, "q", "a", EdgeWeights{Impressions: 10, Clicks: 1, ExpectedClickRate: 0.1})
+	mustAdd(t, b, "q", "a", EdgeWeights{Impressions: 30, Clicks: 3, ExpectedClickRate: 0.5})
+	g := b.Build()
+	q, _ := g.QueryID("q")
+	a, _ := g.AdID("a")
+	w, _ := g.EdgeWeightsOf(q, a)
+	if w.Impressions != 40 || w.Clicks != 4 {
+		t.Errorf("merged counts = %+v", w)
+	}
+	// Impressions-weighted mean: (0.1*10 + 0.5*30)/40 = 0.4.
+	if w.ExpectedClickRate != 0.4 {
+		t.Errorf("merged rate = %v want 0.4", w.ExpectedClickRate)
+	}
+}
+
+func TestCommonAds(t *testing.T) {
+	g := Fig3()
+	cam, _ := g.QueryID("camera")
+	dig, _ := g.QueryID("digital camera")
+	pc, _ := g.QueryID("pc")
+	fl, _ := g.QueryID("flower")
+	if n := len(g.CommonAds(cam, dig)); n != 2 {
+		t.Errorf("camera/digital camera common ads = %d want 2", n)
+	}
+	if n := len(g.CommonAds(pc, cam)); n != 1 {
+		t.Errorf("pc/camera common ads = %d want 1", n)
+	}
+	if n := len(g.CommonAds(pc, fl)); n != 0 {
+		t.Errorf("pc/flower common ads = %d want 0", n)
+	}
+}
+
+// Table 1 of the paper, exactly.
+func TestFig3MatchesTable1(t *testing.T) {
+	g := Fig3()
+	want := map[[2]string]int{
+		{"pc", "camera"}: 1, {"pc", "digital camera"}: 1, {"pc", "tv"}: 0, {"pc", "flower"}: 0,
+		{"camera", "digital camera"}: 2, {"camera", "tv"}: 1, {"camera", "flower"}: 0,
+		{"digital camera", "tv"}: 1, {"digital camera", "flower"}: 0,
+		{"tv", "flower"}: 0,
+	}
+	for pair, n := range want {
+		i, ok1 := g.QueryID(pair[0])
+		j, ok2 := g.QueryID(pair[1])
+		if !ok1 || !ok2 {
+			t.Fatalf("missing query in pair %v", pair)
+		}
+		if got := len(g.CommonAds(i, j)); got != n {
+			t.Errorf("common ads %v = %d want %d", pair, got, n)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := Fig3()
+	comps := Components(g)
+	// Fig3 has two components: the electronics cluster and the flower
+	// cluster.
+	if len(comps) != 2 {
+		t.Fatalf("components = %d want 2", len(comps))
+	}
+	if len(comps[0].Queries) != 4 {
+		t.Errorf("largest component queries = %d want 4", len(comps[0].Queries))
+	}
+	if len(comps[1].Queries) != 1 || len(comps[1].Ads) != 2 {
+		t.Errorf("flower component = %d queries %d ads, want 1 and 2",
+			len(comps[1].Queries), len(comps[1].Ads))
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := Fig3()
+	s := ComputeStats(g)
+	if s.Queries != 5 || s.Ads != 7 || s.Edges != 12 {
+		t.Errorf("stats sizes: %+v", s)
+	}
+	if s.Components != 2 {
+		t.Errorf("components = %d want 2", s.Components)
+	}
+	if s.TotalClicks != 12 {
+		t.Errorf("total clicks = %d want 12 (one per edge)", s.TotalClicks)
+	}
+	if s.MaxQueryDegree != 3 {
+		t.Errorf("max query degree = %d want 3", s.MaxQueryDegree)
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	g := Fig3()
+	pc, _ := g.QueryID("pc")
+	hp, _ := g.AdID("hp.com")
+	g2 := g.RemoveEdges([][2]int{{pc, hp}})
+	if g2.NumEdges() != g.NumEdges()-1 {
+		t.Fatalf("edges after removal = %d want %d", g2.NumEdges(), g.NumEdges()-1)
+	}
+	// Node ids preserved.
+	if g2.NumQueries() != g.NumQueries() || g2.NumAds() != g.NumAds() {
+		t.Fatal("node counts changed")
+	}
+	pc2, _ := g2.QueryID("pc")
+	hp2, _ := g2.AdID("hp.com")
+	if g2.HasEdge(pc2, hp2) {
+		t.Error("removed edge still present")
+	}
+	// Original untouched.
+	if !g.HasEdge(pc, hp) {
+		t.Error("RemoveEdges mutated the original graph")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Fig3()
+	cam, _ := g.QueryID("camera")
+	dig, _ := g.QueryID("digital camera")
+	hp, _ := g.AdID("hp.com")
+	bb, _ := g.AdID("bestbuy.com")
+	sub := g.InducedSubgraph([]int{cam, dig}, []int{hp, bb})
+	if sub.NumQueries() != 2 || sub.NumAds() != 2 || sub.NumEdges() != 4 {
+		t.Errorf("induced K2,2: %d/%d/%d", sub.NumQueries(), sub.NumAds(), sub.NumEdges())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	mustAdd(t, b, "camera", "hp.com", EdgeWeights{Impressions: 10, Clicks: 2, ExpectedClickRate: 0.25})
+	mustAdd(t, b, "digital camera", "hp.com", EdgeWeights{Impressions: 7, Clicks: 1, ExpectedClickRate: 0.125})
+	b.AddQuery("isolated query")
+	b.AddAd("isolated-ad.com")
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g2.NumQueries() != g.NumQueries() || g2.NumAds() != g.NumAds() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip sizes: %d/%d/%d vs %d/%d/%d",
+			g2.NumQueries(), g2.NumAds(), g2.NumEdges(),
+			g.NumQueries(), g.NumAds(), g.NumEdges())
+	}
+	g.Edges(func(q, a int, w EdgeWeights) bool {
+		q2, ok := g2.QueryID(g.Query(q))
+		if !ok {
+			t.Fatalf("query %q lost", g.Query(q))
+		}
+		a2, ok := g2.AdID(g.Ad(a))
+		if !ok {
+			t.Fatalf("ad %q lost", g.Ad(a))
+		}
+		w2, ok := g2.EdgeWeightsOf(q2, a2)
+		if !ok || w2 != w {
+			t.Errorf("edge (%s,%s) weights %+v vs %+v", g.Query(q), g.Ad(a), w2, w)
+		}
+		return true
+	})
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"q\ta\tx\t1\t0.5\n", // bad impressions
+		"q\ta\t1\tx\t0.5\n", // bad clicks
+		"q\ta\t1\t1\tx\n",   // bad rate
+		"q\ta\t1\n",         // wrong field count
+		"q\ta\t1\t2\t0.5\n", // clicks > impressions
+		"q\ta\t1\t1\t1.5\n", // rate out of range
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read accepted malformed input %q", c)
+		}
+	}
+}
+
+// Property: any set of valid edges round-trips through Build without loss.
+func TestBuilderProperty(t *testing.T) {
+	check := func(edges []struct {
+		Q, A  uint8
+		Click uint8
+	}) bool {
+		b := NewBuilder()
+		type key struct{ q, a string }
+		want := map[key]int64{}
+		for _, e := range edges {
+			q := string(rune('a' + e.Q%16))
+			a := string(rune('A' + e.A%16))
+			c := int64(e.Click%5) + 1
+			if err := b.AddEdge(q, a, EdgeWeights{Impressions: c * 2, Clicks: c, ExpectedClickRate: 0.5}); err != nil {
+				return false
+			}
+			want[key{q, a}] += c
+		}
+		g := b.Build()
+		if g.NumEdges() != len(want) {
+			return false
+		}
+		for k, clicks := range want {
+			qi, ok1 := g.QueryID(k.q)
+			ai, ok2 := g.AdID(k.a)
+			if !ok1 || !ok2 {
+				return false
+			}
+			if g.Clicks(qi, ai) != clicks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package clickgraph
+
+import "sort"
+
+// Stats summarizes a click graph the way Table 5 of the paper reports its
+// five-subgraph dataset: node counts, edge counts, plus degree and weight
+// shape information used to verify the generator's power laws.
+type Stats struct {
+	Queries, Ads, Edges int
+	// Components is the number of connected components of the bipartite
+	// graph, counting isolated nodes as singleton components.
+	Components int
+	// LargestComponent is the node count (queries + ads) of the biggest
+	// component.
+	LargestComponent int
+	MeanAdsPerQuery  float64
+	MeanQueriesPerAd float64
+	MaxQueryDegree   int
+	MaxAdDegree      int
+	TotalClicks      int64
+	TotalImpressions int64
+}
+
+// ComputeStats scans the graph once and returns its summary.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Queries: g.NumQueries(), Ads: g.NumAds(), Edges: g.NumEdges()}
+	for q := 0; q < g.NumQueries(); q++ {
+		d := g.QueryDegree(q)
+		if d > s.MaxQueryDegree {
+			s.MaxQueryDegree = d
+		}
+	}
+	for a := 0; a < g.NumAds(); a++ {
+		d := g.AdDegree(a)
+		if d > s.MaxAdDegree {
+			s.MaxAdDegree = d
+		}
+	}
+	if s.Queries > 0 {
+		s.MeanAdsPerQuery = float64(s.Edges) / float64(s.Queries)
+	}
+	if s.Ads > 0 {
+		s.MeanQueriesPerAd = float64(s.Edges) / float64(s.Ads)
+	}
+	g.Edges(func(q, a int, w EdgeWeights) bool {
+		s.TotalClicks += w.Clicks
+		s.TotalImpressions += w.Impressions
+		return true
+	})
+	comps := Components(g)
+	s.Components = len(comps)
+	for _, c := range comps {
+		if n := len(c.Queries) + len(c.Ads); n > s.LargestComponent {
+			s.LargestComponent = n
+		}
+	}
+	return s
+}
+
+// Component is one connected component, holding query and ad ids.
+type Component struct {
+	Queries []int
+	Ads     []int
+}
+
+// Components returns the connected components of the bipartite graph via
+// iterative BFS, largest first (ties broken by smallest contained query
+// id, then ad id, for determinism). Isolated nodes form singleton
+// components.
+func Components(g *Graph) []Component {
+	nq, na := g.NumQueries(), g.NumAds()
+	// Unified node space: queries [0, nq), ads [nq, nq+na).
+	visited := make([]bool, nq+na)
+	var comps []Component
+	var queue []int
+	for start := 0; start < nq+na; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = queue[:0]
+		queue = append(queue, start)
+		var c Component
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if v < nq {
+				c.Queries = append(c.Queries, v)
+				ads, _ := g.AdsOf(v)
+				for _, a := range ads {
+					if !visited[nq+a] {
+						visited[nq+a] = true
+						queue = append(queue, nq+a)
+					}
+				}
+			} else {
+				a := v - nq
+				c.Ads = append(c.Ads, a)
+				qs, _ := g.QueriesOf(a)
+				for _, q := range qs {
+					if !visited[q] {
+						visited[q] = true
+						queue = append(queue, q)
+					}
+				}
+			}
+		}
+		sort.Ints(c.Queries)
+		sort.Ints(c.Ads)
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		ni := len(comps[i].Queries) + len(comps[i].Ads)
+		nj := len(comps[j].Queries) + len(comps[j].Ads)
+		if ni != nj {
+			return ni > nj
+		}
+		return componentMinID(comps[i]) < componentMinID(comps[j])
+	})
+	return comps
+}
+
+func componentMinID(c Component) int {
+	// Queries and ads are sorted; a component is nonempty by construction.
+	if len(c.Queries) > 0 {
+		return c.Queries[0]
+	}
+	return c.Ads[0] + 1<<30
+}
+
+// QueryDegreeHistogram returns a map degree → count over query nodes.
+func QueryDegreeHistogram(g *Graph) map[int]int {
+	h := make(map[int]int)
+	for q := 0; q < g.NumQueries(); q++ {
+		h[g.QueryDegree(q)]++
+	}
+	return h
+}
+
+// AdDegreeHistogram returns a map degree → count over ad nodes.
+func AdDegreeHistogram(g *Graph) map[int]int {
+	h := make(map[int]int)
+	for a := 0; a < g.NumAds(); a++ {
+		h[g.AdDegree(a)]++
+	}
+	return h
+}

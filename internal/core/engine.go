@@ -1,0 +1,246 @@
+package core
+
+import (
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sparse"
+)
+
+// Run computes the configured similarity with sparse pair tables. With
+// PruneEpsilon == 0 it is exact and agrees with RunDense (the test suite
+// checks this differentially); with a positive epsilon, scores below the
+// threshold are dropped between iterations, bounding memory on large
+// graphs at the cost of exactness.
+//
+// The update is scatter-based: instead of intersecting neighbor lists per
+// candidate pair, each stored pair (i, j) of one side pushes its score to
+// every pair in E(i) × E(j) of the other side, so work is proportional to
+// the number of nonzero pairs times neighborhood sizes — the sparsity the
+// click graph actually has.
+func Run(g *clickgraph.Graph, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nq, na := g.NumQueries(), g.NumAds()
+
+	// Neighbor rows and, for Weighted, per-neighbor walk factors.
+	qNbr := make([][]int, nq)
+	aNbr := make([][]int, na)
+	var qW, aW [][]float64
+	for q := 0; q < nq; q++ {
+		qNbr[q], _ = g.AdsOf(q)
+	}
+	for a := 0; a < na; a++ {
+		aNbr[a], _ = g.QueriesOf(a)
+	}
+	if cfg.Variant == Weighted {
+		model := newTransitionModel(g, cfg.Channel, cfg.DisableSpread)
+		qW = make([][]float64, nq)
+		aW = make([][]float64, na)
+		for q := 0; q < nq; q++ {
+			qNbr[q], qW[q] = model.queryRow(q)
+		}
+		for a := 0; a < na; a++ {
+			aNbr[a], aW[a] = model.adRow(a)
+		}
+	}
+
+	// Evidence (common-neighbor counts) per side, built by scattering
+	// through the opposite side; only needed for Evidence and Weighted.
+	var evQ, evA *evidenceTable
+	if cfg.Variant != Simple {
+		evQ = newEvidenceTable(aNbr, cfg.EvidenceForm, cfg.StrictEvidence)
+		evA = newEvidenceTable(qNbr, cfg.EvidenceForm, cfg.StrictEvidence)
+	}
+
+	prevQ := sparse.NewPairTable(0)
+	prevA := sparse.NewPairTable(0)
+	var curQ, curA *sparse.PairTable
+	iters := 0
+	converged := false
+	for it := 0; it < cfg.Iterations; it++ {
+		switch cfg.Variant {
+		case Weighted:
+			curQ = weightedPass(prevA, qNbr, aNbr, qW, evQ, cfg.C1)
+			curA = weightedPass(prevQ, aNbr, qNbr, aW, evA, cfg.C2)
+		default:
+			curQ = simplePass(prevA, qNbr, aNbr, cfg.C1)
+			curA = simplePass(prevQ, aNbr, qNbr, cfg.C2)
+		}
+		if cfg.PruneEpsilon > 0 {
+			curQ.Prune(cfg.PruneEpsilon)
+			curA.Prune(cfg.PruneEpsilon)
+		}
+		iters = it + 1
+		if cfg.Tolerance > 0 &&
+			curQ.MaxAbsDiff(prevQ) < cfg.Tolerance &&
+			curA.MaxAbsDiff(prevA) < cfg.Tolerance {
+			prevQ, prevA = curQ, curA
+			converged = true
+			break
+		}
+		prevQ, prevA = curQ, curA
+	}
+
+	if cfg.Variant == Evidence {
+		applyEvidence(prevQ, evQ)
+		applyEvidence(prevA, evA)
+	}
+	return &Result{
+		Graph:       g,
+		Config:      cfg,
+		QueryScores: prevQ,
+		AdScores:    prevA,
+		Iterations:  iters,
+		Converged:   converged,
+	}, nil
+}
+
+// simplePass computes one plain-SimRank iteration for one side ("this"
+// side) from the opposite side's score table. thisNbr maps this side's
+// nodes to opposite-side neighbors; oppNbr the reverse.
+//
+// The accumulator gathers T(x, y) = Σ_{i∈E(x)} Σ_{j∈E(y)} s(i, j):
+// diagonal terms s(i, i) = 1 are scattered from each opposite node's
+// neighbor list, and each stored off-diagonal pair {i, j} scatters its
+// score over E(i) × E(j) — that single directed loop covers both ordered
+// terms (i, j) and (j, i) of every unordered target pair, because the
+// roles of x and y swap across the two contributions.
+func simplePass(opp *sparse.PairTable, thisNbr, oppNbr [][]int, c float64) *sparse.PairTable {
+	acc := sparse.NewPairTable(opp.Len())
+	for _, nbrs := range oppNbr {
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				acc.Add(nbrs[x], nbrs[y], 1)
+			}
+		}
+	}
+	opp.Range(func(i, j int, v float64) bool {
+		for _, q := range oppNbr[i] {
+			for _, p := range oppNbr[j] {
+				acc.Add(q, p, v) // Add ignores q == p
+			}
+		}
+		return true
+	})
+	out := sparse.NewPairTable(acc.Len())
+	acc.Range(func(x, y int, t float64) bool {
+		dx, dy := len(thisNbr[x]), len(thisNbr[y])
+		if dx > 0 && dy > 0 {
+			if s := c * t / float64(dx*dy); s != 0 {
+				out.Set(x, y, s)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// weightedPass computes one weighted-SimRank iteration for one side. w
+// holds this side's walk factors aligned with thisNbr; oppW is derived on
+// the fly: the factor attached to the (opposite node → this node) edge is
+// found by scanning the opposite node's position in this node's neighbor
+// row — instead we precompute reverse factor rows below.
+func weightedPass(opp *sparse.PairTable, thisNbr, oppNbr [][]int, w [][]float64, ev *evidenceTable, c float64) *sparse.PairTable {
+	// revW[o][k] = W(x, o) where x = the k-th neighbor of opposite node o.
+	// Built once per pass from this side's factor rows.
+	revW := make([][]float64, len(oppNbr))
+	pos := make([]int, len(oppNbr))
+	for i := range revW {
+		revW[i] = make([]float64, len(oppNbr[i]))
+	}
+	for x, nbrs := range thisNbr {
+		for k, o := range nbrs {
+			// thisNbr rows and oppNbr rows are both ascending, so x
+			// appears in oppNbr[o] at the next unfilled position for o.
+			revW[o][pos[o]] = w[x][k]
+			pos[o]++
+		}
+	}
+
+	acc := sparse.NewPairTable(opp.Len())
+	for o, nbrs := range oppNbr {
+		fw := revW[o]
+		for x := 0; x < len(nbrs); x++ {
+			if fw[x] == 0 {
+				continue
+			}
+			for y := x + 1; y < len(nbrs); y++ {
+				acc.Add(nbrs[x], nbrs[y], fw[x]*fw[y])
+			}
+		}
+	}
+	opp.Range(func(i, j int, v float64) bool {
+		wi, wj := revW[i], revW[j]
+		for xi, q := range oppNbr[i] {
+			f := wi[xi] * v
+			if f == 0 {
+				continue
+			}
+			for yj, p := range oppNbr[j] {
+				if q != p {
+					acc.Add(q, p, f*wj[yj])
+				}
+			}
+		}
+		return true
+	})
+	out := sparse.NewPairTable(acc.Len())
+	acc.Range(func(x, y int, t float64) bool {
+		if e := ev.score(x, y); e > 0 {
+			if s := e * c * t; s != 0 {
+				out.Set(x, y, s)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// evidenceTable caches common-neighbor counts for one side, stored
+// sparsely, with the configured evidence multiplier applied on lookup.
+type evidenceTable struct {
+	form   EvidenceForm
+	strict bool
+	counts *sparse.PairTable
+}
+
+// newEvidenceTable counts common neighbors for every pair on one side by
+// scattering through the opposite side's neighbor lists (oppNbr maps each
+// opposite-side node to this side's adjacent nodes).
+func newEvidenceTable(oppNbr [][]int, form EvidenceForm, strict bool) *evidenceTable {
+	counts := sparse.NewPairTable(0)
+	for _, nbrs := range oppNbr {
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				counts.Add(nbrs[x], nbrs[y], 1)
+			}
+		}
+	}
+	return &evidenceTable{form: form, strict: strict, counts: counts}
+}
+
+func (e *evidenceTable) score(x, y int) float64 {
+	n, _ := e.counts.Get(x, y)
+	return EvidenceMultiplier(e.form, int(n), e.strict)
+}
+
+// applyEvidence multiplies every stored pair by its evidence, deleting
+// pairs whose evidence is zero (no common neighbors).
+func applyEvidence(t *sparse.PairTable, ev *evidenceTable) {
+	type upd struct {
+		i, j int
+		v    float64
+	}
+	var updates []upd
+	t.Range(func(i, j int, v float64) bool {
+		updates = append(updates, upd{i, j, v * ev.score(i, j)})
+		return true
+	})
+	for _, u := range updates {
+		if u.v == 0 {
+			t.Delete(u.i, u.j)
+		} else {
+			t.Set(u.i, u.j, u.v)
+		}
+	}
+}

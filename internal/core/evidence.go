@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+
+	"simrankpp/internal/clickgraph"
+)
+
+// EvidenceScore returns the evidence of similarity for a pair of nodes
+// with n common neighbors, under the given form. Evidence is an increasing
+// function of n approaching 1, and 0 when the nodes share no neighbor.
+// For the multiplier actually applied by the engines, see
+// EvidenceMultiplier.
+func EvidenceScore(form EvidenceForm, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	switch form {
+	case EvidenceExponential:
+		return 1 - math.Exp(-float64(n))
+	default:
+		// Geometric: Σ_{i=1..n} 2^{-i} = 1 - 2^{-n}. For n >= 63 the
+		// shift would overflow; the value is 1 to double precision long
+		// before that.
+		if n >= 53 {
+			return 1
+		}
+		return 1 - 1/float64(uint64(1)<<uint(n))
+	}
+}
+
+// EvidenceMultiplier returns the factor the engines multiply a pair score
+// by: EvidenceScore for pairs with common neighbors. For a pair with no
+// common neighbors it returns 1 (pass-through) unless strict is set, in
+// which case it returns the literal Equation 7.3 value of 0. See
+// Config.StrictEvidence for why pass-through is the default.
+func EvidenceMultiplier(form EvidenceForm, n int, strict bool) float64 {
+	if n <= 0 {
+		if strict {
+			return 0
+		}
+		return 1
+	}
+	return EvidenceScore(form, n)
+}
+
+// QueryEvidence returns evidence(q1, q2) on graph g: the evidence derived
+// from |E(q1) ∩ E(q2)| common ads.
+func QueryEvidence(g *clickgraph.Graph, form EvidenceForm, q1, q2 int) float64 {
+	return EvidenceScore(form, len(g.CommonAds(q1, q2)))
+}
+
+// AdEvidence returns evidence(a1, a2) on graph g: the evidence derived from
+// |E(a1) ∩ E(a2)| common queries.
+func AdEvidence(g *clickgraph.Graph, form EvidenceForm, a1, a2 int) float64 {
+	return EvidenceScore(form, len(g.CommonQueries(a1, a2)))
+}
+
+// CommonAdCounts computes the naive similarity of §3 (Table 1): the number
+// of common ads for every query pair, as a symmetric matrix indexed by
+// query id. It is the strawman the paper improves upon and doubles as the
+// evidence-count substrate.
+func CommonAdCounts(g *clickgraph.Graph) [][]int {
+	nq := g.NumQueries()
+	counts := make([][]int, nq)
+	for i := range counts {
+		counts[i] = make([]int, nq)
+	}
+	// Scatter through ads: every ad contributes 1 to each pair of its
+	// query neighbors. O(Σ_a deg(a)^2), far cheaper than pairwise
+	// intersection for sparse graphs.
+	for a := 0; a < g.NumAds(); a++ {
+		qs, _ := g.QueriesOf(a)
+		for x := 0; x < len(qs); x++ {
+			for y := x + 1; y < len(qs); y++ {
+				counts[qs[x]][qs[y]]++
+				counts[qs[y]][qs[x]]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sparse"
+)
+
+// LocalConfig bounds the neighborhood the single-query engine extracts
+// around its source before running SimRank on the induced subgraph.
+type LocalConfig struct {
+	// Radius is the BFS depth in edges from the source query. A radius of
+	// 2k reaches queries k "common-ad hops" away; the default of 4 covers
+	// the two-hop relationships (e.g. pc–tv in Figure 3) the paper argues
+	// SimRank should surface.
+	Radius int
+	// MaxQueries and MaxAds cap the neighborhood size; BFS stops adding
+	// nodes of a side once its cap is reached. Zero means unbounded.
+	MaxQueries, MaxAds int
+}
+
+// DefaultLocalConfig returns radius 4 with a 2000-query, 2000-ad cap —
+// small enough for interactive latency, wide enough for two-hop rewrites.
+func DefaultLocalConfig() LocalConfig {
+	return LocalConfig{Radius: 4, MaxQueries: 2000, MaxAds: 2000}
+}
+
+// LocalSimilarities scores a single query against the queries in its
+// bounded BFS neighborhood: the online front-end path of Figure 2, where
+// one incoming query needs rewrites now and an all-pairs computation over
+// the full graph is not affordable.
+//
+// Scores are exact SimRank on the induced neighborhood subgraph, which is
+// an approximation to SimRank on the full graph: mass entering through cut
+// edges is lost, an error that shrinks as C^radius. Degrees, evidence
+// counts and weight variances are those of the subgraph.
+//
+// The returned pairs use parent-graph query ids and are sorted descending
+// by score.
+func LocalSimilarities(g *clickgraph.Graph, q int, cfg Config, lc LocalConfig) ([]sparse.Scored, error) {
+	if q < 0 || q >= g.NumQueries() {
+		return nil, fmt.Errorf("core: query id %d outside [0,%d)", q, g.NumQueries())
+	}
+	if lc.Radius < 2 {
+		return nil, fmt.Errorf("core: local radius must be >= 2 to reach another query, got %d", lc.Radius)
+	}
+	queryIDs, adIDs := neighborhood(g, q, lc)
+	sub := g.InducedSubgraph(queryIDs, adIDs)
+	res, err := Run(sub, cfg)
+	if err != nil {
+		return nil, err
+	}
+	name := g.Query(q)
+	subQ, ok := sub.QueryID(name)
+	if !ok {
+		return nil, fmt.Errorf("core: source query %q lost during neighborhood extraction", name)
+	}
+	local := res.TopRewrites(subQ, -1)
+	out := make([]sparse.Scored, 0, len(local))
+	for _, s := range local {
+		pid, ok := g.QueryID(sub.Query(s.Node))
+		if !ok {
+			// Cannot happen: the subgraph's names come from g.
+			return nil, fmt.Errorf("core: subgraph query %q not in parent graph", sub.Query(s.Node))
+		}
+		out = append(out, sparse.Scored{Node: pid, Score: s.Score})
+	}
+	return out, nil
+}
+
+// neighborhood collects query and ad ids within lc.Radius BFS edges of
+// source query q, respecting the side caps. The source is always included.
+func neighborhood(g *clickgraph.Graph, q int, lc LocalConfig) (queryIDs, adIDs []int) {
+	type node struct {
+		id    int
+		side  clickgraph.Side
+		depth int
+	}
+	seenQ := map[int]bool{q: true}
+	seenA := map[int]bool{}
+	queryIDs = []int{q}
+	queue := []node{{id: q, side: clickgraph.QuerySide}}
+	qFull := func() bool { return lc.MaxQueries > 0 && len(queryIDs) >= lc.MaxQueries }
+	aFull := func() bool { return lc.MaxAds > 0 && len(adIDs) >= lc.MaxAds }
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth == lc.Radius {
+			continue
+		}
+		if cur.side == clickgraph.QuerySide {
+			ads, _ := g.AdsOf(cur.id)
+			for _, a := range ads {
+				if seenA[a] || aFull() {
+					continue
+				}
+				seenA[a] = true
+				adIDs = append(adIDs, a)
+				queue = append(queue, node{id: a, side: clickgraph.AdSide, depth: cur.depth + 1})
+			}
+		} else {
+			qs, _ := g.QueriesOf(cur.id)
+			for _, p := range qs {
+				if seenQ[p] || qFull() {
+					continue
+				}
+				seenQ[p] = true
+				queryIDs = append(queryIDs, p)
+				queue = append(queue, node{id: p, side: clickgraph.QuerySide, depth: cur.depth + 1})
+			}
+		}
+	}
+	return queryIDs, adIDs
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	graphs := []*clickgraph.Graph{
+		clickgraph.Fig3(),
+		clickgraph.CompleteBipartite(5, 4),
+		randomGraph(99, 12, 10, 40),
+	}
+	for _, g := range graphs {
+		for _, variant := range []Variant{Simple, Evidence, Weighted} {
+			for _, workers := range []int{1, 2, 4, 7} {
+				cfg := DefaultConfig().WithVariant(variant)
+				cfg.Channel = ChannelClicks
+				serial := mustRun(t, g, cfg)
+				par, err := RunParallel(g, cfg, workers)
+				if err != nil {
+					t.Fatalf("RunParallel(%v, %d workers): %v", variant, workers, err)
+				}
+				for i := 0; i < g.NumQueries(); i++ {
+					for j := i + 1; j < g.NumQueries(); j++ {
+						s, p := serial.QuerySim(i, j), par.QuerySim(i, j)
+						if !almostEqual(s, p, 1e-9) {
+							t.Fatalf("%v workers=%d: sim(%d,%d) serial %.12f parallel %.12f",
+								variant, workers, i, j, s, p)
+						}
+					}
+				}
+				for i := 0; i < g.NumAds(); i++ {
+					for j := i + 1; j < g.NumAds(); j++ {
+						s, p := serial.AdSim(i, j), par.AdSim(i, j)
+						if !almostEqual(s, p, 1e-9) {
+							t.Fatalf("%v workers=%d: ad sim(%d,%d) serial %.12f parallel %.12f",
+								variant, workers, i, j, s, p)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.C1 = 0
+	if _, err := RunParallel(clickgraph.Fig3(), cfg, 4); err == nil {
+		t.Error("RunParallel accepted invalid config")
+	}
+}
+
+func TestParallelConvergence(t *testing.T) {
+	g := clickgraph.Fig3()
+	cfg := DefaultConfig()
+	cfg.Iterations = 500
+	cfg.Tolerance = 1e-10
+	r, err := RunParallel(g, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Error("parallel engine did not converge")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	g := clickgraph.Fig3()
+	for _, variant := range []Variant{Simple, Evidence, Weighted} {
+		cfg := DefaultConfig().WithVariant(variant)
+		cfg.C1, cfg.C2 = 0.7, 0.9
+		res := mustRun(t, g, cfg)
+
+		var buf bytes.Buffer
+		if err := WriteResult(&buf, res); err != nil {
+			t.Fatalf("WriteResult: %v", err)
+		}
+		got, err := ReadResult(&buf, g)
+		if err != nil {
+			t.Fatalf("ReadResult: %v", err)
+		}
+		if got.Config.Variant != variant || got.Iterations != res.Iterations ||
+			got.Config.C1 != 0.7 || got.Config.C2 != 0.9 {
+			t.Errorf("meta round trip: %+v vs %+v", got.Config, res.Config)
+		}
+		for i := 0; i < g.NumQueries(); i++ {
+			for j := i + 1; j < g.NumQueries(); j++ {
+				if a, b := res.QuerySim(i, j), got.QuerySim(i, j); a != b {
+					t.Errorf("query sim(%d,%d): %v vs %v", i, j, a, b)
+				}
+			}
+		}
+		for i := 0; i < g.NumAds(); i++ {
+			for j := i + 1; j < g.NumAds(); j++ {
+				if a, b := res.AdSim(i, j), got.AdSim(i, j); a != b {
+					t.Errorf("ad sim(%d,%d): %v vs %v", i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReadResultRejectsMalformed(t *testing.T) {
+	g := clickgraph.Fig3()
+	cases := []string{
+		"",                                     // empty
+		"not a header\n",                       // bad header
+		"#simrankpp-scores v1\nX\ta\tb\t0.5\n", // bad kind
+		"#simrankpp-scores v1\nQ\tpc\tcamera\tnope\n",       // bad score
+		"#simrankpp-scores v1\nQ\tpc\tmissing query\t0.5\n", // unknown node
+		"#simrankpp-scores v1\nQ\tpc\n",                     // short line
+		"#simrankpp-scores v1\n!meta\tbadfield\n",           // bad meta
+		"#simrankpp-scores v1\n!meta\titerations=x\n",       // bad meta value
+	}
+	for _, c := range cases {
+		if _, err := ReadResult(strings.NewReader(c), g); err == nil {
+			t.Errorf("ReadResult accepted %q", c)
+		}
+	}
+}

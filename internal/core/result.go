@@ -1,0 +1,49 @@
+package core
+
+import (
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sparse"
+)
+
+// Result holds the similarity scores an engine computed: one symmetric
+// sparse table per graph side. Diagonal scores are implicitly 1 per the
+// SimRank definition; off-diagonal pairs absent from a table score 0.
+type Result struct {
+	// Graph is the graph the scores were computed on.
+	Graph *clickgraph.Graph
+	// Config is the configuration that produced the result.
+	Config Config
+	// QueryScores holds s(q, q') for query pairs, AdScores s(α, α') for
+	// ad pairs.
+	QueryScores, AdScores *sparse.PairTable
+	// Iterations is the number of iterations actually performed.
+	Iterations int
+	// Converged reports whether iteration stopped because the largest
+	// score change fell below Config.Tolerance.
+	Converged bool
+}
+
+// QuerySim returns s(q1, q2): 1 on the diagonal, the stored score or 0
+// otherwise.
+func (r *Result) QuerySim(q1, q2 int) float64 {
+	if q1 == q2 {
+		return 1
+	}
+	v, _ := r.QueryScores.Get(q1, q2)
+	return v
+}
+
+// AdSim returns s(a1, a2) with the same conventions as QuerySim.
+func (r *Result) AdSim(a1, a2 int) float64 {
+	if a1 == a2 {
+		return 1
+	}
+	v, _ := r.AdScores.Get(a1, a2)
+	return v
+}
+
+// TopRewrites returns the k most similar queries to q, descending by score
+// with deterministic tie-breaking; k < 0 returns all scored partners.
+func (r *Result) TopRewrites(q, k int) []sparse.Scored {
+	return r.QueryScores.TopKFor(q, k)
+}

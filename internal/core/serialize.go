@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sparse"
+)
+
+// This file persists computed similarity results so a serving front-end
+// can load precomputed rewrites instead of re-running SimRank: the
+// batch/online split of Figure 2 in deployment form.
+//
+// The format is line-oriented text, mirroring the click graph format:
+//
+//	#simrankpp-scores v1
+//	!meta  variant=<n> iterations=<n> c1=<f> c2=<f>
+//	Q <query1> <TAB> <query2> <TAB> <score>
+//	A <ad1>    <TAB> <ad2>    <TAB> <score>
+//
+// Node names are the graph's strings, so a result can be loaded against
+// any graph containing the same names.
+
+const scoresHeader = "#simrankpp-scores v1"
+
+// WriteResult serializes the result's query and ad pair scores.
+func WriteResult(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, scoresHeader); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "!meta\tvariant=%d\titerations=%d\tc1=%s\tc2=%s\n",
+		int(r.Config.Variant), r.Iterations,
+		strconv.FormatFloat(r.Config.C1, 'g', -1, 64),
+		strconv.FormatFloat(r.Config.C2, 'g', -1, 64)); err != nil {
+		return err
+	}
+	var werr error
+	emit := func(kind byte, n1, n2 string, v float64) bool {
+		_, werr = fmt.Fprintf(bw, "%c\t%s\t%s\t%s\n", kind, n1, n2,
+			strconv.FormatFloat(v, 'g', -1, 64))
+		return werr == nil
+	}
+	r.QueryScores.Range(func(i, j int, v float64) bool {
+		return emit('Q', r.Graph.Query(i), r.Graph.Query(j), v)
+	})
+	if werr != nil {
+		return werr
+	}
+	r.AdScores.Range(func(i, j int, v float64) bool {
+		return emit('A', r.Graph.Ad(i), r.Graph.Ad(j), v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadResult loads scores against g: node names are resolved to g's ids.
+// Names absent from g are an error — scores must match the graph they
+// are served with. The returned Result has the persisted iteration count
+// and decay factors in its Config; Converged is not persisted and
+// reports false.
+func ReadResult(r io.Reader, g *clickgraph.Graph) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: empty scores stream")
+	}
+	if sc.Text() != scoresHeader {
+		return nil, fmt.Errorf("core: bad scores header %q", sc.Text())
+	}
+	res := &Result{
+		Graph:       g,
+		Config:      DefaultConfig(),
+		QueryScores: sparse.NewPairTable(0),
+		AdScores:    sparse.NewPairTable(0),
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if fields[0] == "!meta" {
+			if err := parseMeta(fields[1:], res); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			continue
+		}
+		if len(fields) != 4 || (fields[0] != "Q" && fields[0] != "A") {
+			return nil, fmt.Errorf("core: line %d: want 'Q|A\\tname\\tname\\tscore'", lineNo)
+		}
+		v, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: bad score: %v", lineNo, err)
+		}
+		if fields[0] == "Q" {
+			i, ok1 := g.QueryID(fields[1])
+			j, ok2 := g.QueryID(fields[2])
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("core: line %d: query pair (%q,%q) not in graph", lineNo, fields[1], fields[2])
+			}
+			res.QueryScores.Set(i, j, v)
+		} else {
+			i, ok1 := g.AdID(fields[1])
+			j, ok2 := g.AdID(fields[2])
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("core: line %d: ad pair (%q,%q) not in graph", lineNo, fields[1], fields[2])
+			}
+			res.AdScores.Set(i, j, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func parseMeta(kvs []string, res *Result) error {
+	for _, kv := range kvs {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad meta field %q", kv)
+		}
+		switch parts[0] {
+		case "variant":
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return fmt.Errorf("bad variant: %v", err)
+			}
+			res.Config.Variant = Variant(n)
+		case "iterations":
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return fmt.Errorf("bad iterations: %v", err)
+			}
+			res.Iterations = n
+			res.Config.Iterations = n
+		case "c1":
+			f, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return fmt.Errorf("bad c1: %v", err)
+			}
+			res.Config.C1 = f
+		case "c2":
+			f, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return fmt.Errorf("bad c2: %v", err)
+			}
+			res.Config.C2 = f
+		default:
+			// Unknown meta keys are ignored for forward compatibility.
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+
+	"simrankpp/internal/clickgraph"
+)
+
+// transitionModel precomputes the weighted-SimRank walk factors of §8.2:
+//
+//	W(q, i) = spread(i) · w(q, i) / Σ_{j∈E(q)} w(q, j)   (i is an ad)
+//	W(α, i) = spread(i) · w(α, i) / Σ_{j∈E(α)} w(α, j)   (i is a query)
+//	spread(v) = e^{-variance(v)}
+//
+// where variance(v) is the population variance of the weights on v's
+// incident edges. The factors satisfy the consistency rules of Definition
+// 8.1: higher weight toward a low-variance neighbor yields a larger factor.
+type transitionModel struct {
+	g       *clickgraph.Graph
+	channel WeightChannel
+	// spreadQ[q] = e^{-variance over q's incident edge weights};
+	// spreadA[a] analogous.
+	spreadQ, spreadA []float64
+	// rowSumQ[q] = Σ_{a∈E(q)} w(q,a); rowSumA[a] = Σ_{q∈E(a)} w(q,a).
+	rowSumQ, rowSumA []float64
+}
+
+// weightRow returns the neighbor ids and channel weights of a node.
+func weightRow(g *clickgraph.Graph, ch WeightChannel, side clickgraph.Side, id int) ([]int, []float64) {
+	switch ch {
+	case ChannelClicks:
+		if side == clickgraph.QuerySide {
+			return g.ClicksOfQuery(id)
+		}
+		return g.ClicksOfAd(id)
+	case ChannelImpressions:
+		nbrs, _ := neighborIDs(g, side, id)
+		w := make([]float64, len(nbrs))
+		for i, n := range nbrs {
+			var ew clickgraph.EdgeWeights
+			var ok bool
+			if side == clickgraph.QuerySide {
+				ew, ok = g.EdgeWeightsOf(id, n)
+			} else {
+				ew, ok = g.EdgeWeightsOf(n, id)
+			}
+			if ok {
+				w[i] = float64(ew.Impressions)
+			}
+		}
+		return nbrs, w
+	default:
+		if side == clickgraph.QuerySide {
+			return g.AdsOf(id)
+		}
+		return g.QueriesOf(id)
+	}
+}
+
+func neighborIDs(g *clickgraph.Graph, side clickgraph.Side, id int) ([]int, []float64) {
+	if side == clickgraph.QuerySide {
+		return g.AdsOf(id)
+	}
+	return g.QueriesOf(id)
+}
+
+// popVariance returns the population variance of xs (0 for fewer than two
+// values, matching "a single observation has no spread").
+func popVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	v := 0.0
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return v / float64(n)
+}
+
+// newTransitionModel scans the graph once and caches spreads and row sums.
+// disableSpread forces spread ≡ 1 (the ablation of DESIGN.md).
+func newTransitionModel(g *clickgraph.Graph, ch WeightChannel, disableSpread bool) *transitionModel {
+	m := &transitionModel{
+		g:       g,
+		channel: ch,
+		spreadQ: make([]float64, g.NumQueries()),
+		spreadA: make([]float64, g.NumAds()),
+		rowSumQ: make([]float64, g.NumQueries()),
+		rowSumA: make([]float64, g.NumAds()),
+	}
+	for q := 0; q < g.NumQueries(); q++ {
+		_, w := weightRow(g, ch, clickgraph.QuerySide, q)
+		m.rowSumQ[q] = sum(w)
+		if disableSpread {
+			m.spreadQ[q] = 1
+		} else {
+			m.spreadQ[q] = math.Exp(-popVariance(w))
+		}
+	}
+	for a := 0; a < g.NumAds(); a++ {
+		_, w := weightRow(g, ch, clickgraph.AdSide, a)
+		m.rowSumA[a] = sum(w)
+		if disableSpread {
+			m.spreadA[a] = 1
+		} else {
+			m.spreadA[a] = math.Exp(-popVariance(w))
+		}
+	}
+	return m
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// queryRow returns, for query q, its ad neighbors and the walk factors
+// W(q, a) for each.
+func (m *transitionModel) queryRow(q int) (ads []int, w []float64) {
+	ads, raw := weightRow(m.g, m.channel, clickgraph.QuerySide, q)
+	w = make([]float64, len(raw))
+	rs := m.rowSumQ[q]
+	if rs == 0 {
+		return ads, w
+	}
+	for i, a := range ads {
+		w[i] = m.spreadA[a] * raw[i] / rs
+	}
+	return ads, w
+}
+
+// adRow returns, for ad a, its query neighbors and the walk factors
+// W(a, q) for each.
+func (m *transitionModel) adRow(a int) (queries []int, w []float64) {
+	queries, raw := weightRow(m.g, m.channel, clickgraph.AdSide, a)
+	w = make([]float64, len(raw))
+	rs := m.rowSumA[a]
+	if rs == 0 {
+		return queries, w
+	}
+	for i, q := range queries {
+		w[i] = m.spreadQ[q] * raw[i] / rs
+	}
+	return queries, w
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sponsored"
+	"simrankpp/internal/workload"
+)
+
+// smallDatasetConfig shrinks the default dataset so tests run in a couple
+// of seconds while preserving the qualitative structure.
+func smallDatasetConfig() DatasetConfig {
+	cfg := DefaultDatasetConfig()
+	cfg.Universe.Categories = 6
+	cfg.Universe.SubtopicsPerCategory = 4
+	cfg.Universe.IntentsPerSubtopic = 4
+	cfg.Sponsored.Sessions = 120000
+	cfg.MinSubgraphNodes = 80
+	cfg.Subgraphs = 3
+	return cfg
+}
+
+var sharedDataset *Dataset
+
+func dataset(t *testing.T) *Dataset {
+	t.Helper()
+	if sharedDataset == nil {
+		ds, err := BuildDataset(smallDatasetConfig())
+		if err != nil {
+			t.Fatalf("BuildDataset: %v", err)
+		}
+		sharedDataset = ds
+	}
+	return sharedDataset
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	m := Table1()
+	labelIdx := map[string]int{}
+	for i, l := range m.Labels {
+		labelIdx[l] = i
+	}
+	want := map[[2]string]float64{
+		{"pc", "camera"}:             1,
+		{"camera", "digital camera"}: 2,
+		{"camera", "tv"}:             1,
+		{"pc", "tv"}:                 0,
+		{"tv", "flower"}:             0,
+	}
+	for pair, v := range want {
+		i, j := labelIdx[pair[0]], labelIdx[pair[1]]
+		if m.Scores[i][j] != v || m.Scores[j][i] != v {
+			t.Errorf("Table1[%s][%s] = %v want %v", pair[0], pair[1], m.Scores[i][j], v)
+		}
+	}
+	if !strings.Contains(m.String(), "pc") {
+		t.Error("rendered table missing labels")
+	}
+}
+
+func TestTable2Qualitative(t *testing.T) {
+	m, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, l := range m.Labels {
+		idx[l] = i
+	}
+	// Key observations of §4: pc-tv nonzero, flower-anything zero,
+	// camera and digital camera symmetric.
+	if m.Scores[idx["pc"]][idx["tv"]] <= 0 {
+		t.Error("Table2: sim(pc,tv) should be positive")
+	}
+	for _, q := range []string{"pc", "camera", "digital camera", "tv"} {
+		if m.Scores[idx["flower"]][idx[q]] != 0 {
+			t.Errorf("Table2: sim(flower,%s) should be 0", q)
+		}
+	}
+	for _, q := range []string{"pc", "tv"} {
+		a := m.Scores[idx["camera"]][idx[q]]
+		b := m.Scores[idx["digital camera"]][idx[q]]
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("Table2: camera/digital camera asymmetric vs %s: %v vs %v", q, a, b)
+		}
+	}
+}
+
+func TestTables3And4MatchPaper(t *testing.T) {
+	t3, err := Table3(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK22 := []float64{0.4, 0.56, 0.624, 0.6496, 0.65984, 0.663936, 0.6655744}
+	for i := range wantK22 {
+		if math.Abs(t3.K22[i]-wantK22[i]) > 1e-9 {
+			t.Errorf("Table3 K22[%d] = %v want %v", i+1, t3.K22[i], wantK22[i])
+		}
+		if math.Abs(t3.K12[i]-0.8) > 1e-9 {
+			t.Errorf("Table3 K12[%d] = %v want 0.8", i+1, t3.K12[i])
+		}
+	}
+	t4, err := Table4(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEv := []float64{0.3, 0.42, 0.468, 0.4872, 0.49488, 0.497952, 0.4991808}
+	for i := range wantEv {
+		if math.Abs(t4.K22[i]-wantEv[i]) > 1e-9 {
+			t.Errorf("Table4 K22[%d] = %v want %v", i+1, t4.K22[i], wantEv[i])
+		}
+		if math.Abs(t4.K12[i]-0.4) > 1e-9 {
+			t.Errorf("Table4 K12[%d] = %v want 0.4", i+1, t4.K12[i])
+		}
+	}
+	if !strings.Contains(t3.String(), "Iteration") {
+		t.Error("Table3 rendering broken")
+	}
+}
+
+func TestDatasetConstruction(t *testing.T) {
+	ds := dataset(t)
+	if len(ds.Subgraphs) == 0 {
+		t.Fatal("no subgraphs extracted")
+	}
+	if ds.Combined.NumQueries() == 0 || ds.Combined.NumEdges() == 0 {
+		t.Fatal("combined dataset empty")
+	}
+	if len(ds.Sample) == 0 {
+		t.Fatal("empty evaluation sample")
+	}
+	for _, q := range ds.Sample {
+		if q < 0 || q >= ds.Combined.NumQueries() {
+			t.Fatalf("sample query id %d out of range", q)
+		}
+		if ds.Combined.QueryDegree(q) == 0 {
+			t.Errorf("sample query %q has no edges", ds.Combined.Query(q))
+		}
+	}
+	// Subgraphs are node-disjoint.
+	seen := map[string]bool{}
+	for _, s := range ds.Subgraphs {
+		for q := 0; q < s.Graph.NumQueries(); q++ {
+			name := s.Graph.Query(q)
+			if seen[name] {
+				t.Fatalf("query %q in two subgraphs", name)
+			}
+			seen[name] = true
+		}
+	}
+	// Table 5 totals match the combined graph.
+	t5 := Table5(ds)
+	if t5.Total.Queries != ds.Combined.NumQueries() || t5.Total.Edges != ds.Combined.NumEdges() {
+		t.Errorf("Table5 totals %d/%d don't match combined %d/%d",
+			t5.Total.Queries, t5.Total.Edges, ds.Combined.NumQueries(), ds.Combined.NumEdges())
+	}
+}
+
+func TestMethodRunsAndFigures(t *testing.T) {
+	ds := dataset(t)
+	runs, err := RunMethods(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("methods = %d want 4", len(runs))
+	}
+	names := map[string]bool{}
+	for _, r := range runs {
+		names[r.Name] = true
+		if len(r.ByQuery) != len(ds.Sample) {
+			t.Errorf("%s judged %d queries want %d", r.Name, len(r.ByQuery), len(ds.Sample))
+		}
+	}
+	for _, m := range MethodNames {
+		if !names[m] {
+			t.Errorf("missing method %s", m)
+		}
+	}
+
+	// Figure 8: SimRank coverage must beat Pearson (the paper's headline
+	// coverage result).
+	f8 := Fig8(ds, runs)
+	if f8.Coverage["pearson"] >= f8.Coverage["simrank"] {
+		t.Errorf("coverage: pearson %v should be below simrank %v",
+			f8.Coverage["pearson"], f8.Coverage["simrank"])
+	}
+	if !strings.Contains(f8.String(), "coverage") {
+		t.Error("Fig8 rendering broken")
+	}
+
+	// Figure 9/10: P@1 ordering should put every SimRank variant above
+	// Pearson.
+	for _, report := range []*PRReport{Fig9(runs), Fig10(runs)} {
+		pearson := report.PAtX["pearson"][0]
+		for _, m := range MethodNames[1:] {
+			if report.PAtX[m][0] <= pearson {
+				t.Errorf("threshold %d: P@1 of %s (%v) should beat pearson (%v)",
+					report.Threshold, m, report.PAtX[m][0], pearson)
+			}
+		}
+		if len(report.Curves["simrank"]) != 11 {
+			t.Errorf("curve should have 11 points")
+		}
+	}
+
+	// Figure 11: the enhanced schemes must reach depth 5 at least as
+	// often as Pearson.
+	f11 := Fig11(runs)
+	if f11.AtLeast["weighted simrank"][4] < f11.AtLeast["pearson"][4] {
+		t.Errorf("depth-5: weighted %v below pearson %v",
+			f11.AtLeast["weighted simrank"][4], f11.AtLeast["pearson"][4])
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	ds := dataset(t)
+	rep, err := Fig12(ds, 30, 555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials == 0 {
+		t.Skip("graph too small for desirability trials")
+	}
+	// Weighted must predict at least as well as the structure-only
+	// methods (the paper's qualitative claim).
+	w := rep.Correct["weighted simrank"]
+	s := rep.Correct["simrank"]
+	if w < s {
+		t.Errorf("weighted correct %d below simple %d", w, s)
+	}
+	if !strings.Contains(rep.String(), "desirability") {
+		t.Error("Fig12 rendering broken")
+	}
+}
+
+func TestUnionGraphsPreservesWeights(t *testing.T) {
+	ds := dataset(t)
+	// Every edge of subgraph 0 appears in the combined graph with
+	// identical weights.
+	s := ds.Subgraphs[0].Graph
+	checked := 0
+	s.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
+		cq, ok1 := ds.Combined.QueryID(s.Query(q))
+		ca, ok2 := ds.Combined.AdID(s.Ad(a))
+		if !ok1 || !ok2 {
+			t.Fatalf("edge (%s,%s) lost in union", s.Query(q), s.Ad(a))
+		}
+		got, ok := ds.Combined.EdgeWeightsOf(cq, ca)
+		if !ok || got != w {
+			t.Fatalf("edge (%s,%s) weights %+v vs %+v", s.Query(q), s.Ad(a), got, w)
+		}
+		checked++
+		return checked < 200
+	})
+	if checked == 0 {
+		t.Fatal("no edges checked")
+	}
+}
+
+func TestBuildDatasetValidation(t *testing.T) {
+	cfg := smallDatasetConfig()
+	cfg.Subgraphs = 0
+	if _, err := BuildDataset(cfg); err == nil {
+		t.Error("accepted zero subgraphs")
+	}
+	cfg = smallDatasetConfig()
+	cfg.TrafficSample = 0
+	if _, err := BuildDataset(cfg); err == nil {
+		t.Error("accepted zero traffic sample")
+	}
+	cfg = smallDatasetConfig()
+	cfg.Universe.Categories = 0
+	if _, err := BuildDataset(cfg); err == nil {
+		t.Error("accepted invalid universe config")
+	}
+	cfg = smallDatasetConfig()
+	cfg.Sponsored = sponsored.Config{}
+	if _, err := BuildDataset(cfg); err == nil {
+		t.Error("accepted invalid sponsored config")
+	}
+	_ = workload.DefaultUniverseConfig
+}

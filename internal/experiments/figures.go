@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/eval"
+	"simrankpp/internal/judge"
+	"simrankpp/internal/rewrite"
+)
+
+// MethodNames in the paper's presentation order.
+var MethodNames = []string{"pearson", "simrank", "evidence-based simrank", "weighted simrank"}
+
+// Table5Report holds the dataset statistics of Table 5.
+type Table5Report struct {
+	Rows  []clickgraph.Stats // one per subgraph
+	Total clickgraph.Stats   // over the combined dataset
+}
+
+// Table5 computes the subgraph statistics table.
+func Table5(ds *Dataset) *Table5Report {
+	r := &Table5Report{}
+	for _, s := range ds.Subgraphs {
+		r.Rows = append(r.Rows, clickgraph.ComputeStats(s.Graph))
+	}
+	r.Total = clickgraph.ComputeStats(ds.Combined)
+	return r
+}
+
+// String renders the table.
+func (t *Table5Report) String() string {
+	var b strings.Builder
+	b.WriteString("Table 5: dataset statistics (ACL-extracted subgraphs)\n")
+	fmt.Fprintf(&b, "%-12s  %10s  %10s  %10s\n", "", "# Queries", "# Ads", "# Edges")
+	for i, s := range t.Rows {
+		fmt.Fprintf(&b, "subgraph %-3d  %10d  %10d  %10d\n", i+1, s.Queries, s.Ads, s.Edges)
+	}
+	fmt.Fprintf(&b, "%-12s  %10d  %10d  %10d\n", "Total", t.Total.Queries, t.Total.Ads, t.Total.Edges)
+	return b.String()
+}
+
+// MethodRun is one method's judged rewrites over the evaluation sample.
+type MethodRun struct {
+	Name    string
+	ByQuery []eval.QueryJudgments
+}
+
+// RunMethods executes the §9.3 pipeline for all four methods over the
+// dataset's sample and grades every rewrite with the editorial oracle.
+// simrankIters and the engine configuration follow the paper's settings.
+func RunMethods(ds *Dataset) ([]MethodRun, error) {
+	g := ds.Combined
+	oracle := judge.New(ds.Universe)
+	pipe := rewrite.NewPipeline(g, ds.Log.BidTerms)
+
+	sources := []rewrite.Source{
+		&rewrite.PearsonSource{Graph: g, Channel: core.ChannelRate},
+	}
+	for _, variant := range []core.Variant{core.Simple, core.Evidence, core.Weighted} {
+		cfg := core.DefaultConfig().WithVariant(variant)
+		cfg.PruneEpsilon = 1e-5
+		res, err := core.Run(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, &rewrite.ResultSource{Result: res})
+	}
+
+	var runs []MethodRun
+	for _, src := range sources {
+		run := MethodRun{Name: src.Name()}
+		for _, q := range ds.Sample {
+			cands, err := pipe.Rewrite(src, q)
+			if err != nil {
+				return nil, err
+			}
+			qj := eval.QueryJudgments{Query: g.Query(q)}
+			for _, c := range cands {
+				qj.Rewrites = append(qj.Rewrites, eval.Judged{
+					Text:  c.Text,
+					Grade: oracle.Grade(qj.Query, c.Text),
+				})
+			}
+			run.ByQuery = append(run.ByQuery, qj)
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// CoverageReport is Figure 8: per-method query coverage.
+type CoverageReport struct {
+	SampleSize int
+	Coverage   map[string]float64
+}
+
+// Fig8 computes query coverage from the method runs.
+func Fig8(ds *Dataset, runs []MethodRun) *CoverageReport {
+	r := &CoverageReport{SampleSize: len(ds.Sample), Coverage: map[string]float64{}}
+	for _, run := range runs {
+		r.Coverage[run.Name] = eval.Coverage(run.ByQuery)
+	}
+	return r
+}
+
+// String renders the report.
+func (r *CoverageReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: query coverage over %d sample queries\n", r.SampleSize)
+	for _, m := range MethodNames {
+		if v, ok := r.Coverage[m]; ok {
+			fmt.Fprintf(&b, "%-26s %s\n", m, eval.FormatPercent(v))
+		}
+	}
+	return b.String()
+}
+
+// PRReport holds one threshold task's curves: Figure 9 (threshold 2) or
+// Figure 10 (threshold 1).
+type PRReport struct {
+	Threshold int
+	Curves    map[string][]eval.PRPoint
+	PAtX      map[string][]float64
+}
+
+// PrecisionRecallFigure computes the 11-point curves and P@1..5 for every
+// method under the given relevance threshold.
+func PrecisionRecallFigure(runs []MethodRun, threshold int) *PRReport {
+	all := make([][]eval.QueryJudgments, len(runs))
+	for i, run := range runs {
+		all[i] = run.ByQuery
+	}
+	pooled := eval.PoolRelevant(all, threshold)
+	r := &PRReport{
+		Threshold: threshold,
+		Curves:    map[string][]eval.PRPoint{},
+		PAtX:      map[string][]float64{},
+	}
+	for _, run := range runs {
+		r.Curves[run.Name] = eval.PrecisionRecall(run.ByQuery, pooled, threshold)
+		r.PAtX[run.Name] = eval.PrecisionAtX(run.ByQuery, 5, threshold)
+	}
+	return r
+}
+
+// Fig9 is the threshold-2 task (positive class = grades {1,2}).
+func Fig9(runs []MethodRun) *PRReport { return PrecisionRecallFigure(runs, 2) }
+
+// Fig10 is the threshold-1 task (positive class = grade 1).
+func Fig10(runs []MethodRun) *PRReport { return PrecisionRecallFigure(runs, 1) }
+
+// String renders both panels of the figure.
+func (r *PRReport) String() string {
+	var b strings.Builder
+	fig := "Figure 9"
+	if r.Threshold == 1 {
+		fig = "Figure 10"
+	}
+	fmt.Fprintf(&b, "%s: precision/recall, positive class = grades {1..%d}\n", fig, r.Threshold)
+	b.WriteString("11-point interpolated precision at recall 0.0 .. 1.0:\n")
+	for _, m := range MethodNames {
+		curve, ok := r.Curves[m]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s", m)
+		for _, p := range curve {
+			fmt.Fprintf(&b, " %.2f", p.Precision)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("Precision after X = 1..5 rewrites (P@X):\n")
+	for _, m := range MethodNames {
+		pax, ok := r.PAtX[m]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s", m)
+		for _, p := range pax {
+			fmt.Fprintf(&b, " %.2f", p)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DepthReport is Figure 11: cumulative rewriting-depth percentages.
+type DepthReport struct {
+	// AtLeast[m][k-1] is the fraction of sample queries for which method
+	// m produced at least k rewrites, k = 1..5.
+	AtLeast map[string][]float64
+}
+
+// Fig11 computes the depth histogram.
+func Fig11(runs []MethodRun) *DepthReport {
+	r := &DepthReport{AtLeast: map[string][]float64{}}
+	for _, run := range runs {
+		r.AtLeast[run.Name] = eval.DepthHistogram(run.ByQuery, 5)
+	}
+	return r
+}
+
+// String renders the report in the paper's bucket order (5, 4-5, ..., 1-5).
+func (r *DepthReport) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 11: rewriting depth (% of sample queries with >= k rewrites)\n")
+	fmt.Fprintf(&b, "%-26s %6s %6s %6s %6s %6s\n", "", "5", "4-5", "3-5", "2-5", "1-5")
+	for _, m := range MethodNames {
+		h, ok := r.AtLeast[m]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s", m)
+		for k := 5; k >= 1; k-- {
+			fmt.Fprintf(&b, " %5.0f%%", h[k-1]*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DesirabilityReport is Figure 12: correct-ordering percentages.
+type DesirabilityReport struct {
+	Trials  int
+	Correct map[string]int
+}
+
+// Fig12 runs the §9.3 edge-removal experiment: trials trials, three
+// SimRank variants scored with the neighborhood engine (Pearson is
+// excluded, as in the paper, because edge removal deletes the common ads
+// it needs).
+func Fig12(ds *Dataset, trials int, seed uint64) (*DesirabilityReport, error) {
+	ts := eval.BuildTrials(ds.Combined, core.ChannelRate, trials, seed)
+	r := &DesirabilityReport{Trials: len(ts), Correct: map[string]int{}}
+	lc := core.DefaultLocalConfig()
+	lc.Radius = 6
+	for _, variant := range []core.Variant{core.Simple, core.Evidence, core.Weighted} {
+		cfg := core.DefaultConfig().WithVariant(variant)
+		cfg.PruneEpsilon = 1e-6
+		correct, _, err := eval.RunDesirability(ts, eval.LocalScorer(cfg, lc))
+		if err != nil {
+			return nil, err
+		}
+		r.Correct[variant.String()] = correct
+	}
+	return r, nil
+}
+
+// String renders the report.
+func (r *DesirabilityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: desirability-order prediction over %d trials\n", r.Trials)
+	for _, m := range MethodNames[1:] {
+		if c, ok := r.Correct[m]; ok {
+			pct := 0.0
+			if r.Trials > 0 {
+				pct = float64(c) / float64(r.Trials) * 100
+			}
+			fmt.Fprintf(&b, "%-26s %d/%d (%.0f%%)\n", m, c, r.Trials, pct)
+		}
+	}
+	return b.String()
+}

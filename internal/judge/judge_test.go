@@ -1,0 +1,110 @@
+package judge
+
+import (
+	"testing"
+
+	"simrankpp/internal/workload"
+)
+
+func testUniverse(t *testing.T) *workload.Universe {
+	t.Helper()
+	cfg := workload.DefaultUniverseConfig()
+	cfg.Categories = 3
+	cfg.SubtopicsPerCategory = 3
+	cfg.IntentsPerSubtopic = 3
+	u, err := workload.BuildUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// findPair returns the texts of a query pair with the wanted relation.
+func findPair(t *testing.T, u *workload.Universe, want workload.Relation) (string, string) {
+	t.Helper()
+	for i := range u.Queries {
+		for j := range u.Queries {
+			if i != j && u.Relation(i, j) == want {
+				return u.Queries[i].Text, u.Queries[j].Text
+			}
+		}
+	}
+	t.Fatalf("no pair with relation %v", want)
+	return "", ""
+}
+
+func TestGradeMatchesHierarchy(t *testing.T) {
+	u := testUniverse(t)
+	o := New(u)
+	for _, tc := range []struct {
+		rel  workload.Relation
+		want int
+	}{
+		{workload.SameIntent, GradePrecise},
+		{workload.SameSubtopic, GradeApproximate},
+		{workload.SameCategory, GradePossible},
+		{workload.Unrelated, GradeMismatch},
+	} {
+		q, r := findPair(t, u, tc.rel)
+		if got := o.Grade(q, r); got != tc.want {
+			t.Errorf("Grade(%v pair) = %d want %d", tc.rel, got, tc.want)
+		}
+	}
+}
+
+func TestGradeUnknownIsMismatch(t *testing.T) {
+	u := testUniverse(t)
+	o := New(u)
+	if got := o.Grade("gibberish query", u.Queries[0].Text); got != GradeMismatch {
+		t.Errorf("unknown query graded %d want %d", got, GradeMismatch)
+	}
+}
+
+func TestNoisyOracle(t *testing.T) {
+	u := testUniverse(t)
+	if _, err := NewNoisy(u, -0.1, 1); err == nil {
+		t.Error("accepted negative noise")
+	}
+	if _, err := NewNoisy(u, 1.1, 1); err == nil {
+		t.Error("accepted noise > 1")
+	}
+	o, err := NewNoisy(u, 0.5, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, r := findPair(t, u, workload.SameSubtopic)
+	shifted := false
+	for i := 0; i < 200; i++ {
+		g := o.Grade(q, r)
+		if g < GradePrecise || g > GradeMismatch {
+			t.Fatalf("grade %d out of range", g)
+		}
+		if g != GradeApproximate {
+			shifted = true
+		}
+	}
+	if !shifted {
+		t.Error("noise 0.5 never shifted a grade in 200 judgments")
+	}
+}
+
+func TestRelevantThresholds(t *testing.T) {
+	if !Relevant(1, 2) || !Relevant(2, 2) || Relevant(3, 2) || Relevant(4, 2) {
+		t.Error("threshold-2 relevance wrong")
+	}
+	if !Relevant(1, 1) || Relevant(2, 1) {
+		t.Error("threshold-1 relevance wrong")
+	}
+}
+
+func TestGradeName(t *testing.T) {
+	names := map[int]string{1: "precise match", 2: "approximate match", 3: "marginal match", 4: "mismatch"}
+	for g, want := range names {
+		if GradeName(g) != want {
+			t.Errorf("GradeName(%d) = %q want %q", g, GradeName(g), want)
+		}
+	}
+	if GradeName(9) == "" {
+		t.Error("unknown grade should still render")
+	}
+}

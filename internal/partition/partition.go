@@ -1,0 +1,345 @@
+// Package partition implements the local graph-partitioning algorithm of
+// Andersen, Chung and Lang (FOCS 2006) that the Simrank++ paper uses to
+// decompose its giant click-graph component into five manageable subgraphs
+// (§9.2, Table 5): approximate personalized PageRank computed by the push
+// method, followed by a sweep cut that picks the prefix of smallest
+// conductance.
+//
+// The click graph is treated as an undirected graph over a unified node
+// space: query q is node q, ad a is node NumQueries + a.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"simrankpp/internal/clickgraph"
+)
+
+// NodeID addresses a node in the unified space.
+type NodeID int
+
+// QueryNode returns the unified id of query q.
+func QueryNode(q int) NodeID { return NodeID(q) }
+
+// AdNode returns the unified id of ad a on graph g.
+func AdNode(g *clickgraph.Graph, a int) NodeID { return NodeID(g.NumQueries() + a) }
+
+// Split separates a unified id back into (side, per-side id).
+func Split(g *clickgraph.Graph, n NodeID) (clickgraph.Side, int) {
+	if int(n) < g.NumQueries() {
+		return clickgraph.QuerySide, int(n)
+	}
+	return clickgraph.AdSide, int(n) - g.NumQueries()
+}
+
+// degree returns the unified-space degree of node n.
+func degree(g *clickgraph.Graph, n NodeID) int {
+	side, id := Split(g, n)
+	if side == clickgraph.QuerySide {
+		return g.QueryDegree(id)
+	}
+	return g.AdDegree(id)
+}
+
+// neighbors returns the unified-space neighbors of node n.
+func neighbors(g *clickgraph.Graph, n NodeID) []NodeID {
+	side, id := Split(g, n)
+	var raw []int
+	if side == clickgraph.QuerySide {
+		raw, _ = g.AdsOf(id)
+	} else {
+		raw, _ = g.QueriesOf(id)
+	}
+	out := make([]NodeID, len(raw))
+	for i, r := range raw {
+		if side == clickgraph.QuerySide {
+			out[i] = AdNode(g, r)
+		} else {
+			out[i] = QueryNode(r)
+		}
+	}
+	return out
+}
+
+// PPRConfig parameterizes the approximate personalized PageRank push.
+type PPRConfig struct {
+	// Alpha is the teleport probability. ACL's analysis uses values
+	// around 0.1-0.2.
+	Alpha float64
+	// Epsilon is the per-degree residual threshold: pushing stops when
+	// every node u has residual r(u) < Epsilon·deg(u). Smaller epsilon
+	// means a more accurate (and larger) support.
+	Epsilon float64
+}
+
+// DefaultPPRConfig returns alpha 0.15 and epsilon 1e-6.
+func DefaultPPRConfig() PPRConfig { return PPRConfig{Alpha: 0.15, Epsilon: 1e-6} }
+
+// Validate reports whether the configuration is usable.
+func (c PPRConfig) Validate() error {
+	if !(c.Alpha > 0 && c.Alpha < 1) {
+		return fmt.Errorf("partition: Alpha must be in (0,1), got %v", c.Alpha)
+	}
+	if !(c.Epsilon > 0) {
+		return fmt.Errorf("partition: Epsilon must be > 0, got %v", c.Epsilon)
+	}
+	return nil
+}
+
+// ApproximatePageRank runs the ACL push algorithm from the given seed and
+// returns the sparse approximate PPR vector. Isolated seeds yield a vector
+// supported only on the seed.
+func ApproximatePageRank(g *clickgraph.Graph, seed NodeID, cfg PPRConfig) (map[NodeID]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := NodeID(g.NumQueries() + g.NumAds())
+	if seed < 0 || seed >= n {
+		return nil, fmt.Errorf("partition: seed %d outside unified node space [0,%d)", seed, n)
+	}
+	p := make(map[NodeID]float64)
+	r := map[NodeID]float64{seed: 1}
+	queue := []NodeID{seed}
+	inQueue := map[NodeID]bool{seed: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		du := degree(g, u)
+		ru := r[u]
+		if du == 0 {
+			// Isolated node: all residual mass settles here.
+			p[u] += ru
+			r[u] = 0
+			continue
+		}
+		if ru < cfg.Epsilon*float64(du) {
+			continue
+		}
+		// Push: move alpha fraction to p, spread half the rest.
+		p[u] += cfg.Alpha * ru
+		share := (1 - cfg.Alpha) * ru / (2 * float64(du))
+		r[u] = (1 - cfg.Alpha) * ru / 2
+		for _, v := range neighbors(g, u) {
+			r[v] += share
+			if !inQueue[v] && r[v] >= cfg.Epsilon*float64(degree(g, v)) {
+				inQueue[v] = true
+				queue = append(queue, v)
+			}
+		}
+		if r[u] >= cfg.Epsilon*float64(du) && !inQueue[u] {
+			inQueue[u] = true
+			queue = append(queue, u)
+		}
+	}
+	return p, nil
+}
+
+// Conductance returns Φ(S) = cut(S) / min(vol(S), vol(complement)) for the
+// node set S, where vol sums degrees and cut counts edges with exactly one
+// endpoint in S. It returns 1 for empty, full, or zero-volume sets (the
+// convention that makes sweep cuts ignore them).
+func Conductance(g *clickgraph.Graph, s map[NodeID]bool) float64 {
+	totalVol := 0
+	for q := 0; q < g.NumQueries(); q++ {
+		totalVol += g.QueryDegree(q)
+	}
+	for a := 0; a < g.NumAds(); a++ {
+		totalVol += g.AdDegree(a)
+	}
+	vol, cut := 0, 0
+	for u := range s {
+		vol += degree(g, u)
+		for _, v := range neighbors(g, u) {
+			if !s[v] {
+				cut++
+			}
+		}
+	}
+	other := totalVol - vol
+	m := vol
+	if other < m {
+		m = other
+	}
+	if m == 0 {
+		return 1
+	}
+	return float64(cut) / float64(m)
+}
+
+// SweepCut orders the support of the PPR vector by p(u)/deg(u) descending
+// and returns the prefix set with the smallest conductance, along with
+// that conductance. Zero-degree nodes are excluded from the sweep.
+func SweepCut(g *clickgraph.Graph, p map[NodeID]float64) (map[NodeID]bool, float64) {
+	return SweepCutMin(g, p, 1)
+}
+
+// SweepCutMin is SweepCut restricted to prefixes of at least minNodes
+// nodes (clamped to the support size), which keeps extracted subgraphs
+// "big enough" the way the paper's iterative extraction required.
+func SweepCutMin(g *clickgraph.Graph, p map[NodeID]float64, minNodes int) (map[NodeID]bool, float64) {
+	type ranked struct {
+		node NodeID
+		val  float64
+	}
+	order := make([]ranked, 0, len(p))
+	for u, pv := range p {
+		if d := degree(g, u); d > 0 {
+			order = append(order, ranked{node: u, val: pv / float64(d)})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].val != order[j].val {
+			return order[i].val > order[j].val
+		}
+		return order[i].node < order[j].node
+	})
+	if len(order) == 0 {
+		return map[NodeID]bool{}, 1
+	}
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	if minNodes > len(order) {
+		minNodes = len(order)
+	}
+
+	totalVol := 0
+	for q := 0; q < g.NumQueries(); q++ {
+		totalVol += g.QueryDegree(q)
+	}
+	for a := 0; a < g.NumAds(); a++ {
+		totalVol += g.AdDegree(a)
+	}
+
+	// Incremental conductance over the sweep: adding node u adds deg(u) to
+	// vol; each edge to a node already inside converts a cut edge into an
+	// internal one (cut -= 1), each edge to an outside node adds one.
+	in := make(map[NodeID]bool, len(order))
+	vol, cut := 0, 0
+	bestPhi := 1.0
+	bestLen := 0
+	for i, rk := range order {
+		u := rk.node
+		in[u] = true
+		vol += degree(g, u)
+		for _, v := range neighbors(g, u) {
+			if in[v] {
+				cut--
+			} else {
+				cut++
+			}
+		}
+		m := vol
+		if other := totalVol - vol; other < m {
+			m = other
+		}
+		if m <= 0 || i+1 < minNodes {
+			continue
+		}
+		phi := float64(cut) / float64(m)
+		if phi < bestPhi {
+			bestPhi = phi
+			bestLen = i + 1
+		}
+	}
+	if bestLen == 0 {
+		bestLen = minNodes
+	}
+	best := make(map[NodeID]bool, bestLen)
+	for _, rk := range order[:bestLen] {
+		best[rk.node] = true
+	}
+	return best, bestPhi
+}
+
+// Cluster runs ApproximatePageRank from seed and sweeps for the best cut
+// of at least minNodes nodes.
+func Cluster(g *clickgraph.Graph, seed NodeID, cfg PPRConfig, minNodes int) (map[NodeID]bool, float64, error) {
+	p, err := ApproximatePageRank(g, seed, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, phi := SweepCutMin(g, p, minNodes)
+	return s, phi, nil
+}
+
+// Subgraph is one extracted piece with its seed and conductance.
+type Subgraph struct {
+	Graph       *clickgraph.Graph
+	Seed        NodeID
+	Conductance float64
+}
+
+// Extract peels count subgraphs from g the way the paper built its
+// five-subgraph dataset: pick the highest-degree unassigned query as seed,
+// run the ACL cluster around it, remove the cluster's nodes from the pool,
+// repeat. Clusters are induced subgraphs of g; nodes never repeat across
+// subgraphs. minNodes forces each sweep cut to keep at least that many
+// nodes, so the pieces are big enough to evaluate on. If the graph runs
+// out of unassigned queries early, fewer than count subgraphs are
+// returned.
+func Extract(g *clickgraph.Graph, count int, cfg PPRConfig, minNodes int) ([]Subgraph, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("partition: count must be >= 1, got %d", count)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	assigned := make(map[NodeID]bool)
+	var out []Subgraph
+	for len(out) < count {
+		seed, ok := bestSeed(g, assigned)
+		if !ok {
+			break
+		}
+		cluster, phi, err := Cluster(g, seed, cfg, minNodes)
+		if err != nil {
+			return nil, err
+		}
+		// Keep only unassigned members; always include the seed.
+		var queryIDs, adIDs []int
+		cluster[seed] = true
+		for u := range cluster {
+			if assigned[u] {
+				continue
+			}
+			assigned[u] = true
+			side, id := Split(g, u)
+			if side == clickgraph.QuerySide {
+				queryIDs = append(queryIDs, id)
+			} else {
+				adIDs = append(adIDs, id)
+			}
+		}
+		sort.Ints(queryIDs)
+		sort.Ints(adIDs)
+		if len(queryIDs) == 0 {
+			continue
+		}
+		out = append(out, Subgraph{
+			Graph:       g.InducedSubgraph(queryIDs, adIDs),
+			Seed:        seed,
+			Conductance: phi,
+		})
+	}
+	return out, nil
+}
+
+// bestSeed returns the unassigned query with the largest degree,
+// preferring smaller ids on ties; ok is false when no unassigned query
+// with nonzero degree remains.
+func bestSeed(g *clickgraph.Graph, assigned map[NodeID]bool) (NodeID, bool) {
+	best, bestDeg := NodeID(-1), 0
+	for q := 0; q < g.NumQueries(); q++ {
+		u := QueryNode(q)
+		if assigned[u] {
+			continue
+		}
+		if d := g.QueryDegree(q); d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return best, best >= 0
+}

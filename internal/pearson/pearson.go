@@ -1,0 +1,139 @@
+// Package pearson implements the query-rewriting baseline of §9.1 of the
+// Simrank++ paper: the Pearson correlation between two queries' edge
+// weights over their common ads. It can only relate queries that share at
+// least one ad, which is exactly the limitation the paper's coverage
+// experiment (Figure 8) exposes.
+package pearson
+
+import (
+	"math"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/sparse"
+)
+
+// Similarity returns sim_pearson(q1, q2) on g using the given weight
+// channel: the Pearson correlation of the two queries' weights over
+// E(q1) ∩ E(q2), with each query's mean taken over all of its own edges
+// (w̄_q in the paper). It returns 0 when the queries share no ad or when
+// either deviation vector is identically zero (degenerate correlation).
+// Values are in [-1, 1].
+func Similarity(g *clickgraph.Graph, ch core.WeightChannel, q1, q2 int) float64 {
+	common := g.CommonAds(q1, q2)
+	if len(common) == 0 || q1 == q2 {
+		if q1 == q2 && g.QueryDegree(q1) > 0 {
+			return 1
+		}
+		return 0
+	}
+	m1, m2 := meanWeight(g, ch, q1), meanWeight(g, ch, q2)
+	num, d1, d2 := 0.0, 0.0, 0.0
+	for _, a := range common {
+		x := weight(g, ch, q1, a) - m1
+		y := weight(g, ch, q2, a) - m2
+		num += x * y
+		d1 += x * x
+		d2 += y * y
+	}
+	den := math.Sqrt(d1 * d2)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Similarities computes Pearson similarity between every query pair that
+// shares at least one ad, returned as a sparse pair table. Only strictly
+// positive correlations are stored: negative correlation is evidence
+// against a rewrite, and the rewriting pipeline ranks by descending score.
+func Similarities(g *clickgraph.Graph, ch core.WeightChannel) *sparse.PairTable {
+	t := sparse.NewPairTable(0)
+	// Candidate pairs are exactly those sharing an ad; enumerate them by
+	// scattering through ads, deduping via the table itself.
+	seen := sparse.NewPairTable(0)
+	for a := 0; a < g.NumAds(); a++ {
+		qs, _ := g.QueriesOf(a)
+		for x := 0; x < len(qs); x++ {
+			for y := x + 1; y < len(qs); y++ {
+				if _, ok := seen.Get(qs[x], qs[y]); ok {
+					continue
+				}
+				seen.Set(qs[x], qs[y], 1)
+				if v := Similarity(g, ch, qs[x], qs[y]); v > 0 {
+					t.Set(qs[x], qs[y], v)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// TopRewrites returns the k best-correlated rewrite candidates for q,
+// descending; k < 0 returns all.
+func TopRewrites(g *clickgraph.Graph, ch core.WeightChannel, q, k int) []sparse.Scored {
+	var out []sparse.Scored
+	ads, _ := g.AdsOf(q)
+	seen := map[int]bool{}
+	for _, a := range ads {
+		qs, _ := g.QueriesOf(a)
+		for _, p := range qs {
+			if p == q || seen[p] {
+				continue
+			}
+			seen[p] = true
+			if v := Similarity(g, ch, q, p); v > 0 {
+				out = append(out, sparse.Scored{Node: p, Score: v})
+			}
+		}
+	}
+	sparse.SortScoredDesc(out)
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func meanWeight(g *clickgraph.Graph, ch core.WeightChannel, q int) float64 {
+	ads, ws := weightRow(g, ch, q)
+	if len(ads) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, w := range ws {
+		s += w
+	}
+	return s / float64(len(ads))
+}
+
+func weight(g *clickgraph.Graph, ch core.WeightChannel, q, a int) float64 {
+	w, ok := g.EdgeWeightsOf(q, a)
+	if !ok {
+		return 0
+	}
+	switch ch {
+	case core.ChannelClicks:
+		return float64(w.Clicks)
+	case core.ChannelImpressions:
+		return float64(w.Impressions)
+	default:
+		return w.ExpectedClickRate
+	}
+}
+
+func weightRow(g *clickgraph.Graph, ch core.WeightChannel, q int) ([]int, []float64) {
+	switch ch {
+	case core.ChannelClicks:
+		return g.ClicksOfQuery(q)
+	case core.ChannelImpressions:
+		ads, _ := g.AdsOf(q)
+		ws := make([]float64, len(ads))
+		for i, a := range ads {
+			ew, _ := g.EdgeWeightsOf(q, a)
+			ws[i] = float64(ew.Impressions)
+		}
+		return ads, ws
+	default:
+		return g.AdsOf(q)
+	}
+}

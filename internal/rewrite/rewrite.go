@@ -1,0 +1,161 @@
+// Package rewrite implements the query-rewriting front-end of Figure 2 and
+// the evaluation pipeline of §9.3 of the Simrank++ paper: a similarity
+// source proposes up to 100 ranked rewrites per query, duplicates are
+// removed by Porter stemming, rewrites outside the bid-term list are
+// dropped, and at most 5 survive. The number that survive is the method's
+// "depth" for that query.
+package rewrite
+
+import (
+	"fmt"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/pearson"
+	"simrankpp/internal/sparse"
+	"simrankpp/internal/stem"
+)
+
+// Source proposes ranked rewrite candidates for a query.
+type Source interface {
+	// Name identifies the method in reports ("simrank", "pearson", ...).
+	Name() string
+	// Rewrites returns up to limit candidates for query id q, best
+	// first; limit < 0 means all.
+	Rewrites(q int, limit int) ([]sparse.Scored, error)
+}
+
+// ResultSource serves rewrites from a precomputed core.Result.
+type ResultSource struct {
+	Result *core.Result
+	Label  string
+}
+
+// Name implements Source.
+func (s *ResultSource) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return s.Result.Config.Variant.String()
+}
+
+// Rewrites implements Source.
+func (s *ResultSource) Rewrites(q, limit int) ([]sparse.Scored, error) {
+	return s.Result.TopRewrites(q, limit), nil
+}
+
+// PearsonSource serves rewrites from the Pearson-correlation baseline.
+type PearsonSource struct {
+	Graph   *clickgraph.Graph
+	Channel core.WeightChannel
+}
+
+// Name implements Source.
+func (s *PearsonSource) Name() string { return "pearson" }
+
+// Rewrites implements Source.
+func (s *PearsonSource) Rewrites(q, limit int) ([]sparse.Scored, error) {
+	return pearson.TopRewrites(s.Graph, s.Channel, q, limit), nil
+}
+
+// LocalSource serves rewrites by running the neighborhood-restricted
+// SimRank engine per query — the online front-end path.
+type LocalSource struct {
+	Graph  *clickgraph.Graph
+	Config core.Config
+	Local  core.LocalConfig
+	Label  string
+}
+
+// Name implements Source.
+func (s *LocalSource) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "local " + s.Config.Variant.String()
+}
+
+// Rewrites implements Source.
+func (s *LocalSource) Rewrites(q, limit int) ([]sparse.Scored, error) {
+	scored, err := core.LocalSimilarities(s.Graph, q, s.Config, s.Local)
+	if err != nil {
+		return nil, err
+	}
+	if limit >= 0 && len(scored) > limit {
+		scored = scored[:limit]
+	}
+	return scored, nil
+}
+
+// Candidate is one surviving rewrite.
+type Candidate struct {
+	Query int     // query id in the pipeline's graph
+	Text  string  // the rewrite string
+	Score float64 // the source's similarity score
+}
+
+// Pipeline applies the paper's filtering steps to a source's raw ranking.
+type Pipeline struct {
+	// Graph resolves query ids to strings.
+	Graph *clickgraph.Graph
+	// TopN is how many raw candidates to consider per query; the paper
+	// records the top 100.
+	TopN int
+	// MaxRewrites caps the surviving rewrites; the paper keeps at most 5
+	// because of manual-evaluation cost.
+	MaxRewrites int
+	// BidTerms, when non-nil, drops rewrites whose text is not in the
+	// set ("bid term filtering").
+	BidTerms map[string]bool
+}
+
+// NewPipeline returns the paper's settings: top 100 raw, at most 5 kept.
+func NewPipeline(g *clickgraph.Graph, bidTerms map[string]bool) *Pipeline {
+	return &Pipeline{Graph: g, TopN: 100, MaxRewrites: 5, BidTerms: bidTerms}
+}
+
+// Rewrite runs the full pipeline for query id q against src.
+func (p *Pipeline) Rewrite(src Source, q int) ([]Candidate, error) {
+	if q < 0 || q >= p.Graph.NumQueries() {
+		return nil, fmt.Errorf("rewrite: query id %d outside [0,%d)", q, p.Graph.NumQueries())
+	}
+	raw, err := src.Rewrites(q, p.TopN)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: source %s: %w", src.Name(), err)
+	}
+	seen := map[string]bool{stem.Phrase(p.Graph.Query(q)): true}
+	var out []Candidate
+	for _, s := range raw {
+		if s.Score <= 0 {
+			continue
+		}
+		text := p.Graph.Query(s.Node)
+		key := stem.Phrase(text)
+		if seen[key] {
+			continue // duplicate under stemming
+		}
+		if p.BidTerms != nil && !p.BidTerms[text] {
+			continue // no advertiser bids on this rewrite
+		}
+		seen[key] = true
+		out = append(out, Candidate{Query: s.Node, Text: text, Score: s.Score})
+		if p.MaxRewrites > 0 && len(out) >= p.MaxRewrites {
+			break
+		}
+	}
+	return out, nil
+}
+
+// RewriteAll runs the pipeline for every query id in sample and returns
+// the per-query candidate lists, keyed by query id.
+func (p *Pipeline) RewriteAll(src Source, sample []int) (map[int][]Candidate, error) {
+	out := make(map[int][]Candidate, len(sample))
+	for _, q := range sample {
+		c, err := p.Rewrite(src, q)
+		if err != nil {
+			return nil, err
+		}
+		out[q] = c
+	}
+	return out, nil
+}

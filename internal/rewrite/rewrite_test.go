@@ -1,0 +1,222 @@
+package rewrite
+
+import (
+	"errors"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/sparse"
+)
+
+// stubSource returns a fixed ranking.
+type stubSource struct {
+	name string
+	out  []sparse.Scored
+	err  error
+}
+
+func (s *stubSource) Name() string { return s.name }
+func (s *stubSource) Rewrites(q, limit int) ([]sparse.Scored, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	out := s.out
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// pipelineGraph builds a graph whose query strings exercise stemming and
+// bid filtering.
+func pipelineGraph(t *testing.T) *clickgraph.Graph {
+	t.Helper()
+	b := clickgraph.NewBuilder()
+	queries := []string{"camera", "cameras", "digital camera", "battery", "unbid query"}
+	for i, q := range queries {
+		if err := b.AddClick(q, "ad"+string(rune('0'+i)), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestPipelineStemDedup(t *testing.T) {
+	g := pipelineGraph(t)
+	cam, _ := g.QueryID("camera")
+	cams, _ := g.QueryID("cameras")
+	dig, _ := g.QueryID("digital camera")
+	src := &stubSource{name: "stub", out: []sparse.Scored{
+		{Node: cams, Score: 0.9}, // stems to "camera" — duplicate of source query
+		{Node: dig, Score: 0.8},
+	}}
+	p := NewPipeline(g, nil)
+	got, err := p.Rewrite(src, cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Text != "digital camera" {
+		t.Errorf("pipeline output = %+v, want only digital camera", got)
+	}
+}
+
+func TestPipelineBidFilter(t *testing.T) {
+	g := pipelineGraph(t)
+	cam, _ := g.QueryID("camera")
+	bat, _ := g.QueryID("battery")
+	unbid, _ := g.QueryID("unbid query")
+	src := &stubSource{name: "stub", out: []sparse.Scored{
+		{Node: unbid, Score: 0.9},
+		{Node: bat, Score: 0.8},
+	}}
+	p := NewPipeline(g, map[string]bool{"battery": true})
+	got, err := p.Rewrite(src, cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Text != "battery" {
+		t.Errorf("bid filter output = %+v, want only battery", got)
+	}
+}
+
+func TestPipelineDropsNonPositive(t *testing.T) {
+	g := pipelineGraph(t)
+	cam, _ := g.QueryID("camera")
+	bat, _ := g.QueryID("battery")
+	src := &stubSource{name: "stub", out: []sparse.Scored{
+		{Node: bat, Score: 0},
+	}}
+	p := NewPipeline(g, nil)
+	got, err := p.Rewrite(src, cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("zero-score rewrite survived: %+v", got)
+	}
+}
+
+func TestPipelineMaxRewrites(t *testing.T) {
+	b := clickgraph.NewBuilder()
+	for i := 0; i < 10; i++ {
+		if err := b.AddClick("query-"+string(rune('a'+i)), "ad", 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	var scored []sparse.Scored
+	for i := 1; i < 10; i++ {
+		scored = append(scored, sparse.Scored{Node: i, Score: 1 / float64(i)})
+	}
+	p := NewPipeline(g, nil)
+	got, err := p.Rewrite(&stubSource{name: "stub", out: scored}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("depth = %d want 5", len(got))
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	g := pipelineGraph(t)
+	p := NewPipeline(g, nil)
+	if _, err := p.Rewrite(&stubSource{name: "s"}, -1); err == nil {
+		t.Error("accepted negative query id")
+	}
+	wantErr := errors.New("boom")
+	if _, err := p.Rewrite(&stubSource{name: "s", err: wantErr}, 0); err == nil || !errors.Is(err, wantErr) {
+		t.Errorf("source error not propagated: %v", err)
+	}
+}
+
+func TestSourcesEndToEnd(t *testing.T) {
+	g := clickgraph.Fig3()
+	cfg := core.DefaultConfig()
+	res, err := core.Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, _ := g.QueryID("pc")
+
+	sources := []Source{
+		&ResultSource{Result: res},
+		&PearsonSource{Graph: g, Channel: core.ChannelClicks},
+		&LocalSource{Graph: g, Config: cfg, Local: core.DefaultLocalConfig()},
+	}
+	for _, src := range sources {
+		if src.Name() == "" {
+			t.Errorf("%T has empty name", src)
+		}
+		out, err := src.Rewrites(pc, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name(), err)
+		}
+		if len(out) > 3 {
+			t.Errorf("%s ignored limit: %d results", src.Name(), len(out))
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1].Score < out[i].Score {
+				t.Errorf("%s results not sorted", src.Name())
+			}
+		}
+	}
+
+	// The SimRank source must surface the indirect pc-tv rewrite that
+	// Pearson cannot see.
+	simOut, err := sources[0].Rewrites(pc, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, _ := g.QueryID("tv")
+	foundTV := false
+	for _, s := range simOut {
+		if s.Node == tv {
+			foundTV = true
+		}
+	}
+	if !foundTV {
+		t.Error("SimRank source missed the indirect pc-tv rewrite")
+	}
+	pearOut, err := sources[1].Rewrites(pc, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pearOut {
+		if s.Node == tv {
+			t.Error("Pearson source claims pc-tv similarity without common ads")
+		}
+	}
+}
+
+func TestResultSourceLabel(t *testing.T) {
+	g := clickgraph.Fig3()
+	res, err := core.Run(g, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := (&ResultSource{Result: res}).Name(); name != "simrank" {
+		t.Errorf("default name = %q", name)
+	}
+	if name := (&ResultSource{Result: res, Label: "custom"}).Name(); name != "custom" {
+		t.Errorf("label override = %q", name)
+	}
+}
+
+func TestRewriteAll(t *testing.T) {
+	g := clickgraph.Fig3()
+	res, err := core.Run(g, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(g, nil)
+	sample := []int{0, 1, 2}
+	all, err := p.RewriteAll(&ResultSource{Result: res}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(sample) {
+		t.Errorf("RewriteAll covered %d queries want %d", len(all), len(sample))
+	}
+}

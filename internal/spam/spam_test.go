@@ -1,0 +1,163 @@
+package spam
+
+import (
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/sparse"
+	"simrankpp/internal/sponsored"
+	"simrankpp/internal/workload"
+)
+
+func cleanGraph(t *testing.T) *clickgraph.Graph {
+	t.Helper()
+	ucfg := workload.DefaultUniverseConfig()
+	ucfg.Categories = 4
+	ucfg.SubtopicsPerCategory = 3
+	ucfg.IntentsPerSubtopic = 3
+	u, err := workload.BuildUniverse(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := sponsored.DefaultConfig()
+	scfg.Sessions = 60000
+	res, err := sponsored.Simulate(u, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestCampaignValidation(t *testing.T) {
+	g := clickgraph.Fig3()
+	cases := []func(*Campaign){
+		func(c *Campaign) { c.PromotedAds = 0 },
+		func(c *Campaign) { c.HijackedQueries = 0 },
+		func(c *Campaign) { c.ClicksPerEdge = 0 },
+		func(c *Campaign) { c.FraudCTR = 0 },
+		func(c *Campaign) { c.FraudCTR = 1.5 },
+	}
+	for i, mut := range cases {
+		c := DefaultCampaign()
+		mut(&c)
+		if _, err := Inject(g, c); err == nil {
+			t.Errorf("case %d: invalid campaign accepted", i)
+		}
+	}
+	if _, err := Inject(clickgraph.NewBuilder().Build(), DefaultCampaign()); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestInjectAddsFraud(t *testing.T) {
+	g := cleanGraph(t)
+	c := DefaultCampaign()
+	inj, err := Inject(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Edges) != c.PromotedAds*c.HijackedQueries {
+		t.Fatalf("injected %d edges want %d", len(inj.Edges), c.PromotedAds*c.HijackedQueries)
+	}
+	// Node ids preserved: names must align.
+	if inj.Graph.NumQueries() != g.NumQueries() || inj.Graph.NumAds() != g.NumAds() {
+		t.Fatal("injection changed node population")
+	}
+	for q := 0; q < g.NumQueries(); q++ {
+		if inj.Graph.Query(q) != g.Query(q) {
+			t.Fatal("query id mapping changed")
+		}
+	}
+	// Fraud edges carry the campaign's volume.
+	for _, e := range inj.Edges {
+		w, ok := inj.Graph.EdgeWeightsOf(e[0], e[1])
+		if !ok {
+			t.Fatalf("injected edge %v missing", e)
+		}
+		if w.Clicks < c.ClicksPerEdge {
+			t.Errorf("edge %v has %d clicks, want >= %d", e, w.Clicks, c.ClicksPerEdge)
+		}
+	}
+	// Determinism.
+	inj2, err := Inject(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj2.Edges) != len(inj.Edges) || inj2.Edges[0] != inj.Edges[0] {
+		t.Error("injection not deterministic")
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []sparse.Scored{{Node: 1}, {Node: 2}, {Node: 3}}
+	b := []sparse.Scored{{Node: 3}, {Node: 2}, {Node: 9}}
+	if got := TopKOverlap(a, b, 3); got != 2.0/3.0 {
+		t.Errorf("overlap = %v want 2/3", got)
+	}
+	if got := TopKOverlap(a, a, 3); got != 1 {
+		t.Errorf("self overlap = %v want 1", got)
+	}
+	if got := TopKOverlap(a, nil, 3); got != 0 {
+		t.Errorf("empty overlap = %v want 0", got)
+	}
+	if got := TopKOverlap(a, b, 0); got != 0 {
+		t.Errorf("k=0 overlap = %v want 0", got)
+	}
+}
+
+// The robustness finding this package documents (see the package doc):
+// the e^{-variance} spread factor makes count-channel weighted SimRank
+// spam-robust, while disabling it (or walking on estimated rates, which
+// a click farm fools) leaves rewrites fragile.
+func TestSpreadFactorIsSpamDamper(t *testing.T) {
+	g := cleanGraph(t)
+	c := DefaultCampaign()
+	c.ClicksPerEdge = 2000 // a heavy farm, to separate the channels
+	inj, err := Inject(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSpread := core.DefaultConfig().WithVariant(core.Weighted)
+	noSpread.Channel = core.ChannelClicks
+	noSpread.DisableSpread = true
+	probes := append(DefaultProbes(), Probe{Label: "weighted/clicks/no-spread", Config: noSpread})
+	rep, err := Measure(g, inj, probes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probed == 0 {
+		t.Skip("no hijacked query had clean rewrites")
+	}
+	withSpread := rep.MeanOverlap["weighted/clicks"]
+	without := rep.MeanOverlap["weighted/clicks/no-spread"]
+	rate := rep.MeanOverlap["weighted/rate"]
+	if !(withSpread > without) {
+		t.Errorf("spread factor should stabilize count-channel rewrites: with %v, without %v",
+			withSpread, without)
+	}
+	if !(withSpread > rate) {
+		t.Errorf("count channel with spread (%v) should beat the fooled rate channel (%v)",
+			withSpread, rate)
+	}
+	for label, v := range rep.MeanOverlap {
+		if v < 0 || v > 1 {
+			t.Errorf("%s overlap %v outside [0,1]", label, v)
+		}
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	g := cleanGraph(t)
+	inj, err := Inject(g, DefaultCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(g, inj, DefaultProbes(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := []Probe{{Label: "bad", Config: core.Config{}}}
+	if _, err := Measure(g, inj, bad, 5); err == nil {
+		t.Error("invalid probe config accepted")
+	}
+}

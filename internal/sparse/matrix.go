@@ -1,0 +1,224 @@
+// Package sparse implements the hand-rolled sparse linear algebra this
+// repository is built on: coordinate (COO) and compressed-sparse-row (CSR)
+// matrices, sparse vectors, and a packed pair-score table used by the
+// large-graph SimRank engines. Everything is stdlib-only and allocation
+// conscious: CSR rows are contiguous slices, and the pair table keys
+// (i, j) node pairs into a single uint64.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one nonzero of a COO matrix.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is a coordinate-format sparse matrix builder. It is the mutable
+// staging structure: append entries in any order, then compile to CSR for
+// fast row traversal. Duplicate (row, col) entries are summed at compile
+// time, matching the usual COO→CSR semantics.
+type COO struct {
+	rows, cols int
+	entries    []Entry
+}
+
+// NewCOO returns an empty rows×cols COO matrix. It panics if either
+// dimension is negative (a programming error, not an input error).
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+	}
+	return &COO{rows: rows, cols: cols}
+}
+
+// Dims returns the matrix dimensions.
+func (m *COO) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries (before duplicate merging).
+func (m *COO) NNZ() int { return len(m.entries) }
+
+// Append adds value v at (r, c). It returns an error if the coordinates are
+// out of range. Zero values are stored too; callers that want them dropped
+// should skip them (CSR compilation keeps explicit zeros so that graph
+// edges with zero weight remain structurally present).
+func (m *COO) Append(r, c int, v float64) error {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return fmt.Errorf("sparse: entry (%d,%d) outside %dx%d matrix", r, c, m.rows, m.cols)
+	}
+	m.entries = append(m.entries, Entry{Row: r, Col: c, Val: v})
+	return nil
+}
+
+// CSR is a compressed-sparse-row matrix: RowPtr has rows+1 offsets into
+// ColIdx/Val. Immutable after construction.
+type CSR struct {
+	rows, cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// Compile converts the COO matrix to CSR, summing duplicate coordinates and
+// sorting each row's columns ascending.
+func (m *COO) Compile() *CSR {
+	counts := make([]int, m.rows+1)
+	for _, e := range m.entries {
+		counts[e.Row+1]++
+	}
+	for i := 0; i < m.rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int, len(m.entries))
+	val := make([]float64, len(m.entries))
+	next := make([]int, m.rows)
+	copy(next, counts[:m.rows])
+	for _, e := range m.entries {
+		p := next[e.Row]
+		colIdx[p] = e.Col
+		val[p] = e.Val
+		next[e.Row]++
+	}
+	c := &CSR{rows: m.rows, cols: m.cols, RowPtr: counts, ColIdx: colIdx, Val: val}
+	c.normalizeRows()
+	return c
+}
+
+// normalizeRows sorts columns within each row and merges duplicates in
+// place, shrinking the arrays if merging removed entries.
+func (c *CSR) normalizeRows() {
+	outPtr := make([]int, len(c.RowPtr))
+	w := 0
+	for r := 0; r < c.rows; r++ {
+		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+		row := rowView{cols: c.ColIdx[lo:hi], vals: c.Val[lo:hi]}
+		sort.Sort(row)
+		outPtr[r] = w
+		for i := lo; i < hi; i++ {
+			if w > outPtr[r] && c.ColIdx[w-1] == c.ColIdx[i] {
+				c.Val[w-1] += c.Val[i]
+				continue
+			}
+			c.ColIdx[w] = c.ColIdx[i]
+			c.Val[w] = c.Val[i]
+			w++
+		}
+	}
+	outPtr[c.rows] = w
+	c.RowPtr = outPtr
+	c.ColIdx = c.ColIdx[:w]
+	c.Val = c.Val[:w]
+}
+
+type rowView struct {
+	cols []int
+	vals []float64
+}
+
+func (r rowView) Len() int           { return len(r.cols) }
+func (r rowView) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r rowView) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// Dims returns the matrix dimensions.
+func (c *CSR) Dims() (rows, cols int) { return c.rows, c.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (c *CSR) NNZ() int { return len(c.ColIdx) }
+
+// Row returns the column indices and values of row r as shared slices.
+// Callers must not mutate them.
+func (c *CSR) Row(r int) (cols []int, vals []float64) {
+	lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+	return c.ColIdx[lo:hi], c.Val[lo:hi]
+}
+
+// RowNNZ returns the number of nonzeros in row r.
+func (c *CSR) RowNNZ(r int) int { return c.RowPtr[r+1] - c.RowPtr[r] }
+
+// At returns the value at (r, c2), 0 if not stored. O(log row-nnz).
+func (c *CSR) At(r, c2 int) float64 {
+	lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+	cols := c.ColIdx[lo:hi]
+	i := sort.SearchInts(cols, c2)
+	if i < len(cols) && cols[i] == c2 {
+		return c.Val[lo+i]
+	}
+	return 0
+}
+
+// Transpose returns the CSC-equivalent: a CSR matrix of the transpose.
+func (c *CSR) Transpose() *CSR {
+	counts := make([]int, c.cols+1)
+	for _, col := range c.ColIdx {
+		counts[col+1]++
+	}
+	for i := 0; i < c.cols; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int, len(c.ColIdx))
+	val := make([]float64, len(c.Val))
+	next := make([]int, c.cols)
+	copy(next, counts[:c.cols])
+	for r := 0; r < c.rows; r++ {
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			col := c.ColIdx[p]
+			q := next[col]
+			colIdx[q] = r
+			val[q] = c.Val[p]
+			next[col]++
+		}
+	}
+	// Rows of the transpose are already sorted because we scanned source
+	// rows in ascending order.
+	return &CSR{rows: c.cols, cols: c.rows, RowPtr: counts, ColIdx: colIdx, Val: val}
+}
+
+// MulVec computes y = c * x. It returns an error on dimension mismatch.
+func (c *CSR) MulVec(x []float64) ([]float64, error) {
+	if len(x) != c.cols {
+		return nil, fmt.Errorf("sparse: MulVec dimension mismatch: matrix %dx%d, vector %d", c.rows, c.cols, len(x))
+	}
+	y := make([]float64, c.rows)
+	for r := 0; r < c.rows; r++ {
+		sum := 0.0
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			sum += c.Val[p] * x[c.ColIdx[p]]
+		}
+		y[r] = sum
+	}
+	return y, nil
+}
+
+// RowSums returns the sum of each row's values.
+func (c *CSR) RowSums() []float64 {
+	out := make([]float64, c.rows)
+	for r := 0; r < c.rows; r++ {
+		s := 0.0
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			s += c.Val[p]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Scale returns a copy of c with every value multiplied by f.
+func (c *CSR) Scale(f float64) *CSR {
+	out := &CSR{
+		rows:   c.rows,
+		cols:   c.cols,
+		RowPtr: append([]int(nil), c.RowPtr...),
+		ColIdx: append([]int(nil), c.ColIdx...),
+		Val:    make([]float64, len(c.Val)),
+	}
+	for i, v := range c.Val {
+		out.Val[i] = v * f
+	}
+	return out
+}

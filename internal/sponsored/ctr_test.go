@@ -1,0 +1,107 @@
+package sponsored
+
+import (
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/workload"
+)
+
+// The expected click rate must be position-adjusted (§2): an ad's rate
+// estimate should track its latent click propensity, not how often it
+// happened to sit at position 1. We verify the estimator denominator
+// uses examination-weighted impressions: with a steep position decay,
+// raw clicks/impressions at deep positions understate propensity while
+// the adjusted rate does not, so adjusted rate >= raw CTR on average.
+func TestExpectedClickRatePositionAdjusted(t *testing.T) {
+	cfg := workload.DefaultUniverseConfig()
+	cfg.Categories = 3
+	cfg.SubtopicsPerCategory = 3
+	cfg.IntentsPerSubtopic = 3
+	u, err := workload.BuildUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := DefaultConfig()
+	scfg.Sessions = 40000
+	scfg.PositionDecay = 1.5 // steep bias
+	res, err := Simulate(u, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adjustment divides clicks by examination-weighted impressions,
+	// so edges served at deep positions (low examination) get boosted
+	// relative to their raw clicks/impressions, while edges served at
+	// the top slot do not. Compare the mean adjusted/raw ratio between
+	// the two groups, using the graph's own impressions and the latent
+	// intent relation to locate deep-position edges: exploratory
+	// sibling-intent ads are the ones padded at the bottom of the slate.
+	var topSum, topN, deepSum, deepN float64
+	res.Graph.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
+		if w.Impressions < 30 || w.Clicks < 3 {
+			return true
+		}
+		raw := float64(w.Clicks) / float64(w.Impressions)
+		if raw == 0 {
+			return true
+		}
+		r := w.ExpectedClickRate / raw
+		qu, ok := u.QueryByText(res.Graph.Query(q))
+		if !ok {
+			t.Fatalf("query %q missing from universe", res.Graph.Query(q))
+		}
+		adID := -1
+		for _, ad := range u.Ads {
+			if ad.Name == res.Graph.Ad(a) {
+				adID = ad.ID
+				break
+			}
+		}
+		if adID < 0 {
+			t.Fatalf("ad %q missing from universe", res.Graph.Ad(a))
+		}
+		if u.QueryAdRelation(qu.ID, adID) == workload.SameIntent {
+			// Same-intent ads win the auction and sit near the top.
+			topSum += r
+			topN++
+		} else {
+			// Related-intent ads are padded at deeper positions.
+			deepSum += r
+			deepN++
+		}
+		return true
+	})
+	if topN == 0 || deepN == 0 {
+		t.Skip("not enough well-observed edges in both position groups")
+	}
+	topMean, deepMean := topSum/topN, deepSum/deepN
+	if !(deepMean > topMean) {
+		t.Errorf("position adjustment should boost deep-position edges: deep ratio %.3f, top ratio %.3f",
+			deepMean, topMean)
+	}
+}
+
+// The examination curve must be decreasing in position.
+func TestExaminationCurve(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Positions = 6
+	exam := examinationCurve(cfg)
+	if len(exam) != 6 {
+		t.Fatalf("curve length %d", len(exam))
+	}
+	if exam[0] != 1 {
+		t.Errorf("position 1 examination = %v want 1", exam[0])
+	}
+	for i := 1; i < len(exam); i++ {
+		if exam[i] >= exam[i-1] {
+			t.Errorf("examination not decreasing at position %d: %v >= %v", i+1, exam[i], exam[i-1])
+		}
+	}
+	// Zero decay disables the bias entirely.
+	cfg.PositionDecay = 0
+	for _, e := range examinationCurve(cfg) {
+		if e != 1 {
+			t.Errorf("zero decay should examine every slot: %v", e)
+		}
+	}
+}

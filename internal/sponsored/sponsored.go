@@ -1,0 +1,364 @@
+// Package sponsored simulates the sponsored-search system of Figures 1-2
+// of the Simrank++ paper end to end: a bid database, the back-end ad
+// auction with ranking scores, a position-biased user click model, and the
+// expected-click-rate estimation that produces the third edge weight of
+// the historical click graph.
+//
+// This simulator is the substitution for the proprietary two-week Yahoo!
+// click log: the output is a clickgraph.Graph with the same statistical
+// shape (power-law degrees, CTR-derived weights, a dominant connected
+// component) plus the bid-term list the evaluation pipeline filters
+// against.
+package sponsored
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/workload"
+)
+
+// Bid is one advertiser offer: show ad for query, pay price on click.
+type Bid struct {
+	Query int // universe query id
+	Ad    int // universe ad id
+	Price float64
+}
+
+// RelevanceTable maps the latent relation between a query's intent and an
+// ad's intent to the probability that an examining user clicks.
+type RelevanceTable struct {
+	SameIntent, SameSubtopic, SameCategory, Unrelated float64
+}
+
+// Of returns the click probability for relation r.
+func (t RelevanceTable) Of(r workload.Relation) float64 {
+	switch r {
+	case workload.SameIntent:
+		return t.SameIntent
+	case workload.SameSubtopic:
+		return t.SameSubtopic
+	case workload.SameCategory:
+		return t.SameCategory
+	default:
+		return t.Unrelated
+	}
+}
+
+// Config parameterizes the simulation.
+type Config struct {
+	// Sessions is the number of simulated query impressions (searches
+	// with at least one candidate ad).
+	Sessions int
+	// Positions is the number of ad slots per results page.
+	Positions int
+	// BidRate is the probability that an ad places a bid on each query
+	// phrasing of its own intent. Lower rates starve direct bids, which
+	// is the regime where rewriting matters.
+	BidRate float64
+	// SiblingBidRate is the probability that an ad also bids on a query
+	// of a sibling intent (broad-match advertisers). These bids create
+	// the cross-intent edges that make indirect similarity discoverable.
+	SiblingBidRate float64
+	// CategoryBidRate is the probability that an ad also bids on a query
+	// of a same-category, different-subtopic intent (very broad match).
+	// These bids seed the grade-3 rewrite candidates and help fuse the
+	// category islands into the single giant component the paper's log
+	// exhibits.
+	CategoryBidRate float64
+	// ExploreRate is the probability that the back-end pads the slate
+	// with an ad from a related intent even without a bid — the paper
+	// notes queries with no bids still have click-graph edges "because of
+	// query rewriting that took place when the query was originally
+	// submitted". The padded ad comes from a sibling intent most of the
+	// time, from elsewhere in the category sometimes, and rarely from a
+	// random intent (mirroring historical rewriting quality).
+	ExploreRate float64
+	// PositionDecay is the exponent of the examination model: the user
+	// examines position p with probability p^-PositionDecay.
+	PositionDecay float64
+	// Relevance is the latent click-probability table.
+	Relevance RelevanceTable
+	// CTRPrior and CTRPriorRate smooth the expected-click-rate estimate:
+	// rate = (clicks + CTRPrior·CTRPriorRate) / (examinations + CTRPrior).
+	CTRPrior, CTRPriorRate float64
+	// Seed drives the traffic and click randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a simulation sized for the experiment harness.
+func DefaultConfig() Config {
+	return Config{
+		Sessions:        600000,
+		Positions:       4,
+		BidRate:         0.55,
+		SiblingBidRate:  0.05,
+		CategoryBidRate: 0.008,
+		ExploreRate:     0.30,
+		PositionDecay:   0.9,
+		Relevance: RelevanceTable{
+			SameIntent:   0.30,
+			SameSubtopic: 0.11,
+			SameCategory: 0.05,
+			Unrelated:    0.008,
+		},
+		CTRPrior:     2,
+		CTRPriorRate: 0.05,
+		Seed:         7,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Sessions < 1 {
+		return fmt.Errorf("sponsored: Sessions must be >= 1, got %d", c.Sessions)
+	}
+	if c.Positions < 1 {
+		return fmt.Errorf("sponsored: Positions must be >= 1, got %d", c.Positions)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"BidRate", c.BidRate}, {"SiblingBidRate", c.SiblingBidRate},
+		{"CategoryBidRate", c.CategoryBidRate},
+		{"ExploreRate", c.ExploreRate},
+		{"Relevance.SameIntent", c.Relevance.SameIntent},
+		{"Relevance.SameSubtopic", c.Relevance.SameSubtopic},
+		{"Relevance.SameCategory", c.Relevance.SameCategory},
+		{"Relevance.Unrelated", c.Relevance.Unrelated},
+		{"CTRPriorRate", c.CTRPriorRate},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("sponsored: %s must be in [0,1], got %v", p.name, p.v)
+		}
+	}
+	if c.PositionDecay < 0 {
+		return fmt.Errorf("sponsored: PositionDecay must be >= 0, got %v", c.PositionDecay)
+	}
+	if c.CTRPrior < 0 {
+		return fmt.Errorf("sponsored: CTRPrior must be >= 0, got %v", c.CTRPrior)
+	}
+	return nil
+}
+
+// Result is the simulation output.
+type Result struct {
+	// Graph is the historical click graph: only (query, ad) pairs with at
+	// least one click become edges, per §2.
+	Graph *clickgraph.Graph
+	// BidTerms is the set of query strings that saw at least one bid
+	// during the window; the evaluation pipeline's bid-term filter keeps
+	// only rewrites in this set (§9.3).
+	BidTerms map[string]bool
+	// Universe is the ground truth the log was generated from.
+	Universe *workload.Universe
+	// Bids is the full bid database (Figure 1's "bids" store).
+	Bids []Bid
+	// Sessions is the number of simulated sessions that displayed at
+	// least one ad.
+	Sessions int
+}
+
+// edgeStats accumulates per-(query, ad) observations during simulation.
+type edgeStats struct {
+	impressions int64
+	clicks      int64
+	examSum     float64 // Σ examination probability over impressions
+}
+
+// Simulate runs the full pipeline: build bids, serve sessions, estimate
+// click rates, emit the click graph.
+func Simulate(u *workload.Universe, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := workload.NewRNG(cfg.Seed)
+	bids, bidsByQuery := buildBids(u, cfg, r.Fork())
+	bidTerms := make(map[string]bool)
+	for _, b := range bids {
+		bidTerms[u.Queries[b.Query].Text] = true
+	}
+
+	stats := make(map[[2]int]*edgeStats)
+	exam := examinationCurve(cfg)
+	click := r.Fork()
+	traffic := r.Fork()
+	served := 0
+	for s := 0; s < cfg.Sessions; s++ {
+		q := u.SampleQuery(traffic)
+		slate := buildSlate(u, cfg, bidsByQuery, q, click)
+		if len(slate) == 0 {
+			continue
+		}
+		served++
+		for pos, ad := range slate {
+			key := [2]int{q, ad}
+			st := stats[key]
+			if st == nil {
+				st = &edgeStats{}
+				stats[key] = st
+			}
+			st.impressions++
+			e := exam[pos]
+			st.examSum += e
+			rel := cfg.Relevance.Of(u.QueryAdRelation(q, ad))
+			p := e * rel * u.Ads[ad].Quality
+			if click.Float64() < p {
+				st.clicks++
+			}
+		}
+	}
+
+	// Emit edges with >= 1 click; expected click rate is the
+	// position-adjusted estimate clicks / examinations with smoothing.
+	b := clickgraph.NewBuilder()
+	keys := make([][2]int, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		st := stats[k]
+		if st.clicks == 0 {
+			continue
+		}
+		rate := (float64(st.clicks) + cfg.CTRPrior*cfg.CTRPriorRate) / (st.examSum + cfg.CTRPrior)
+		if rate > 1 {
+			rate = 1
+		}
+		if err := b.AddEdge(u.Queries[k[0]].Text, u.Ads[k[1]].Name, clickgraph.EdgeWeights{
+			Impressions:       st.impressions,
+			Clicks:            st.clicks,
+			ExpectedClickRate: rate,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Graph:    b.Build(),
+		BidTerms: bidTerms,
+		Universe: u,
+		Bids:     bids,
+		Sessions: served,
+	}, nil
+}
+
+// buildBids constructs the bid database: each ad bids on its own intent's
+// query phrasings with BidRate and on sibling-intent phrasings with
+// SiblingBidRate. Prices are bounded-Pareto distributed.
+func buildBids(u *workload.Universe, cfg Config, r *workload.RNG) ([]Bid, map[int][]Bid) {
+	price, err := workload.NewPareto(0.05, 5.0, 1.2)
+	if err != nil {
+		// Static parameters; cannot fail.
+		panic(err)
+	}
+	var bids []Bid
+	byQuery := make(map[int][]Bid)
+	add := func(q, ad int) {
+		b := Bid{Query: q, Ad: ad, Price: price.Sample(r)}
+		bids = append(bids, b)
+		byQuery[q] = append(byQuery[q], b)
+	}
+	for _, ad := range u.Ads {
+		for _, q := range u.IntentQueries(ad.Intent) {
+			if r.Float64() < cfg.BidRate {
+				add(q, ad.ID)
+			}
+		}
+		if cfg.SiblingBidRate > 0 {
+			for _, sib := range u.SiblingIntents(ad.Intent) {
+				for _, q := range u.IntentQueries(sib) {
+					if r.Float64() < cfg.SiblingBidRate {
+						add(q, ad.ID)
+					}
+				}
+			}
+		}
+		if cfg.CategoryBidRate > 0 {
+			for _, rel := range u.CategoryIntents(ad.Intent) {
+				for _, q := range u.IntentQueries(rel) {
+					if r.Float64() < cfg.CategoryBidRate {
+						add(q, ad.ID)
+					}
+				}
+			}
+		}
+	}
+	return bids, byQuery
+}
+
+// buildSlate runs the back-end auction for query q: candidates are the
+// bidding ads ranked by price × quality (the paper's "ranking score which
+// is a function of the semantic relevance ... and the advertiser's bid"),
+// optionally padded with an exploratory sibling-intent ad.
+func buildSlate(u *workload.Universe, cfg Config, bidsByQuery map[int][]Bid, q int, r *workload.RNG) []int {
+	type cand struct {
+		ad    int
+		score float64
+	}
+	var cands []cand
+	seen := make(map[int]bool)
+	for _, b := range bidsByQuery[q] {
+		if seen[b.Ad] {
+			continue
+		}
+		seen[b.Ad] = true
+		cands = append(cands, cand{ad: b.Ad, score: b.Price * u.Ads[b.Ad].Quality})
+	}
+	if r.Float64() < cfg.ExploreRate {
+		// Pad with one ad from a related intent (historical front-end
+		// rewriting): usually a sibling, sometimes elsewhere in the
+		// category, rarely anywhere.
+		intent := u.Queries[q].Intent
+		var pool []int
+		switch roll := r.Float64(); {
+		case roll < 0.70:
+			pool = u.SiblingIntents(intent)
+		case roll < 0.95:
+			pool = u.CategoryIntents(intent)
+		default:
+			pool = []int{r.Intn(len(u.Intents))}
+		}
+		if len(pool) > 0 {
+			ads := u.IntentAds(pool[r.Intn(len(pool))])
+			if len(ads) > 0 {
+				ad := ads[r.Intn(len(ads))]
+				if !seen[ad] {
+					cands = append(cands, cand{ad: ad, score: 0.01 * u.Ads[ad].Quality})
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].ad < cands[j].ad
+	})
+	n := len(cands)
+	if n > cfg.Positions {
+		n = cfg.Positions
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].ad
+	}
+	return out
+}
+
+// examinationCurve returns the probability the user examines each slot.
+func examinationCurve(cfg Config) []float64 {
+	out := make([]float64, cfg.Positions)
+	for p := range out {
+		out[p] = math.Pow(float64(p+1), -cfg.PositionDecay)
+	}
+	return out
+}

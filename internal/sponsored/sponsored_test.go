@@ -1,0 +1,213 @@
+package sponsored
+
+import (
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/workload"
+)
+
+func smallUniverse(t *testing.T) *workload.Universe {
+	t.Helper()
+	cfg := workload.DefaultUniverseConfig()
+	cfg.Categories = 4
+	cfg.SubtopicsPerCategory = 3
+	cfg.IntentsPerSubtopic = 3
+	u, err := workload.BuildUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sessions = 30000
+	return cfg
+}
+
+func TestSimulateBasics(t *testing.T) {
+	u := smallUniverse(t)
+	res, err := Simulate(u, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.NumEdges() == 0 {
+		t.Fatal("simulation produced no click edges")
+	}
+	if len(res.BidTerms) == 0 {
+		t.Fatal("no bid terms recorded")
+	}
+	if res.Sessions == 0 {
+		t.Fatal("no sessions served")
+	}
+	// Every edge must satisfy the physical constraints of §2.
+	g.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
+		if w.Clicks < 1 {
+			t.Errorf("edge (%s,%s) has %d clicks; click graph edges need >= 1",
+				g.Query(q), g.Ad(a), w.Clicks)
+		}
+		if w.Clicks > w.Impressions {
+			t.Errorf("edge (%s,%s): clicks %d > impressions %d",
+				g.Query(q), g.Ad(a), w.Clicks, w.Impressions)
+		}
+		if w.ExpectedClickRate <= 0 || w.ExpectedClickRate > 1 {
+			t.Errorf("edge (%s,%s): rate %v outside (0,1]",
+				g.Query(q), g.Ad(a), w.ExpectedClickRate)
+		}
+		return true
+	})
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	u := smallUniverse(t)
+	a, err := Simulate(u, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(u, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() ||
+		a.Graph.NumQueries() != b.Graph.NumQueries() {
+		t.Fatal("same seed produced different graphs")
+	}
+	cfg := smallConfig()
+	cfg.Seed++
+	c, err := Simulate(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumEdges() == a.Graph.NumEdges() && c.Graph.NumQueries() == a.Graph.NumQueries() &&
+		c.Sessions == a.Sessions {
+		t.Log("different seed produced same summary stats (possible but unlikely)")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	u := smallUniverse(t)
+	cases := []func(*Config){
+		func(c *Config) { c.Sessions = 0 },
+		func(c *Config) { c.Positions = 0 },
+		func(c *Config) { c.BidRate = 1.5 },
+		func(c *Config) { c.SiblingBidRate = -0.1 },
+		func(c *Config) { c.CategoryBidRate = 2 },
+		func(c *Config) { c.ExploreRate = -1 },
+		func(c *Config) { c.PositionDecay = -1 },
+		func(c *Config) { c.Relevance.SameIntent = 1.2 },
+		func(c *Config) { c.CTRPrior = -1 },
+		func(c *Config) { c.CTRPriorRate = 7 },
+	}
+	for i, mut := range cases {
+		cfg := smallConfig()
+		mut(&cfg)
+		if _, err := Simulate(u, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// The click model must click same-intent ads far more often than
+// unrelated ones — otherwise the editorial experiments are meaningless.
+func TestClickRelevanceOrdering(t *testing.T) {
+	u := smallUniverse(t)
+	res, err := Simulate(u, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	var clicksByRelation [4]int64
+	g.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
+		qu, ok1 := u.QueryByText(g.Query(q))
+		if !ok1 {
+			t.Fatalf("query %q not in universe", g.Query(q))
+		}
+		adID := -1
+		for _, ad := range u.Ads {
+			if ad.Name == g.Ad(a) {
+				adID = ad.ID
+				break
+			}
+		}
+		if adID < 0 {
+			t.Fatalf("ad %q not in universe", g.Ad(a))
+		}
+		rel := u.QueryAdRelation(qu.ID, adID)
+		clicksByRelation[int(rel)] += w.Clicks
+		return true
+	})
+	if clicksByRelation[0] == 0 {
+		t.Fatal("no same-intent clicks at all")
+	}
+	if clicksByRelation[0] <= clicksByRelation[3] {
+		t.Errorf("same-intent clicks (%d) should dominate unrelated clicks (%d)",
+			clicksByRelation[0], clicksByRelation[3])
+	}
+}
+
+// The paper reports power-law degree distributions; the generated graph
+// must be heavy-tailed: many low-degree queries, a few much larger.
+func TestDegreeHeavyTail(t *testing.T) {
+	u := smallUniverse(t)
+	res, err := Simulate(u, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := clickgraph.QueryDegreeHistogram(res.Graph)
+	low := h[1] + h[2]
+	total := 0
+	maxDeg := 0
+	for d, c := range h {
+		total += c
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if total == 0 {
+		t.Fatal("no queries with edges")
+	}
+	if float64(low)/float64(total) < 0.3 {
+		t.Errorf("expected a heavy low-degree tail; degree<=2 fraction = %v", float64(low)/float64(total))
+	}
+	if maxDeg < 5 {
+		t.Errorf("expected some high-degree queries, max degree = %d", maxDeg)
+	}
+}
+
+// Cross-subtopic links must exist so the graph has a dominant component —
+// the paper's log "consists of one huge connected component and several
+// smaller subgraphs".
+func TestGiantComponent(t *testing.T) {
+	u := smallUniverse(t)
+	res, err := Simulate(u, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := clickgraph.ComputeStats(res.Graph)
+	frac := float64(s.LargestComponent) / float64(s.Queries+s.Ads)
+	if frac < 0.25 {
+		t.Errorf("largest component holds only %.0f%% of nodes; want a dominant component", frac*100)
+	}
+}
+
+func TestBidTermsCoverBidders(t *testing.T) {
+	u := smallUniverse(t)
+	res, err := Simulate(u, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Bids[:min(200, len(res.Bids))] {
+		if !res.BidTerms[u.Queries[b.Query].Text] {
+			t.Fatalf("bid on %q not reflected in BidTerms", u.Queries[b.Query].Text)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

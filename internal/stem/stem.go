@@ -1,0 +1,263 @@
+// Package stem implements the Porter stemming algorithm (Porter, 1980).
+// The Simrank++ evaluation pipeline (§9.3) uses stemming to filter out
+// duplicate query rewrites: "camera" and "cameras" reduce to the same stem
+// and only one survives.
+package stem
+
+import "strings"
+
+// Word reduces a single lowercase word to its Porter stem. Words shorter
+// than three letters are returned unchanged, per the original algorithm.
+func Word(s string) string {
+	w := []byte(strings.ToLower(s))
+	if len(w) <= 2 {
+		return string(w)
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// Phrase stems each whitespace-separated word of a query and rejoins with
+// single spaces, the normalization used for duplicate-rewrite detection.
+func Phrase(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		fields[i] = Word(f)
+	}
+	return strings.Join(fields, " ")
+}
+
+// isConsonant reports whether w[i] is a consonant in Porter's sense:
+// letters other than aeiou, with y consonant only when preceded by a
+// vowel... precisely: y is a consonant when at position 0 or when the
+// previous letter is a vowel-position consonant.
+func isConsonant(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure returns m, the number of VC sequences in w[:len].
+func measure(w []byte) int {
+	m := 0
+	i := 0
+	n := len(w)
+	// Skip initial consonants.
+	for i < n && isConsonant(w, i) {
+		i++
+	}
+	for i < n {
+		// Vowel run.
+		for i < n && !isConsonant(w, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		// Consonant run closes one VC.
+		for i < n && isConsonant(w, i) {
+			i++
+		}
+		m++
+	}
+	return m
+}
+
+func containsVowel(w []byte) bool {
+	for i := range w {
+		if !isConsonant(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether w ends in two identical consonants.
+func endsDoubleConsonant(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isConsonant(w, n-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(w, n-3) || isConsonant(w, n-2) || !isConsonant(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix old with new if the stem before old has
+// measure > minM; reports whether a replacement happened. minM < 0 means
+// "no measure condition".
+func replaceSuffix(w []byte, old, new string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, old) {
+		return w, false
+	}
+	stem := w[:len(w)-len(old)]
+	if minM >= 0 && measure(stem) <= minM {
+		return w, false
+	}
+	return append(append([]byte{}, stem...), new...), true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if w2, ok := replaceSuffix(w, "eed", "ee", 0); ok {
+		return w2
+	}
+	if hasSuffix(w, "eed") {
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && containsVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && containsVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleConsonant(stem):
+		switch stem[len(stem)-1] {
+		case 'l', 's', 'z':
+			return stem
+		}
+		return stem[:len(stem)-1]
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && containsVowel(w[:len(w)-1]) {
+		out := append([]byte{}, w...)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return w
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if w2, ok := replaceSuffix(w, r.old, r.new, 0); ok {
+			return w2
+		}
+		if hasSuffix(w, r.old) {
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if w2, ok := replaceSuffix(w, r.old, r.new, 0); ok {
+			return w2
+		}
+		if hasSuffix(w, r.old) {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if s == "ion" {
+			if len(stem) == 0 || (stem[len(stem)-1] != 's' && stem[len(stem)-1] != 't') {
+				return w
+			}
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return w
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if endsDoubleConsonant(w) && w[len(w)-1] == 'l' && measure(w[:len(w)-1]) > 1 {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,166 @@
+// Package textsim implements the lexical query-similarity measures the
+// Simrank++ paper names as future work (§11): "methods for combining our
+// similarity scores with semantic text-based similarities could be
+// considered." It provides token-level Jaccard and TF-IDF cosine
+// similarity over stemmed query text, and a combiner that blends a
+// click-graph similarity source with the lexical score.
+package textsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"simrankpp/internal/stem"
+)
+
+// Tokenize lowercases, splits on whitespace and stems each token.
+func Tokenize(s string) []string {
+	fields := strings.Fields(strings.ToLower(s))
+	for i, f := range fields {
+		fields[i] = stem.Word(f)
+	}
+	return fields
+}
+
+// Jaccard returns |tokens(a) ∩ tokens(b)| / |tokens(a) ∪ tokens(b)| over
+// stemmed tokens, 0 when both are empty.
+func Jaccard(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0
+	}
+	set := make(map[string]uint8, len(ta)+len(tb))
+	for _, t := range ta {
+		set[t] |= 1
+	}
+	for _, t := range tb {
+		set[t] |= 2
+	}
+	inter := 0
+	for _, m := range set {
+		if m == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(set))
+}
+
+// Corpus indexes a query collection for TF-IDF cosine similarity.
+type Corpus struct {
+	docs []map[string]float64 // tf-idf vectors, L2-normalized
+	idf  map[string]float64
+	ids  map[string]int
+	raw  []string
+}
+
+// NewCorpus builds the index over the given query strings.
+func NewCorpus(queries []string) *Corpus {
+	c := &Corpus{
+		idf: make(map[string]float64),
+		ids: make(map[string]int, len(queries)),
+		raw: append([]string(nil), queries...),
+	}
+	df := make(map[string]int)
+	tokenized := make([][]string, len(queries))
+	for i, q := range queries {
+		c.ids[q] = i
+		tokenized[i] = Tokenize(q)
+		seen := map[string]bool{}
+		for _, t := range tokenized[i] {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	n := float64(len(queries))
+	for t, d := range df {
+		c.idf[t] = math.Log(1 + n/float64(d))
+	}
+	c.docs = make([]map[string]float64, len(queries))
+	for i, toks := range tokenized {
+		vec := make(map[string]float64)
+		for _, t := range toks {
+			vec[t] += c.idf[t]
+		}
+		norm := 0.0
+		for _, v := range vec {
+			norm += v * v
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for t := range vec {
+				vec[t] /= norm
+			}
+		}
+		c.docs[i] = vec
+	}
+	return c
+}
+
+// Len returns the number of indexed queries.
+func (c *Corpus) Len() int { return len(c.raw) }
+
+// Cosine returns the TF-IDF cosine similarity of two indexed queries. It
+// returns an error if either query is not in the corpus.
+func (c *Corpus) Cosine(a, b string) (float64, error) {
+	ia, ok := c.ids[a]
+	if !ok {
+		return 0, fmt.Errorf("textsim: query %q not in corpus", a)
+	}
+	ib, ok := c.ids[b]
+	if !ok {
+		return 0, fmt.Errorf("textsim: query %q not in corpus", b)
+	}
+	va, vb := c.docs[ia], c.docs[ib]
+	if len(vb) < len(va) {
+		va, vb = vb, va
+	}
+	dot := 0.0
+	for t, x := range va {
+		dot += x * vb[t]
+	}
+	return dot, nil
+}
+
+// Blend combines a click-graph similarity score with a lexical score as
+// alpha·graph + (1-alpha)·lexical. Alpha 1 is pure click-graph, alpha 0
+// pure lexical.
+func Blend(graphScore, lexicalScore, alpha float64) float64 {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return alpha*graphScore + (1-alpha)*lexicalScore
+}
+
+// Ranked is a (query, score) result.
+type Ranked struct {
+	Query string
+	Score float64
+}
+
+// RankBlended re-ranks candidate rewrites for query q by blending their
+// graph scores with corpus cosine similarity. Candidates missing from the
+// corpus keep their graph score (lexical contribution 0).
+func (c *Corpus) RankBlended(q string, candidates []Ranked, alpha float64) []Ranked {
+	out := make([]Ranked, len(candidates))
+	for i, cand := range candidates {
+		lex, err := c.Cosine(q, cand.Query)
+		if err != nil {
+			lex = 0
+		}
+		out[i] = Ranked{Query: cand.Query, Score: Blend(cand.Score, lex, alpha)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}

@@ -1,0 +1,82 @@
+package textsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard("digital camera", "camera"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard = %v want 0.5", got)
+	}
+	if got := Jaccard("camera", "cameras"); got != 1 {
+		t.Errorf("stemmed Jaccard of plural pair = %v want 1", got)
+	}
+	if got := Jaccard("camera", "flower"); got != 0 {
+		t.Errorf("disjoint Jaccard = %v want 0", got)
+	}
+	if got := Jaccard("", ""); got != 0 {
+		t.Errorf("empty Jaccard = %v want 0", got)
+	}
+	if Jaccard("a b", "b a") != 1 {
+		t.Error("Jaccard should be order-insensitive")
+	}
+}
+
+func TestCorpusCosine(t *testing.T) {
+	c := NewCorpus([]string{"digital camera", "camera", "flower delivery", "flower"})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	self, err := c.Cosine("camera", "camera")
+	if err != nil || math.Abs(self-1) > 1e-12 {
+		t.Errorf("self cosine = %v, %v", self, err)
+	}
+	rel, err := c.Cosine("digital camera", "camera")
+	if err != nil || rel <= 0 || rel >= 1 {
+		t.Errorf("related cosine = %v, %v; want in (0,1)", rel, err)
+	}
+	unrel, err := c.Cosine("camera", "flower")
+	if err != nil || unrel != 0 {
+		t.Errorf("unrelated cosine = %v, %v; want 0", unrel, err)
+	}
+	if _, err := c.Cosine("camera", "missing"); err == nil {
+		t.Error("missing query accepted")
+	}
+}
+
+func TestBlend(t *testing.T) {
+	if got := Blend(0.8, 0.2, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Blend = %v want 0.5", got)
+	}
+	if Blend(0.8, 0.2, 1) != 0.8 || Blend(0.8, 0.2, 0) != 0.2 {
+		t.Error("Blend endpoints wrong")
+	}
+	// Alpha clamping.
+	if Blend(0.8, 0.2, 2) != 0.8 || Blend(0.8, 0.2, -1) != 0.2 {
+		t.Error("Blend did not clamp alpha")
+	}
+}
+
+func TestRankBlended(t *testing.T) {
+	c := NewCorpus([]string{"camera", "digital camera", "flower"})
+	cands := []Ranked{
+		{Query: "flower", Score: 0.6},         // higher graph score
+		{Query: "digital camera", Score: 0.5}, // lexically close
+	}
+	// Pure graph: flower first.
+	pure := c.RankBlended("camera", cands, 1)
+	if pure[0].Query != "flower" {
+		t.Errorf("alpha=1 ranking = %+v", pure)
+	}
+	// Lexical-heavy: digital camera overtakes.
+	lex := c.RankBlended("camera", cands, 0.2)
+	if lex[0].Query != "digital camera" {
+		t.Errorf("alpha=0.2 ranking = %+v", lex)
+	}
+	// Unknown candidate keeps graph score without error.
+	out := c.RankBlended("camera", []Ranked{{Query: "unknown", Score: 0.4}}, 0.5)
+	if math.Abs(out[0].Score-0.2) > 1e-12 {
+		t.Errorf("unknown candidate score = %v want 0.2", out[0].Score)
+	}
+}
