@@ -1,0 +1,117 @@
+// Command corebench runs the engine pass micro-benchmarks (map baseline
+// vs frontier-scatter vs the default row-major passes, serial and
+// parallel) and records the results as JSON so the repository tracks its
+// performance trajectory PR over PR:
+//
+//	go run ./cmd/corebench -o BENCH_core.json
+//
+// The benchmark bodies live in internal/core (shared with `go test
+// -bench`); this command owns the testing.Benchmark harness so the
+// testing package stays out of production binaries. See PERF.md for how
+// to read the numbers and how to profile regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"simrankpp/internal/core"
+)
+
+type passResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	GeneratedAt     string               `json:"generated_at"`
+	GoVersion       string               `json:"go_version"`
+	GOMAXPROCS      int                  `json:"gomaxprocs"`
+	Workload        core.PassBenchConfig `json:"workload"`
+	Results         []passResult         `json:"results"`
+	SpeedupVsMap    map[string]float64   `json:"speedup_vs_map"`
+	AllocRatioVsMap map[string]float64   `json:"alloc_ratio_vs_map"`
+}
+
+func main() {
+	bc := core.DefaultPassBenchConfig()
+	out := flag.String("o", "BENCH_core.json", "output path")
+	flag.Uint64Var(&bc.Seed, "seed", bc.Seed, "workload seed")
+	flag.IntVar(&bc.Queries, "queries", bc.Queries, "graph queries")
+	flag.IntVar(&bc.Ads, "ads", bc.Ads, "graph ads")
+	flag.IntVar(&bc.Edges, "edges", bc.Edges, "graph edges")
+	flag.IntVar(&bc.Workers, "workers", bc.Workers, "parallel pass workers")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "corebench: %d queries, %d ads, %d edges, %d workers\n",
+		bc.Queries, bc.Ads, bc.Edges, bc.Workers)
+	var results []passResult
+	for _, c := range core.PassBenchCases(bc) {
+		body := c.Body
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			body(b.N)
+		})
+		pr := passResult{
+			Name:        c.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results = append(results, pr)
+		fmt.Fprintf(os.Stderr, "  %-24s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			pr.Name, pr.NsPerOp, pr.BytesPerOp, pr.AllocsPerOp)
+	}
+
+	rep := report{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workload:        bc,
+		Results:         results,
+		SpeedupVsMap:    map[string]float64{},
+		AllocRatioVsMap: map[string]float64{},
+	}
+	base := map[string]passResult{}
+	for _, r := range results {
+		if strings.HasSuffix(r.Name, "/map") {
+			base[strings.TrimSuffix(r.Name, "/map")] = r
+		}
+	}
+	for _, r := range results {
+		group, variant, _ := strings.Cut(r.Name, "/")
+		if variant == "map" {
+			continue
+		}
+		if b, ok := base[group]; ok && r.NsPerOp > 0 {
+			rep.SpeedupVsMap[r.Name] = b.NsPerOp / r.NsPerOp
+			if r.AllocsPerOp > 0 {
+				rep.AllocRatioVsMap[r.Name] = float64(b.AllocsPerOp) / float64(r.AllocsPerOp)
+			}
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "corebench: wrote %s\n", *out)
+}

@@ -1,0 +1,3 @@
+module simrankpp
+
+go 1.24.0

@@ -1,0 +1,87 @@
+package core
+
+import "simrankpp/internal/sparse"
+
+// This file preserves the original map-based accumulation passes (one
+// hash+probe per contribution into a sparse.PairTable, fresh tables per
+// pass). They are no longer on any engine path: the frontier passes in
+// engine.go replaced them. They stay as the reference implementation for
+// the randomized differential tests and as the baseline the micro
+// benchmarks measure the frontier path against.
+
+// simplePassMap is the map-based simplePass: semantics identical to
+// simplePass up to floating-point summation order.
+func simplePassMap(opp *sparse.PairTable, thisNbr, oppNbr [][]int, c float64) *sparse.PairTable {
+	acc := sparse.NewPairTable(opp.Len())
+	for _, nbrs := range oppNbr {
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				acc.Add(nbrs[x], nbrs[y], 1)
+			}
+		}
+	}
+	opp.Range(func(i, j int, v float64) bool {
+		for _, q := range oppNbr[i] {
+			for _, p := range oppNbr[j] {
+				acc.Add(q, p, v) // Add ignores q == p
+			}
+		}
+		return true
+	})
+	out := sparse.NewPairTable(acc.Len())
+	acc.Range(func(x, y int, t float64) bool {
+		dx, dy := len(thisNbr[x]), len(thisNbr[y])
+		if dx > 0 && dy > 0 {
+			if s := c * t / float64(dx*dy); s != 0 {
+				out.Set(x, y, s)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// weightedPassMap is the map-based weightedPass. Like the original it
+// rebuilds the reversed factor rows on every call — part of the per-pass
+// cost the frontier engine eliminated by hoisting reverseFactors to run
+// setup.
+func weightedPassMap(opp *sparse.PairTable, thisNbr, oppNbr [][]int, w [][]float64, ev *evidenceTable, c float64) *sparse.PairTable {
+	revW := reverseFactors(thisNbr, oppNbr, w)
+	acc := sparse.NewPairTable(opp.Len())
+	for o, nbrs := range oppNbr {
+		fw := revW[o]
+		for x := 0; x < len(nbrs); x++ {
+			if fw[x] == 0 {
+				continue
+			}
+			for y := x + 1; y < len(nbrs); y++ {
+				acc.Add(nbrs[x], nbrs[y], fw[x]*fw[y])
+			}
+		}
+	}
+	opp.Range(func(i, j int, v float64) bool {
+		wi, wj := revW[i], revW[j]
+		for xi, q := range oppNbr[i] {
+			f := wi[xi] * v
+			if f == 0 {
+				continue
+			}
+			for yj, p := range oppNbr[j] {
+				if q != p {
+					acc.Add(q, p, f*wj[yj])
+				}
+			}
+		}
+		return true
+	})
+	out := sparse.NewPairTable(acc.Len())
+	acc.Range(func(x, y int, t float64) bool {
+		if e := ev.score(x, y); e > 0 {
+			if s := e * c * t; s != 0 {
+				out.Set(x, y, s)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sparse"
+)
+
+// This file builds deterministic synthetic pass workloads and exposes the
+// engine micro-benchmark bodies (map baseline vs frontier-scatter vs the
+// default row-major passes) as plain run-n-times closures, so that both
+// the in-package benchmarks (pass_bench_test.go) and cmd/corebench — which
+// wraps them in testing.Benchmark to emit BENCH_core.json — share one
+// definition without linking the testing package into production binaries.
+
+// PassBenchConfig sizes the synthetic click graph the pass benchmarks run
+// on and the worker count for the parallel variants.
+type PassBenchConfig struct {
+	Seed    uint64
+	Queries int
+	Ads     int
+	Edges   int
+	Workers int
+}
+
+// DefaultPassBenchConfig returns a mid-size workload: large enough that
+// accumulation strategy dominates, small enough for a CI smoke run.
+func DefaultPassBenchConfig() PassBenchConfig {
+	return PassBenchConfig{Seed: 1, Queries: 500, Ads: 350, Edges: 5000, Workers: runtime.GOMAXPROCS(0)}
+}
+
+// PassBenchCase is one benchmarkable pass variant: Body runs the pass n
+// times against a prebuilt workload.
+type PassBenchCase struct {
+	Name string
+	Body func(n int)
+}
+
+// passBenchVariants is the fixed benchmark matrix: the map baseline, the
+// frontier-scatter formulation, and the default row-major pass serial and
+// parallel.
+var passBenchVariants = []string{"map", "scatter", "frontier", "parallel"}
+
+// passBenchState holds one side's pass inputs plus the warmed-up previous
+// iteration's scores in every representation the pass variants consume.
+type passBenchState struct {
+	in     *passInputs
+	cfg    Config
+	nq, na int
+	prevAF *sparse.PairFrontier // opposite (ad) side, frontier form
+	prevAM *sparse.PairTable    // opposite (ad) side, map form
+	symA   *sparse.SymAdj       // opposite (ad) side, symmetric adjacency
+}
+
+// benchGraph builds a deterministic pseudo-random bipartite click graph.
+func benchGraph(seed uint64, nq, na, edges int) *clickgraph.Graph {
+	b := clickgraph.NewBuilder()
+	s := seed
+	next := func(n int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(n))
+	}
+	for i := 0; i < nq; i++ {
+		b.AddQuery(fmt.Sprintf("q%d", i))
+	}
+	for e := 0; e < edges; e++ {
+		q := next(nq)
+		a := next(na)
+		clicks := int64(next(20) + 1)
+		err := b.AddEdge(fmt.Sprintf("q%d", q), fmt.Sprintf("ad%d", a), clickgraph.EdgeWeights{
+			Impressions: clicks * 3, Clicks: clicks,
+			ExpectedClickRate: float64(next(100)) / 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// newPassBenchState warms the engine for three iterations so the measured
+// pass sees a realistic mid-run score distribution.
+func newPassBenchState(bc PassBenchConfig, variant Variant) *passBenchState {
+	g := benchGraph(bc.Seed, bc.Queries, bc.Ads, bc.Edges)
+	cfg := DefaultConfig().WithVariant(variant)
+	cfg.Channel = ChannelClicks
+	cfg.Iterations = 3
+	cfg.PruneEpsilon = 1e-5
+	warm, err := Run(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	prevAF := sparse.FrontierFromPairTable(warm.AdScores, g.NumAds())
+	return &passBenchState{
+		in:     newPassInputs(g, cfg),
+		cfg:    cfg,
+		nq:     g.NumQueries(),
+		na:     g.NumAds(),
+		prevAF: prevAF,
+		prevAM: warm.AdScores,
+		symA:   prevAF.ExpandSymmetric(nil),
+	}
+}
+
+// benchSimplePass returns the simple-pass benchmark bodies keyed by
+// variant name, all computing the same query-side update.
+func benchSimplePass(st *passBenchState, workers int) map[string]func(n int) {
+	side := st.nq + st.na
+	return map[string]func(n int){
+		"map": func(n int) {
+			for i := 0; i < n; i++ {
+				simplePassMap(st.prevAM, st.in.qNbr, st.in.aNbr, st.cfg.C1)
+			}
+		},
+		"scatter": func(n int) {
+			dst := sparse.NewPairFrontier(st.nq)
+			for i := 0; i < n; i++ {
+				simplePassScatter(st.prevAF, st.in.qNbr, st.in.aNbr, st.cfg.C1, dst, 1, nil)
+			}
+		},
+		"frontier": func(n int) {
+			dst := sparse.NewPairFrontier(st.nq)
+			spas := newSPAs(1, side)
+			for i := 0; i < n; i++ {
+				simplePass(st.symA, st.in.qNbr, st.in.aNbr, st.cfg.C1, dst, 1, spas)
+			}
+		},
+		"parallel": func(n int) {
+			dst := sparse.NewPairFrontier(st.nq)
+			spas := newSPAs(workers, side)
+			for i := 0; i < n; i++ {
+				simplePass(st.symA, st.in.qNbr, st.in.aNbr, st.cfg.C1, dst, workers, spas)
+			}
+		},
+	}
+}
+
+// benchWeightedPass mirrors benchSimplePass for the weighted pass.
+func benchWeightedPass(st *passBenchState, workers int) map[string]func(n int) {
+	side := st.nq + st.na
+	return map[string]func(n int){
+		"map": func(n int) {
+			for i := 0; i < n; i++ {
+				weightedPassMap(st.prevAM, st.in.qNbr, st.in.aNbr, st.in.qW, st.in.evQ, st.cfg.C1)
+			}
+		},
+		"scatter": func(n int) {
+			dst := sparse.NewPairFrontier(st.nq)
+			for i := 0; i < n; i++ {
+				weightedPassScatter(st.prevAF, st.in.qNbr, st.in.aNbr, st.in.revWQ, st.in.evQ, st.cfg.C1, dst, 1, nil)
+			}
+		},
+		"frontier": func(n int) {
+			dst := sparse.NewPairFrontier(st.nq)
+			spas := newSPAs(1, side)
+			for i := 0; i < n; i++ {
+				weightedPass(st.symA, st.in.qNbr, st.in.aNbr, st.in.qW, st.in.revWQ, st.in.evQ, st.cfg.C1, dst, 1, spas)
+			}
+		},
+		"parallel": func(n int) {
+			dst := sparse.NewPairFrontier(st.nq)
+			spas := newSPAs(workers, side)
+			for i := 0; i < n; i++ {
+				weightedPass(st.symA, st.in.qNbr, st.in.aNbr, st.in.qW, st.in.revWQ, st.in.evQ, st.cfg.C1, dst, workers, spas)
+			}
+		},
+	}
+}
+
+// PassBenchCases builds the full benchmark matrix (pass × variant) in a
+// fixed order. Each case's Body runs against shared prebuilt state, so
+// measurements exclude graph construction and warm-up.
+func PassBenchCases(bc PassBenchConfig) []PassBenchCase {
+	if bc.Workers <= 0 {
+		bc.Workers = runtime.GOMAXPROCS(0)
+	}
+	var out []PassBenchCase
+	add := func(prefix string, bodies map[string]func(n int)) {
+		for _, variant := range passBenchVariants {
+			out = append(out, PassBenchCase{Name: prefix + "/" + variant, Body: bodies[variant]})
+		}
+	}
+	add("SimplePass", benchSimplePass(newPassBenchState(bc, Simple), bc.Workers))
+	add("WeightedPass", benchWeightedPass(newPassBenchState(bc, Weighted), bc.Workers))
+	return out
+}

@@ -1,148 +1,80 @@
 package core
 
 import (
+	"sort"
+	"sync"
+
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/sparse"
 )
 
-// Run computes the configured similarity with sparse pair tables. With
-// PruneEpsilon == 0 it is exact and agrees with RunDense (the test suite
-// checks this differentially); with a positive epsilon, scores below the
-// threshold are dropped between iterations, bounding memory on large
+// Run computes the configured similarity with flat sparse pair frontiers.
+// With PruneEpsilon == 0 it is exact and agrees with RunDense (the test
+// suite checks this differentially); with a positive epsilon, scores below
+// the threshold are dropped between iterations, bounding memory on large
 // graphs at the cost of exactness.
 //
-// The update is scatter-based: instead of intersecting neighbor lists per
-// candidate pair, each stored pair (i, j) of one side pushes its score to
-// every pair in E(i) × E(j) of the other side, so work is proportional to
-// the number of nonzero pairs times neighborhood sizes — the sparsity the
-// click graph actually has.
+// Each iteration is computed output-row-major: for every node x of one
+// side, gather u(j) = Σ_{i∈E(x)} s(i, j) over the opposite side into a
+// dense accumulator, scatter u over each touched node's neighbor row into
+// a dense row accumulator, and harvest the normalized row straight into a
+// sparse.PairFrontier (per-row sorted storage, no hashing anywhere). Work
+// stays proportional to the nonzero structure — the sparsity the click
+// graph actually has — but every contribution costs an array add instead
+// of the hash probe the map-based engine paid, and the frontiers ping-pong
+// across iterations so steady-state passes barely allocate.
 func Run(g *clickgraph.Graph, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	nq, na := g.NumQueries(), g.NumAds()
+	return runEngine(g, cfg, 1)
+}
 
-	// Neighbor rows and, for Weighted, per-neighbor walk factors.
-	qNbr := make([][]int, nq)
-	aNbr := make([][]int, na)
-	var qW, aW [][]float64
+// passInputs holds the per-run immutable inputs of the iteration passes:
+// neighbor rows, weighted-walk factor rows (reversed onto the opposite
+// side once per run, not once per pass), and evidence tables.
+type passInputs struct {
+	qNbr, aNbr   [][]int
+	qW, aW       [][]float64 // Weighted only: forward factor rows
+	revWQ, revWA [][]float64 // Weighted only: reversed factor rows
+	evQ, evA     *evidenceTable
+}
+
+func newPassInputs(g *clickgraph.Graph, cfg Config) *passInputs {
+	nq, na := g.NumQueries(), g.NumAds()
+	in := &passInputs{
+		qNbr: make([][]int, nq),
+		aNbr: make([][]int, na),
+	}
 	for q := 0; q < nq; q++ {
-		qNbr[q], _ = g.AdsOf(q)
+		in.qNbr[q], _ = g.AdsOf(q)
 	}
 	for a := 0; a < na; a++ {
-		aNbr[a], _ = g.QueriesOf(a)
+		in.aNbr[a], _ = g.QueriesOf(a)
 	}
 	if cfg.Variant == Weighted {
 		model := newTransitionModel(g, cfg.Channel, cfg.DisableSpread)
-		qW = make([][]float64, nq)
-		aW = make([][]float64, na)
+		qW := make([][]float64, nq)
+		aW := make([][]float64, na)
 		for q := 0; q < nq; q++ {
-			qNbr[q], qW[q] = model.queryRow(q)
+			in.qNbr[q], qW[q] = model.queryRow(q)
 		}
 		for a := 0; a < na; a++ {
-			aNbr[a], aW[a] = model.adRow(a)
+			in.aNbr[a], aW[a] = model.adRow(a)
 		}
+		in.qW, in.aW = qW, aW
+		in.revWQ = reverseFactors(in.qNbr, in.aNbr, qW)
+		in.revWA = reverseFactors(in.aNbr, in.qNbr, aW)
 	}
-
-	// Evidence (common-neighbor counts) per side, built by scattering
-	// through the opposite side; only needed for Evidence and Weighted.
-	var evQ, evA *evidenceTable
 	if cfg.Variant != Simple {
-		evQ = newEvidenceTable(aNbr, cfg.EvidenceForm, cfg.StrictEvidence)
-		evA = newEvidenceTable(qNbr, cfg.EvidenceForm, cfg.StrictEvidence)
+		in.evQ = newEvidenceTable(nq, in.aNbr, cfg.EvidenceForm, cfg.StrictEvidence)
+		in.evA = newEvidenceTable(na, in.qNbr, cfg.EvidenceForm, cfg.StrictEvidence)
 	}
-
-	prevQ := sparse.NewPairTable(0)
-	prevA := sparse.NewPairTable(0)
-	var curQ, curA *sparse.PairTable
-	iters := 0
-	converged := false
-	for it := 0; it < cfg.Iterations; it++ {
-		switch cfg.Variant {
-		case Weighted:
-			curQ = weightedPass(prevA, qNbr, aNbr, qW, evQ, cfg.C1)
-			curA = weightedPass(prevQ, aNbr, qNbr, aW, evA, cfg.C2)
-		default:
-			curQ = simplePass(prevA, qNbr, aNbr, cfg.C1)
-			curA = simplePass(prevQ, aNbr, qNbr, cfg.C2)
-		}
-		if cfg.PruneEpsilon > 0 {
-			curQ.Prune(cfg.PruneEpsilon)
-			curA.Prune(cfg.PruneEpsilon)
-		}
-		iters = it + 1
-		if cfg.Tolerance > 0 &&
-			curQ.MaxAbsDiff(prevQ) < cfg.Tolerance &&
-			curA.MaxAbsDiff(prevA) < cfg.Tolerance {
-			prevQ, prevA = curQ, curA
-			converged = true
-			break
-		}
-		prevQ, prevA = curQ, curA
-	}
-
-	if cfg.Variant == Evidence {
-		applyEvidence(prevQ, evQ)
-		applyEvidence(prevA, evA)
-	}
-	return &Result{
-		Graph:       g,
-		Config:      cfg,
-		QueryScores: prevQ,
-		AdScores:    prevA,
-		Iterations:  iters,
-		Converged:   converged,
-	}, nil
+	return in
 }
 
-// simplePass computes one plain-SimRank iteration for one side ("this"
-// side) from the opposite side's score table. thisNbr maps this side's
-// nodes to opposite-side neighbors; oppNbr the reverse.
-//
-// The accumulator gathers T(x, y) = Σ_{i∈E(x)} Σ_{j∈E(y)} s(i, j):
-// diagonal terms s(i, i) = 1 are scattered from each opposite node's
-// neighbor list, and each stored off-diagonal pair {i, j} scatters its
-// score over E(i) × E(j) — that single directed loop covers both ordered
-// terms (i, j) and (j, i) of every unordered target pair, because the
-// roles of x and y swap across the two contributions.
-func simplePass(opp *sparse.PairTable, thisNbr, oppNbr [][]int, c float64) *sparse.PairTable {
-	acc := sparse.NewPairTable(opp.Len())
-	for _, nbrs := range oppNbr {
-		for x := 0; x < len(nbrs); x++ {
-			for y := x + 1; y < len(nbrs); y++ {
-				acc.Add(nbrs[x], nbrs[y], 1)
-			}
-		}
-	}
-	opp.Range(func(i, j int, v float64) bool {
-		for _, q := range oppNbr[i] {
-			for _, p := range oppNbr[j] {
-				acc.Add(q, p, v) // Add ignores q == p
-			}
-		}
-		return true
-	})
-	out := sparse.NewPairTable(acc.Len())
-	acc.Range(func(x, y int, t float64) bool {
-		dx, dy := len(thisNbr[x]), len(thisNbr[y])
-		if dx > 0 && dy > 0 {
-			if s := c * t / float64(dx*dy); s != 0 {
-				out.Set(x, y, s)
-			}
-		}
-		return true
-	})
-	return out
-}
-
-// weightedPass computes one weighted-SimRank iteration for one side. w
-// holds this side's walk factors aligned with thisNbr; oppW is derived on
-// the fly: the factor attached to the (opposite node → this node) edge is
-// found by scanning the opposite node's position in this node's neighbor
-// row — instead we precompute reverse factor rows below.
-func weightedPass(opp *sparse.PairTable, thisNbr, oppNbr [][]int, w [][]float64, ev *evidenceTable, c float64) *sparse.PairTable {
-	// revW[o][k] = W(x, o) where x = the k-th neighbor of opposite node o.
-	// Built once per pass from this side's factor rows.
+// reverseFactors builds revW[o][k] = W(x, o) where x is the k-th neighbor
+// of opposite node o: the walk factor attached to the (o → x) direction,
+// looked up from this side's factor rows. thisNbr rows and oppNbr rows are
+// both ascending, so x appears in oppNbr[o] at the next unfilled position.
+func reverseFactors(thisNbr, oppNbr [][]int, w [][]float64) [][]float64 {
 	revW := make([][]float64, len(oppNbr))
 	pos := make([]int, len(oppNbr))
 	for i := range revW {
@@ -150,65 +82,292 @@ func weightedPass(opp *sparse.PairTable, thisNbr, oppNbr [][]int, w [][]float64,
 	}
 	for x, nbrs := range thisNbr {
 		for k, o := range nbrs {
-			// thisNbr rows and oppNbr rows are both ascending, so x
-			// appears in oppNbr[o] at the next unfilled position for o.
 			revW[o][pos[o]] = w[x][k]
 			pos[o]++
 		}
 	}
+	return revW
+}
 
-	acc := sparse.NewPairTable(opp.Len())
-	for o, nbrs := range oppNbr {
-		fw := revW[o]
-		for x := 0; x < len(nbrs); x++ {
-			if fw[x] == 0 {
-				continue
-			}
-			for y := x + 1; y < len(nbrs); y++ {
-				acc.Add(nbrs[x], nbrs[y], fw[x]*fw[y])
-			}
+// runEngine is the shared iteration loop behind Run (workers == 1) and
+// RunParallel. Each side ping-pongs two frontiers: cur is reset, filled
+// row by row from the opposite side's prev (expanded to a symmetric
+// adjacency once per iteration), and swapped in; prev's buckets become
+// the next iteration's scratch.
+func runEngine(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := newPassInputs(g, cfg)
+	nq, na := g.NumQueries(), g.NumAds()
+
+	prevQ, curQ := sparse.NewPairFrontier(nq), sparse.NewPairFrontier(nq)
+	prevA, curA := sparse.NewPairFrontier(na), sparse.NewPairFrontier(na)
+	prevQ.Compact() // empty but read-ready: passes and MaxAbsDiff read prev
+	prevA.Compact()
+	symQ, symA := &sparse.SymAdj{}, &sparse.SymAdj{}
+	side := nq
+	if na > side {
+		side = na
+	}
+	spas := newSPAs(workers, side)
+
+	iters := 0
+	converged := false
+	for it := 0; it < cfg.Iterations; it++ {
+		symA = prevA.ExpandSymmetric(symA)
+		symQ = prevQ.ExpandSymmetric(symQ)
+		switch cfg.Variant {
+		case Weighted:
+			weightedPass(symA, in.qNbr, in.aNbr, in.qW, in.revWQ, in.evQ, cfg.C1, curQ, workers, spas)
+			weightedPass(symQ, in.aNbr, in.qNbr, in.aW, in.revWA, in.evA, cfg.C2, curA, workers, spas)
+		default:
+			simplePass(symA, in.qNbr, in.aNbr, cfg.C1, curQ, workers, spas)
+			simplePass(symQ, in.aNbr, in.qNbr, cfg.C2, curA, workers, spas)
+		}
+		if cfg.PruneEpsilon > 0 {
+			curQ.Prune(cfg.PruneEpsilon)
+			curA.Prune(cfg.PruneEpsilon)
+		}
+		iters = it + 1
+		done := cfg.Tolerance > 0 &&
+			curQ.MaxAbsDiff(prevQ) < cfg.Tolerance &&
+			curA.MaxAbsDiff(prevA) < cfg.Tolerance
+		prevQ, curQ = curQ, prevQ
+		prevA, curA = curA, prevA
+		if done {
+			converged = true
+			break
 		}
 	}
-	opp.Range(func(i, j int, v float64) bool {
-		wi, wj := revW[i], revW[j]
-		for xi, q := range oppNbr[i] {
-			f := wi[xi] * v
-			if f == 0 {
+
+	if cfg.Variant == Evidence {
+		applyEvidence(prevQ, in.evQ)
+		applyEvidence(prevA, in.evA)
+	}
+	return &Result{
+		Graph:       g,
+		Config:      cfg,
+		QueryScores: prevQ.ToPairTable(),
+		AdScores:    prevA.ToPairTable(),
+		Iterations:  iters,
+		Converged:   converged,
+	}, nil
+}
+
+// spa is one worker's sparse-accumulator state: dense value arrays with
+// touched lists for the gather (u, over the opposite side) and the row
+// accumulation (t, over this side), plus the row emit buffers. Arrays are
+// sized to the larger side so one spa serves both passes.
+type spa struct {
+	u    []float64 // gathered opposite-side scores, zeroed via ut
+	ut   []int
+	t    []float64 // accumulated output row, zeroed via tt
+	tt   []int
+	rowC []int32
+	rowV []float64
+}
+
+func newSPAs(workers, n int) []*spa {
+	spas := make([]*spa, workers)
+	for i := range spas {
+		spas[i] = &spa{u: make([]float64, n), t: make([]float64, n)}
+	}
+	return spas
+}
+
+// runRowPass drives kernel over every output row of one side. With
+// workers > 1 the row space is split into contiguous ranges weighted by
+// expected gather work; each worker owns disjoint rows and a private spa,
+// so rows are computed and emitted with no locks and no merge phase.
+func runRowPass(thisNbr [][]int, sym *sparse.SymAdj, dst *sparse.PairFrontier, workers int, spas []*spa, kernel func(sp *spa, x int)) {
+	n := len(thisNbr)
+	dst.Reset()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sp := spas[0]
+		for x := 0; x < n; x++ {
+			kernel(sp, x)
+		}
+	} else {
+		weights := make([]int, n)
+		for x, nbrs := range thisNbr {
+			w := 1
+			for _, i := range nbrs {
+				w += 1 + sym.RowNNZ(i)
+			}
+			weights[x] = w
+		}
+		bounds := sparse.SplitByWeight(weights, workers)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			lo, hi := bounds[wk], bounds[wk+1]
+			if lo >= hi {
 				continue
 			}
-			for yj, p := range oppNbr[j] {
-				if q != p {
-					acc.Add(q, p, f*wj[yj])
+			wg.Add(1)
+			go func(sp *spa, lo, hi int) {
+				defer wg.Done()
+				for x := lo; x < hi; x++ {
+					kernel(sp, x)
+				}
+			}(spas[wk], lo, hi)
+		}
+		wg.Wait()
+	}
+	dst.Compact() // rows were emitted sorted; this just flips the flag
+}
+
+// simplePass computes one plain-SimRank iteration for one side ("this"
+// side) from the opposite side's symmetric score adjacency into dst.
+// thisNbr maps this side's nodes to opposite-side neighbors; oppNbr the
+// reverse.
+//
+// Row x gathers T(x, y) = Σ_{i∈E(x)} Σ_{j∈E(y)} s(i, j) in two phases:
+// u(j) = Σ_{i∈E(x)} s(i, j) (diagonal terms s(i, i) = 1 included), then
+// each touched j scatters u(j) to t(p) for its neighbors p ∈ E(j) with
+// p > x — T is symmetric, so row x's computation alone yields the full
+// sum for every stored pair (x, y), y > x.
+func simplePass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, c float64, dst *sparse.PairFrontier, workers int, spas []*spa) {
+	runRowPass(thisNbr, sym, dst, workers, spas, func(sp *spa, x int) {
+		nbrs := thisNbr[x]
+		if len(nbrs) == 0 {
+			return
+		}
+		u, ut := sp.u, sp.ut[:0]
+		for _, i := range nbrs {
+			if u[i] == 0 {
+				ut = append(ut, i)
+			}
+			u[i]++ // s(i, i) = 1
+			lo, hi := sym.RowPtr[i], sym.RowPtr[i+1]
+			for p := lo; p < hi; p++ {
+				j := int(sym.Col[p])
+				if u[j] == 0 {
+					ut = append(ut, j)
+				}
+				u[j] += sym.Val[p]
+			}
+		}
+		t, tt := sp.t, sp.tt[:0]
+		for _, j := range ut {
+			uj := u[j]
+			u[j] = 0
+			if uj == 0 {
+				continue
+			}
+			ps := oppNbr[j]
+			for _, p := range ps[sort.SearchInts(ps, x+1):] {
+				if t[p] == 0 {
+					tt = append(tt, p)
+				}
+				t[p] += uj
+			}
+		}
+		sp.ut = ut
+		rowC, rowV := sp.rowC[:0], sp.rowV[:0]
+		dx := float64(len(nbrs))
+		for _, p := range tt {
+			tv := t[p]
+			t[p] = 0
+			if s := c * tv / (dx * float64(len(thisNbr[p]))); s != 0 {
+				rowC = append(rowC, int32(p))
+				rowV = append(rowV, s)
+			}
+		}
+		sp.tt = tt
+		sp.rowC, sp.rowV = rowC, rowV
+		dst.SetRow(x, rowC, rowV)
+	})
+}
+
+// weightedPass computes one weighted-SimRank iteration for one side into
+// dst: the same two-phase row gather as simplePass with every
+// contribution scaled by the walk factors of the two edges it traverses.
+// w holds this side's forward factor rows (aligned with thisNbr) and revW
+// the factors reversed onto the opposite side (reverseFactors), both
+// built once per run.
+func weightedPass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, w, revW [][]float64, ev *evidenceTable, c float64, dst *sparse.PairFrontier, workers int, spas []*spa) {
+	runRowPass(thisNbr, sym, dst, workers, spas, func(sp *spa, x int) {
+		nbrs := thisNbr[x]
+		if len(nbrs) == 0 {
+			return
+		}
+		fx := w[x]
+		u, ut := sp.u, sp.ut[:0]
+		for ki, i := range nbrs {
+			fi := fx[ki]
+			if fi == 0 {
+				continue
+			}
+			if u[i] == 0 {
+				ut = append(ut, i)
+			}
+			u[i] += fi // s(i, i) = 1
+			lo, hi := sym.RowPtr[i], sym.RowPtr[i+1]
+			for p := lo; p < hi; p++ {
+				j := int(sym.Col[p])
+				if u[j] == 0 {
+					ut = append(ut, j)
+				}
+				u[j] += fi * sym.Val[p]
+			}
+		}
+		t, tt := sp.t, sp.tt[:0]
+		for _, j := range ut {
+			uj := u[j]
+			u[j] = 0
+			if uj == 0 {
+				continue
+			}
+			ps := oppNbr[j]
+			fw := revW[j]
+			for idx := sort.SearchInts(ps, x+1); idx < len(ps); idx++ {
+				g := fw[idx] * uj
+				if g == 0 {
+					continue
+				}
+				p := ps[idx]
+				if t[p] == 0 {
+					tt = append(tt, p)
+				}
+				t[p] += g
+			}
+		}
+		sp.ut = ut
+		rowC, rowV := sp.rowC[:0], sp.rowV[:0]
+		for _, p := range tt {
+			tv := t[p]
+			t[p] = 0
+			if e := ev.score(x, p); e > 0 {
+				if s := e * c * tv; s != 0 {
+					rowC = append(rowC, int32(p))
+					rowV = append(rowV, s)
 				}
 			}
 		}
-		return true
+		sp.tt = tt
+		sp.rowC, sp.rowV = rowC, rowV
+		dst.SetRow(x, rowC, rowV)
 	})
-	out := sparse.NewPairTable(acc.Len())
-	acc.Range(func(x, y int, t float64) bool {
-		if e := ev.score(x, y); e > 0 {
-			if s := e * c * t; s != 0 {
-				out.Set(x, y, s)
-			}
-		}
-		return true
-	})
-	return out
 }
 
-// evidenceTable caches common-neighbor counts for one side, stored
-// sparsely, with the configured evidence multiplier applied on lookup.
+// evidenceTable caches common-neighbor counts for one side in a compacted
+// frontier (O(log d) lookup, no hashing), with the configured evidence
+// multiplier applied on lookup.
 type evidenceTable struct {
 	form   EvidenceForm
 	strict bool
-	counts *sparse.PairTable
+	counts *sparse.PairFrontier
 }
 
-// newEvidenceTable counts common neighbors for every pair on one side by
-// scattering through the opposite side's neighbor lists (oppNbr maps each
-// opposite-side node to this side's adjacent nodes).
-func newEvidenceTable(oppNbr [][]int, form EvidenceForm, strict bool) *evidenceTable {
-	counts := sparse.NewPairTable(0)
+// newEvidenceTable counts common neighbors for every pair on one side (n
+// nodes) by scattering through the opposite side's neighbor lists (oppNbr
+// maps each opposite-side node to this side's adjacent nodes).
+func newEvidenceTable(n int, oppNbr [][]int, form EvidenceForm, strict bool) *evidenceTable {
+	counts := sparse.NewPairFrontier(n)
 	for _, nbrs := range oppNbr {
 		for x := 0; x < len(nbrs); x++ {
 			for y := x + 1; y < len(nbrs); y++ {
@@ -216,6 +375,7 @@ func newEvidenceTable(oppNbr [][]int, form EvidenceForm, strict bool) *evidenceT
 			}
 		}
 	}
+	counts.Compact()
 	return &evidenceTable{form: form, strict: strict, counts: counts}
 }
 
@@ -224,23 +384,11 @@ func (e *evidenceTable) score(x, y int) float64 {
 	return EvidenceMultiplier(e.form, int(n), e.strict)
 }
 
-// applyEvidence multiplies every stored pair by its evidence, deleting
-// pairs whose evidence is zero (no common neighbors).
-func applyEvidence(t *sparse.PairTable, ev *evidenceTable) {
-	type upd struct {
-		i, j int
-		v    float64
-	}
-	var updates []upd
-	t.Range(func(i, j int, v float64) bool {
-		updates = append(updates, upd{i, j, v * ev.score(i, j)})
-		return true
+// applyEvidence multiplies every stored pair by its evidence in place,
+// dropping pairs whose evidence is zero (no common neighbors).
+func applyEvidence(f *sparse.PairFrontier, ev *evidenceTable) {
+	f.Map(func(i, j int, v float64) (float64, bool) {
+		v *= ev.score(i, j)
+		return v, v != 0
 	})
-	for _, u := range updates {
-		if u.v == 0 {
-			t.Delete(u.i, u.j)
-		} else {
-			t.Set(u.i, u.j, u.v)
-		}
-	}
 }

@@ -2,237 +2,24 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
 	"simrankpp/internal/clickgraph"
-	"simrankpp/internal/sparse"
 )
 
-// RunParallel is Run with the scatter phase of each iteration sharded
-// across workers goroutines (workers <= 0 selects GOMAXPROCS). Each
-// worker accumulates into a private pair table over a disjoint slice of
-// the source pairs; the shards are then merged and normalized.
+// RunParallel is Run with each iteration's row computations sharded
+// across workers goroutines (workers <= 0 selects GOMAXPROCS). The
+// row-major passes make this embarrassingly parallel: the output row
+// space is split into contiguous ranges balanced by gather weight, every
+// worker computes its rows with a private dense accumulator and emits
+// them into disjoint frontier rows — no locks, no shard tables, and no
+// serial merge phase anywhere.
 //
-// Scores are mathematically identical to Run's; because floating-point
-// addition order differs across shards, results can deviate from the
-// serial engine by rounding error (~1e-15 per accumulation). The
-// differential test bounds this at 1e-9.
+// Scores are mathematically identical to Run's and, because each output
+// row is computed by exactly one worker in the same order as the serial
+// engine, bit-identical to it as well. The differential test pins this.
 func RunParallel(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
-		return Run(g, cfg)
-	}
-	nq, na := g.NumQueries(), g.NumAds()
-
-	qNbr := make([][]int, nq)
-	aNbr := make([][]int, na)
-	var qW, aW [][]float64
-	for q := 0; q < nq; q++ {
-		qNbr[q], _ = g.AdsOf(q)
-	}
-	for a := 0; a < na; a++ {
-		aNbr[a], _ = g.QueriesOf(a)
-	}
-	if cfg.Variant == Weighted {
-		model := newTransitionModel(g, cfg.Channel, cfg.DisableSpread)
-		qW = make([][]float64, nq)
-		aW = make([][]float64, na)
-		for q := 0; q < nq; q++ {
-			qNbr[q], qW[q] = model.queryRow(q)
-		}
-		for a := 0; a < na; a++ {
-			aNbr[a], aW[a] = model.adRow(a)
-		}
-	}
-	var evQ, evA *evidenceTable
-	if cfg.Variant != Simple {
-		evQ = newEvidenceTable(aNbr, cfg.EvidenceForm, cfg.StrictEvidence)
-		evA = newEvidenceTable(qNbr, cfg.EvidenceForm, cfg.StrictEvidence)
-	}
-
-	prevQ := sparse.NewPairTable(0)
-	prevA := sparse.NewPairTable(0)
-	var curQ, curA *sparse.PairTable
-	iters := 0
-	converged := false
-	for it := 0; it < cfg.Iterations; it++ {
-		switch cfg.Variant {
-		case Weighted:
-			curQ = parallelWeightedPass(prevA, qNbr, aNbr, qW, evQ, cfg.C1, workers)
-			curA = parallelWeightedPass(prevQ, aNbr, qNbr, aW, evA, cfg.C2, workers)
-		default:
-			curQ = parallelSimplePass(prevA, qNbr, aNbr, cfg.C1, workers)
-			curA = parallelSimplePass(prevQ, aNbr, qNbr, cfg.C2, workers)
-		}
-		if cfg.PruneEpsilon > 0 {
-			curQ.Prune(cfg.PruneEpsilon)
-			curA.Prune(cfg.PruneEpsilon)
-		}
-		iters = it + 1
-		if cfg.Tolerance > 0 &&
-			curQ.MaxAbsDiff(prevQ) < cfg.Tolerance &&
-			curA.MaxAbsDiff(prevA) < cfg.Tolerance {
-			prevQ, prevA = curQ, curA
-			converged = true
-			break
-		}
-		prevQ, prevA = curQ, curA
-	}
-	if cfg.Variant == Evidence {
-		applyEvidence(prevQ, evQ)
-		applyEvidence(prevA, evA)
-	}
-	return &Result{
-		Graph:       g,
-		Config:      cfg,
-		QueryScores: prevQ,
-		AdScores:    prevA,
-		Iterations:  iters,
-		Converged:   converged,
-	}, nil
-}
-
-// pairSlice materializes a table's pairs for sharding.
-type pairEntry struct {
-	i, j int
-	v    float64
-}
-
-func collectPairs(t *sparse.PairTable) []pairEntry {
-	out := make([]pairEntry, 0, t.Len())
-	t.Range(func(i, j int, v float64) bool {
-		out = append(out, pairEntry{i, j, v})
-		return true
-	})
-	return out
-}
-
-// mergeInto sums src into dst.
-func mergeInto(dst, src *sparse.PairTable) {
-	src.Range(func(i, j int, v float64) bool {
-		dst.Add(i, j, v)
-		return true
-	})
-}
-
-// parallelSimplePass mirrors simplePass with the two scatter loops (the
-// diagonal scatter over opposite nodes and the stored-pair scatter)
-// sharded across workers.
-func parallelSimplePass(opp *sparse.PairTable, thisNbr, oppNbr [][]int, c float64, workers int) *sparse.PairTable {
-	pairs := collectPairs(opp)
-	shards := make([]*sparse.PairTable, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			acc := sparse.NewPairTable(len(pairs)/workers + 16)
-			for o := w; o < len(oppNbr); o += workers {
-				nbrs := oppNbr[o]
-				for x := 0; x < len(nbrs); x++ {
-					for y := x + 1; y < len(nbrs); y++ {
-						acc.Add(nbrs[x], nbrs[y], 1)
-					}
-				}
-			}
-			for p := w; p < len(pairs); p += workers {
-				e := pairs[p]
-				for _, q := range oppNbr[e.i] {
-					for _, r := range oppNbr[e.j] {
-						acc.Add(q, r, e.v)
-					}
-				}
-			}
-			shards[w] = acc
-		}(w)
-	}
-	wg.Wait()
-	acc := shards[0]
-	for _, s := range shards[1:] {
-		mergeInto(acc, s)
-	}
-	out := sparse.NewPairTable(acc.Len())
-	acc.Range(func(x, y int, t float64) bool {
-		dx, dy := len(thisNbr[x]), len(thisNbr[y])
-		if dx > 0 && dy > 0 {
-			if s := c * t / float64(dx*dy); s != 0 {
-				out.Set(x, y, s)
-			}
-		}
-		return true
-	})
-	return out
-}
-
-// parallelWeightedPass mirrors weightedPass with sharded scatter.
-func parallelWeightedPass(opp *sparse.PairTable, thisNbr, oppNbr [][]int, w [][]float64, ev *evidenceTable, c float64, workers int) *sparse.PairTable {
-	revW := make([][]float64, len(oppNbr))
-	pos := make([]int, len(oppNbr))
-	for i := range revW {
-		revW[i] = make([]float64, len(oppNbr[i]))
-	}
-	for x, nbrs := range thisNbr {
-		for k, o := range nbrs {
-			revW[o][pos[o]] = w[x][k]
-			pos[o]++
-		}
-	}
-	pairs := collectPairs(opp)
-	shards := make([]*sparse.PairTable, workers)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			acc := sparse.NewPairTable(len(pairs)/workers + 16)
-			for o := wk; o < len(oppNbr); o += workers {
-				nbrs := oppNbr[o]
-				fw := revW[o]
-				for x := 0; x < len(nbrs); x++ {
-					if fw[x] == 0 {
-						continue
-					}
-					for y := x + 1; y < len(nbrs); y++ {
-						acc.Add(nbrs[x], nbrs[y], fw[x]*fw[y])
-					}
-				}
-			}
-			for p := wk; p < len(pairs); p += workers {
-				e := pairs[p]
-				wi, wj := revW[e.i], revW[e.j]
-				for xi, q := range oppNbr[e.i] {
-					f := wi[xi] * e.v
-					if f == 0 {
-						continue
-					}
-					for yj, r := range oppNbr[e.j] {
-						if q != r {
-							acc.Add(q, r, f*wj[yj])
-						}
-					}
-				}
-			}
-			shards[wk] = acc
-		}(wk)
-	}
-	wg.Wait()
-	acc := shards[0]
-	for _, s := range shards[1:] {
-		mergeInto(acc, s)
-	}
-	out := sparse.NewPairTable(acc.Len())
-	acc.Range(func(x, y int, t float64) bool {
-		if e := ev.score(x, y); e > 0 {
-			if s := e * c * t; s != 0 {
-				out.Set(x, y, s)
-			}
-		}
-		return true
-	})
-	return out
+	return runEngine(g, cfg, workers)
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Micro-benchmarks for the iteration hot path: one accumulation pass per
+// op, map baseline vs frontier-scatter vs the default row-major pass
+// (serial and parallel). Run with
+//
+//	go test -run='^$' -bench='Pass' -benchmem ./internal/core
+//
+// cmd/corebench runs the same bodies and records BENCH_core.json.
+
+func benchPassConfig(b *testing.B) PassBenchConfig {
+	bc := DefaultPassBenchConfig()
+	if testing.Short() {
+		bc.Queries, bc.Ads, bc.Edges = 120, 90, 900
+	}
+	b.Logf("graph: %d queries, %d ads, %d edges, %d workers", bc.Queries, bc.Ads, bc.Edges, bc.Workers)
+	return bc
+}
+
+func runPassBenchCases(b *testing.B, prefix string) {
+	bc := benchPassConfig(b)
+	for _, c := range PassBenchCases(bc) {
+		group, variant, _ := strings.Cut(c.Name, "/")
+		if group != prefix {
+			continue
+		}
+		b.Run(variant, func(b *testing.B) {
+			b.ReportAllocs()
+			c.Body(b.N)
+		})
+	}
+}
+
+func BenchmarkSimplePass(b *testing.B)   { runPassBenchCases(b, "SimplePass") }
+func BenchmarkWeightedPass(b *testing.B) { runPassBenchCases(b, "WeightedPass") }

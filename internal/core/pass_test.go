@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"simrankpp/internal/sparse"
+)
+
+// passFixture builds the pass inputs plus a realistic mid-iteration score
+// state in every representation the pass variants consume: map table,
+// compacted frontier, and symmetric adjacency.
+type passFixture struct {
+	in     *passInputs
+	cfg    Config
+	nq, na int
+	prevAF *sparse.PairFrontier
+	prevAM *sparse.PairTable
+	symA   *sparse.SymAdj
+}
+
+func newPassFixture(t testing.TB, seed uint64, nq, na, edges int, variant Variant) *passFixture {
+	g := randomGraph(seed, nq, na, edges)
+	cfg := DefaultConfig().WithVariant(variant)
+	cfg.Channel = ChannelClicks
+	cfg.Iterations = 3
+	warm, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevAF := sparse.FrontierFromPairTable(warm.AdScores, g.NumAds())
+	return &passFixture{
+		in:     newPassInputs(g, cfg),
+		cfg:    cfg,
+		nq:     g.NumQueries(),
+		na:     g.NumAds(),
+		prevAF: prevAF,
+		prevAM: warm.AdScores,
+		symA:   prevAF.ExpandSymmetric(nil),
+	}
+}
+
+func assertFrontierMatchesTable(t *testing.T, label string, f *sparse.PairFrontier, m *sparse.PairTable, eps float64) {
+	t.Helper()
+	if f.Len() != m.Len() {
+		t.Fatalf("%s: %d pairs (frontier) vs %d (map)", label, f.Len(), m.Len())
+	}
+	m.Range(func(i, j int, mv float64) bool {
+		fv, ok := f.Get(i, j)
+		if !ok || math.Abs(fv-mv) > eps {
+			t.Fatalf("%s: pair (%d,%d) frontier %v,%v map %v", label, i, j, fv, ok, mv)
+		}
+		return true
+	})
+}
+
+// TestSimplePassVariantsMatchMap differentially pins the row-major pass
+// (serial and parallel) and the scatter pass (serial and sharded) against
+// the retained map baseline.
+func TestSimplePassVariantsMatchMap(t *testing.T) {
+	for _, seed := range []uint64{1, 17, 99, 2026} {
+		fx := newPassFixture(t, seed, 12, 10, 40, Simple)
+		want := simplePassMap(fx.prevAM, fx.in.qNbr, fx.in.aNbr, fx.cfg.C1)
+
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := sparse.NewPairFrontier(fx.nq)
+			simplePass(fx.symA, fx.in.qNbr, fx.in.aNbr, fx.cfg.C1, got, workers, newSPAs(workers, fx.nq+fx.na))
+			assertFrontierMatchesTable(t, "row-major", got, want, 1e-12)
+
+			gotS := sparse.NewPairFrontier(fx.nq)
+			simplePassScatter(fx.prevAF, fx.in.qNbr, fx.in.aNbr, fx.cfg.C1, gotS, workers, newShards(workers, fx.nq))
+			assertFrontierMatchesTable(t, "scatter", gotS, want, 1e-12)
+		}
+	}
+}
+
+// TestWeightedPassVariantsMatchMap does the same for the weighted pass,
+// whose map baseline also rebuilds the reversed factor rows per call.
+func TestWeightedPassVariantsMatchMap(t *testing.T) {
+	for _, seed := range []uint64{3, 21, 404} {
+		fx := newPassFixture(t, seed, 11, 9, 35, Weighted)
+		want := weightedPassMap(fx.prevAM, fx.in.qNbr, fx.in.aNbr, fx.in.qW, fx.in.evQ, fx.cfg.C1)
+
+		for _, workers := range []int{1, 2, 5} {
+			got := sparse.NewPairFrontier(fx.nq)
+			weightedPass(fx.symA, fx.in.qNbr, fx.in.aNbr, fx.in.qW, fx.in.revWQ, fx.in.evQ, fx.cfg.C1, got, workers, newSPAs(workers, fx.nq+fx.na))
+			assertFrontierMatchesTable(t, "row-major", got, want, 1e-12)
+
+			gotS := sparse.NewPairFrontier(fx.nq)
+			weightedPassScatter(fx.prevAF, fx.in.qNbr, fx.in.aNbr, fx.in.revWQ, fx.in.evQ, fx.cfg.C1, gotS, workers, newShards(workers, fx.nq))
+			assertFrontierMatchesTable(t, "scatter", gotS, want, 1e-12)
+		}
+	}
+}
+
+// TestParallelBitIdentical: each output row is computed by exactly one
+// worker in the serial kernel order, so RunParallel must equal Run
+// bit-for-bit, not just within rounding.
+func TestParallelBitIdentical(t *testing.T) {
+	g := randomGraph(31, 14, 11, 50)
+	for _, variant := range []Variant{Simple, Evidence, Weighted} {
+		cfg := DefaultConfig().WithVariant(variant)
+		cfg.Channel = ChannelClicks
+		serial := mustRun(t, g, cfg)
+		par, err := RunParallel(g, cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.QueryScores.Range(func(i, j int, v float64) bool {
+			if pv, ok := par.QueryScores.Get(i, j); !ok || pv != v {
+				t.Fatalf("%v: query pair (%d,%d) serial %v parallel %v,%v", variant, i, j, v, pv, ok)
+			}
+			return true
+		})
+		if serial.QueryScores.Len() != par.QueryScores.Len() {
+			t.Fatalf("%v: pair count %d vs %d", variant, serial.QueryScores.Len(), par.QueryScores.Len())
+		}
+	}
+}
+
+// TestTopRewritesConcurrent guards the serving pattern the partner index
+// exists for: many goroutines querying one read-only Result. The lazy
+// index build must be safe under -race.
+func TestTopRewritesConcurrent(t *testing.T) {
+	g := randomGraph(8, 15, 12, 60)
+	res := mustRun(t, g, DefaultConfig())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < g.NumQueries(); q++ {
+				res.TopRewrites(q, 3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := res.QueryScores.TopKFor(0, 3)
+	if len(want) == 0 {
+		t.Fatal("expected rewrites for query 0")
+	}
+}
+
+// TestRunReusesFrontiersAcrossIterations guards the ping-pong reuse: many
+// iterations on the same graph must converge to the dense fixpoint even
+// with pruning re-emptying rows between passes.
+func TestRunReusesFrontiersAcrossIterations(t *testing.T) {
+	g := randomGraph(5, 10, 8, 30)
+	for _, variant := range []Variant{Simple, Evidence, Weighted} {
+		cfg := DefaultConfig().WithVariant(variant)
+		cfg.Channel = ChannelClicks
+		cfg.Iterations = 25
+		cfg.PruneEpsilon = 1e-7
+		d, err := RunDense(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.NumQueries(); i++ {
+			for j := i + 1; j < g.NumQueries(); j++ {
+				// Pruning at 1e-7 over 25 iterations stays well inside 1e-4.
+				if dv, sv := d.QuerySim(i, j), s.QuerySim(i, j); math.Abs(dv-sv) > 1e-4 {
+					t.Fatalf("%v: sim(%d,%d) dense %v frontier %v", variant, i, j, dv, sv)
+				}
+			}
+		}
+	}
+}

@@ -43,7 +43,11 @@ func (r *Result) AdSim(a1, a2 int) float64 {
 }
 
 // TopRewrites returns the k most similar queries to q, descending by score
-// with deterministic tie-breaking; k < 0 returns all scored partners.
+// with deterministic tie-breaking; k < 0 returns all scored partners. The
+// first call builds the per-node partner index (invalidated by mutation),
+// so serving many queries from one result costs O(k) each instead of a
+// full-table scan.
 func (r *Result) TopRewrites(q, k int) []sparse.Scored {
+	r.QueryScores.EnsureIndex()
 	return r.QueryScores.TopKFor(q, k)
 }

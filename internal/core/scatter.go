@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+
+	"simrankpp/internal/sparse"
+)
+
+// This file holds the contribution-scatter formulation of the two passes:
+// each stored pair {i, j} of the opposite side pushes its score over
+// E(i) × E(j) into a PairFrontier via Add, with the parallel variant
+// scattering into per-worker shard frontiers merged by row range
+// (sparse.ParallelMergeNormalize). It is not the default engine path —
+// the row-major dense-accumulator passes in engine.go beat it on the
+// duplication-heavy streams real click graphs produce (see PERF.md) —
+// but it remains correct, differential-tested, and benchmarked, and it is
+// the better shape when rows are too wide for dense accumulators.
+
+// simplePassScatter mirrors simplePass by scattering contributions.
+func simplePassScatter(opp *sparse.PairFrontier, thisNbr, oppNbr [][]int, c float64, dst *sparse.PairFrontier, workers int, shards []*sparse.PairFrontier) {
+	norm := func(x, y int, t float64) (float64, bool) {
+		dx, dy := len(thisNbr[x]), len(thisNbr[y])
+		if dx == 0 || dy == 0 {
+			return 0, false
+		}
+		s := c * t / float64(dx*dy)
+		return s, s != 0
+	}
+	if workers <= 1 {
+		dst.Reset()
+		scatterSimple(opp, oppNbr, dst, 0, 1)
+		dst.CompactNormalize(norm)
+		return
+	}
+	scatterSharded(shards, workers, func(acc *sparse.PairFrontier, w int) {
+		scatterSimple(opp, oppNbr, acc, w, workers)
+	})
+	sparse.ParallelMergeNormalize(dst, shards, workers, norm)
+}
+
+// scatterSimple pushes the strided subset {offset, offset+stride, ...} of
+// scatter sources (opposite nodes for the diagonal terms s(i, i) = 1,
+// opposite-side rows for stored pairs) into acc.
+func scatterSimple(opp *sparse.PairFrontier, oppNbr [][]int, acc *sparse.PairFrontier, offset, stride int) {
+	for o := offset; o < len(oppNbr); o += stride {
+		nbrs := oppNbr[o]
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				acc.Add(nbrs[x], nbrs[y], 1)
+			}
+		}
+	}
+	for i := offset; i < opp.NumRows(); i += stride {
+		ni := oppNbr[i]
+		opp.RangeRow(i, func(j int, v float64) bool {
+			for _, q := range ni {
+				for _, p := range oppNbr[j] {
+					acc.Add(q, p, v) // Add ignores q == p
+				}
+			}
+			return true
+		})
+	}
+}
+
+// weightedPassScatter mirrors weightedPass by scattering contributions.
+func weightedPassScatter(opp *sparse.PairFrontier, thisNbr, oppNbr [][]int, revW [][]float64, ev *evidenceTable, c float64, dst *sparse.PairFrontier, workers int, shards []*sparse.PairFrontier) {
+	norm := func(x, y int, t float64) (float64, bool) {
+		e := ev.score(x, y)
+		if e <= 0 {
+			return 0, false
+		}
+		s := e * c * t
+		return s, s != 0
+	}
+	if workers <= 1 {
+		dst.Reset()
+		scatterWeighted(opp, oppNbr, revW, dst, 0, 1)
+		dst.CompactNormalize(norm)
+		return
+	}
+	scatterSharded(shards, workers, func(acc *sparse.PairFrontier, w int) {
+		scatterWeighted(opp, oppNbr, revW, acc, w, workers)
+	})
+	sparse.ParallelMergeNormalize(dst, shards, workers, norm)
+}
+
+// scatterWeighted is scatterSimple with every contribution scaled by the
+// walk factors of the two edges it traverses.
+func scatterWeighted(opp *sparse.PairFrontier, oppNbr [][]int, revW [][]float64, acc *sparse.PairFrontier, offset, stride int) {
+	for o := offset; o < len(oppNbr); o += stride {
+		nbrs := oppNbr[o]
+		fw := revW[o]
+		for x := 0; x < len(nbrs); x++ {
+			if fw[x] == 0 {
+				continue
+			}
+			for y := x + 1; y < len(nbrs); y++ {
+				acc.Add(nbrs[x], nbrs[y], fw[x]*fw[y])
+			}
+		}
+	}
+	for i := offset; i < opp.NumRows(); i += stride {
+		wi := revW[i]
+		ni := oppNbr[i]
+		opp.RangeRow(i, func(j int, v float64) bool {
+			wj := revW[j]
+			nj := oppNbr[j]
+			for xi, q := range ni {
+				f := wi[xi] * v
+				if f == 0 {
+					continue
+				}
+				for yj, p := range nj {
+					if q != p {
+						acc.Add(q, p, f*wj[yj])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// newShards allocates one private scatter frontier per worker.
+func newShards(workers, rows int) []*sparse.PairFrontier {
+	shards := make([]*sparse.PairFrontier, workers)
+	for w := range shards {
+		shards[w] = sparse.NewPairFrontier(rows)
+	}
+	return shards
+}
+
+// scatterSharded resets each shard and runs scatter(shard, w) on its own
+// goroutine.
+func scatterSharded(shards []*sparse.PairFrontier, workers int, scatter func(acc *sparse.PairFrontier, w int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shards[w].Reset()
+			scatter(shards[w], w)
+		}(w)
+	}
+	wg.Wait()
+}

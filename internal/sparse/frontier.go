@@ -1,0 +1,542 @@
+package sparse
+
+import "sync"
+
+// PairFrontier is the flat accumulation structure behind the SimRank
+// engines' scatter passes. Where PairTable pays one hash+probe per
+// contribution, a frontier buckets contributions by the smaller node index
+// into per-row slices and keeps each row as a sorted, duplicate-free
+// prefix plus a small unsorted tail:
+//
+//   - Add binary-searches the prefix (a handful of comparisons over a
+//     contiguous int32 array). Scatter streams are heavily duplicated —
+//     the same target pair receives one contribution per path through the
+//     opposite side, often hundreds — so the overwhelmingly common case
+//     is a hit: one in-place +=, no growth, no rehashing, no allocation.
+//   - Misses append to the tail. When the tail outgrows a quarter of the
+//     prefix it is folded: sort+sum the tail (the same COO→CSR discipline
+//     COO.Compile uses, via compactPairs) and linear-merge it into the
+//     prefix through a reusable scratch buffer. Fold cost is O(prefix)
+//     per O(prefix/4) misses, so even an all-distinct stream pays O(1)
+//     amortized moves per contribution.
+//
+// Compact folds every tail, leaving rows sorted and duplicate-free for
+// O(log d) Get, ordered Range, and cheap merge-walk MaxAbsDiff/Prune.
+//
+// A frontier is reusable: Reset keeps every row's capacity, so an engine
+// that ping-pongs two frontiers per side allocates only while row
+// capacities are still growing toward the fixpoint's occupancy.
+//
+// Like PairTable, the diagonal is implicit (Add(i,i) is a no-op) and each
+// unordered pair is stored once under its smaller index. Column indices
+// are packed to int32 — the same 32-bit-per-side bound PairKey imposes.
+//
+// A frontier is not safe for concurrent mutation; the parallel engine
+// gives each worker a private frontier and merges by disjoint row ranges.
+type PairFrontier struct {
+	cols   [][]int32
+	vals   [][]float64
+	sorted []int // per-row length of the sorted duplicate-free prefix
+	// scratch backs foldRow's prefix+tail merge, reused across folds.
+	scratchC  []int32
+	scratchV  []float64
+	compacted bool
+}
+
+// minFoldTail is the smallest tail worth folding: below it the append path
+// is cheaper than any sorting.
+const minFoldTail = 16
+
+// NewPairFrontier returns an empty frontier for a side with rows nodes.
+// It is not compacted; call Compact (or CompactNormalize) before reads.
+func NewPairFrontier(rows int) *PairFrontier {
+	return &PairFrontier{
+		cols:   make([][]int32, rows),
+		vals:   make([][]float64, rows),
+		sorted: make([]int, rows),
+	}
+}
+
+// FrontierFromPairTable builds a compacted frontier holding the same pairs
+// as t, for a side with rows nodes.
+func FrontierFromPairTable(t *PairTable, rows int) *PairFrontier {
+	f := NewPairFrontier(rows)
+	t.Range(func(i, j int, v float64) bool {
+		f.Add(i, j, v)
+		return true
+	})
+	f.Compact()
+	return f
+}
+
+// NumRows returns the number of row buckets (the side's node count).
+func (f *PairFrontier) NumRows() int { return len(f.cols) }
+
+// Compacted reports whether the frontier is in its read-optimized form.
+func (f *PairFrontier) Compacted() bool { return f.compacted }
+
+// Len returns the number of stored cells: distinct pairs plus pending
+// tail contributions before Compact, distinct pairs after. O(rows).
+func (f *PairFrontier) Len() int {
+	n := 0
+	for _, row := range f.cols {
+		n += len(row)
+	}
+	return n
+}
+
+// Reset empties the frontier for reuse, keeping every row's capacity.
+func (f *PairFrontier) Reset() {
+	for r := range f.cols {
+		f.cols[r] = f.cols[r][:0]
+		f.vals[r] = f.vals[r][:0]
+		f.sorted[r] = 0
+	}
+	f.compacted = false
+}
+
+// searchPrefix binary-searches row r's sorted prefix for column c,
+// returning the insertion point and whether it is an exact hit.
+func (f *PairFrontier) searchPrefix(r int, c int32) (int, bool) {
+	cols := f.cols[r]
+	lo, hi := 0, f.sorted[r]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cols[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < f.sorted[r] && cols[lo] == c
+}
+
+// Add accumulates contribution v for the unordered pair (i, j) into the
+// bucket of the smaller index. Diagonal pairs are dropped, matching
+// PairTable.
+func (f *PairFrontier) Add(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if k, hit := f.searchPrefix(i, int32(j)); hit {
+		f.vals[i][k] += v
+		return
+	}
+	f.cols[i] = append(f.cols[i], int32(j))
+	f.vals[i] = append(f.vals[i], v)
+	f.compacted = false
+	m := f.sorted[i]
+	if len(f.cols[i])-m >= minFoldTail+m/4 {
+		f.foldRow(i)
+	}
+}
+
+// foldRow merges row r's tail into its sorted prefix: compact the tail in
+// place, then linear-merge prefix and tail through the scratch buffer,
+// summing keys present in both.
+func (f *PairFrontier) foldRow(r int) {
+	m := f.sorted[r]
+	cols, vals := f.cols[r], f.vals[r]
+	if len(cols) == m {
+		return
+	}
+	n := compactPairs(cols[m:], vals[m:])
+	tc, tv := cols[m:m+n], vals[m:m+n]
+	if m == 0 {
+		f.cols[r], f.vals[r] = cols[:n], vals[:n]
+		f.sorted[r] = n
+		return
+	}
+	need := m + n
+	if cap(f.scratchC) < need {
+		f.scratchC = make([]int32, need)
+		f.scratchV = make([]float64, need)
+	}
+	sc, sv := f.scratchC[:need], f.scratchV[:need]
+	i, j, w := 0, 0, 0
+	for i < m || j < n {
+		switch {
+		case j >= n || (i < m && cols[i] < tc[j]):
+			sc[w], sv[w] = cols[i], vals[i]
+			i++
+		case i >= m || tc[j] < cols[i]:
+			sc[w], sv[w] = tc[j], tv[j]
+			j++
+		default:
+			sc[w], sv[w] = cols[i], vals[i]+tv[j]
+			i++
+			j++
+		}
+		w++
+	}
+	copy(cols[:w], sc[:w])
+	copy(vals[:w], sv[:w])
+	f.cols[r], f.vals[r] = cols[:w], vals[:w]
+	f.sorted[r] = w
+}
+
+// Compact folds every pending tail. After it returns, each pair is stored
+// once and rows are ascending.
+func (f *PairFrontier) Compact() {
+	for r := range f.cols {
+		f.foldRow(r)
+	}
+	f.compacted = true
+}
+
+// CompactNormalize compacts every row and rewrites each summed pair with
+// norm(i, j, sum); pairs for which norm reports false are dropped. This is
+// the single pass the engines use to turn raw scatter sums into the next
+// iteration's scores without an intermediate table.
+func (f *PairFrontier) CompactNormalize(norm func(i, j int, sum float64) (float64, bool)) {
+	for r := range f.cols {
+		f.foldRow(r)
+		f.normalizeRow(r, norm)
+	}
+	f.compacted = true
+}
+
+// normalizeRow filters/rewrites a folded row in place, preserving order.
+func (f *PairFrontier) normalizeRow(r int, norm func(i, j int, sum float64) (float64, bool)) {
+	if norm == nil {
+		return
+	}
+	cols, vals := f.cols[r], f.vals[r]
+	w := 0
+	for k := range cols {
+		if v, ok := norm(r, int(cols[k]), vals[k]); ok {
+			cols[w], vals[w] = cols[k], v
+			w++
+		}
+	}
+	f.cols[r], f.vals[r] = cols[:w], vals[:w]
+	f.sorted[r] = w
+}
+
+// rawCompactNormalizeRow rebuilds row r from an arbitrary cell soup (used
+// by the parallel merge after concatenating shard buckets): full sort+sum,
+// then normalize. Unlike foldRow it touches no shared scratch, so disjoint
+// rows can be processed concurrently.
+func (f *PairFrontier) rawCompactNormalizeRow(r int, norm func(i, j int, sum float64) (float64, bool)) {
+	n := compactPairs(f.cols[r], f.vals[r])
+	f.cols[r], f.vals[r] = f.cols[r][:n], f.vals[r][:n]
+	f.sorted[r] = n
+	f.normalizeRow(r, norm)
+}
+
+// Get returns the stored value for the unordered pair (i, j): a binary
+// search of the row's sorted prefix plus a scan of any pending tail (empty
+// once compacted).
+func (f *PairFrontier) Get(i, j int) (float64, bool) {
+	if i == j {
+		return 0, false
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if i >= len(f.cols) {
+		return 0, false
+	}
+	target := int32(j)
+	sum, found := 0.0, false
+	if k, hit := f.searchPrefix(i, target); hit {
+		sum, found = f.vals[i][k], true
+	}
+	cols, vals := f.cols[i], f.vals[i]
+	for k := f.sorted[i]; k < len(cols); k++ {
+		if cols[k] == target {
+			sum += vals[k]
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// Range calls fn for every stored cell with i < j, in row-major sorted
+// order when compacted. If fn returns false, Range stops.
+func (f *PairFrontier) Range(fn func(i, j int, v float64) bool) {
+	for r := range f.cols {
+		vals := f.vals[r]
+		for k, c := range f.cols[r] {
+			if !fn(r, int(c), vals[k]) {
+				return
+			}
+		}
+	}
+}
+
+// RangeRow calls fn for every stored cell (r, j, v) of row r.
+func (f *PairFrontier) RangeRow(r int, fn func(j int, v float64) bool) {
+	vals := f.vals[r]
+	for k, c := range f.cols[r] {
+		if !fn(int(c), vals[k]) {
+			return
+		}
+	}
+}
+
+// Map rewrites every stored pair's value with fn, dropping pairs for which
+// fn reports false. The frontier is compacted first if needed; rows keep
+// their sorted order.
+func (f *PairFrontier) Map(fn func(i, j int, v float64) (float64, bool)) {
+	if !f.compacted {
+		f.Compact()
+	}
+	for r := range f.cols {
+		f.normalizeRow(r, fn)
+	}
+}
+
+// Prune removes every pair whose absolute value is below eps and returns
+// how many were removed, mirroring PairTable.Prune. The frontier is
+// compacted first if needed.
+func (f *PairFrontier) Prune(eps float64) int {
+	if !f.compacted {
+		f.Compact()
+	}
+	removed := 0
+	for r := range f.cols {
+		cols, vals := f.cols[r], f.vals[r]
+		w := 0
+		for k := range cols {
+			if vals[k] < eps && vals[k] > -eps {
+				removed++
+				continue
+			}
+			cols[w], vals[w] = cols[k], vals[k]
+			w++
+		}
+		f.cols[r], f.vals[r] = cols[:w], vals[:w]
+		f.sorted[r] = w
+	}
+	return removed
+}
+
+// MaxAbsDiff returns the largest |a-b| over the union of both frontiers'
+// pairs, treating missing entries as 0 — the convergence measure for
+// iterative SimRank. Rows are compared with a linear merge-walk over their
+// sorted columns; either frontier is compacted first if needed.
+func (f *PairFrontier) MaxAbsDiff(o *PairFrontier) float64 {
+	if !f.compacted {
+		f.Compact()
+	}
+	if !o.compacted {
+		o.Compact()
+	}
+	max := 0.0
+	n := len(f.cols)
+	if len(o.cols) > n {
+		n = len(o.cols)
+	}
+	for r := 0; r < n; r++ {
+		var ac []int32
+		var av []float64
+		if r < len(f.cols) {
+			ac, av = f.cols[r], f.vals[r]
+		}
+		var bc []int32
+		var bv []float64
+		if r < len(o.cols) {
+			bc, bv = o.cols[r], o.vals[r]
+		}
+		i, j := 0, 0
+		for i < len(ac) || j < len(bc) {
+			var d float64
+			switch {
+			case j >= len(bc) || (i < len(ac) && ac[i] < bc[j]):
+				d = av[i]
+				i++
+			case i >= len(ac) || bc[j] < ac[i]:
+				d = bv[j]
+				j++
+			default:
+				d = av[i] - bv[j]
+				i++
+				j++
+			}
+			if d < 0 {
+				d = -d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// SetRow replaces row r's cells with the given columns and values, which
+// must be duplicate-free with every column > r; order may be arbitrary
+// (SetRow sorts in place after copying). The slices are copied, not
+// retained, so callers can reuse them. Distinct rows may be set
+// concurrently. The row-major passes use this to emit each computed row
+// straight into the frontier.
+func (f *PairFrontier) SetRow(r int, cols []int32, vals []float64) {
+	rc := append(f.cols[r][:0], cols...)
+	rv := append(f.vals[r][:0], vals...)
+	sortPairs(rc, rv)
+	f.cols[r], f.vals[r] = rc, rv
+	f.sorted[r] = len(rc)
+}
+
+// SymAdj is the fully-expanded symmetric adjacency of a pair frontier:
+// CSR-style partner lists where each stored pair {i, j} appears in both
+// row i and row j (the diagonal stays implicit). The SimRank row-major
+// passes read it to gather all partners of a node in one contiguous scan.
+type SymAdj struct {
+	RowPtr []int
+	Col    []int32
+	Val    []float64
+
+	next []int // fill cursor, kept for reuse
+}
+
+// RowNNZ returns the number of partners of node r.
+func (s *SymAdj) RowNNZ(r int) int { return s.RowPtr[r+1] - s.RowPtr[r] }
+
+// ExpandSymmetric writes f's symmetric adjacency into dst (allocating one
+// if nil), reusing dst's buffers when they are large enough, and returns
+// it. The frontier is compacted first if needed. Rows come out with
+// ascending columns.
+func (f *PairFrontier) ExpandSymmetric(dst *SymAdj) *SymAdj {
+	if !f.compacted {
+		f.Compact()
+	}
+	if dst == nil {
+		dst = &SymAdj{}
+	}
+	n := len(f.cols)
+	if cap(dst.RowPtr) < n+1 {
+		dst.RowPtr = make([]int, n+1)
+		dst.next = make([]int, n)
+	}
+	ptr := dst.RowPtr[:n+1]
+	next := dst.next[:n]
+	for i := range ptr {
+		ptr[i] = 0
+	}
+	for r, row := range f.cols {
+		ptr[r+1] += len(row)
+		for _, c := range row {
+			ptr[int(c)+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	nnz := ptr[n]
+	if cap(dst.Col) < nnz {
+		dst.Col = make([]int32, nnz)
+		dst.Val = make([]float64, nnz)
+	}
+	col, val := dst.Col[:nnz], dst.Val[:nnz]
+	copy(next, ptr[:n])
+	// Scanning rows in ascending order emits, for every node m, first its
+	// partners below m (as their rows are scanned) and then its own row's
+	// partners above m — each batch ascending, so rows are sorted for free.
+	for r, row := range f.cols {
+		vals := f.vals[r]
+		for k, c := range row {
+			p := next[r]
+			col[p], val[p] = c, vals[k]
+			next[r]++
+			q := next[int(c)]
+			col[q], val[q] = int32(r), vals[k]
+			next[int(c)]++
+		}
+	}
+	dst.RowPtr, dst.Col, dst.Val, dst.next = ptr, col, val, next
+	return dst
+}
+
+// ToPairTable converts the frontier into an equivalent PairTable (the
+// package's public result representation). Pending tails are folded first.
+func (f *PairFrontier) ToPairTable() *PairTable {
+	if !f.compacted {
+		f.Compact()
+	}
+	t := NewPairTable(f.Len())
+	f.Range(func(i, j int, v float64) bool {
+		t.Set(i, j, v)
+		return true
+	})
+	return t
+}
+
+// SplitByWeight partitions [0, len(weights)) into parts contiguous ranges
+// of roughly equal total weight, returned as parts+1 bounds. Both the
+// frontier shard merge and the engine's row-parallel passes use it to
+// balance work, not row counts, across workers.
+func SplitByWeight(weights []int, parts int) []int {
+	n := len(weights)
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	bounds := make([]int, parts+1)
+	bounds[parts] = n
+	r, acc := 0, 0
+	for k := 1; k < parts; k++ {
+		goal := total * k / parts
+		for r < n && acc < goal {
+			acc += weights[r]
+			r++
+		}
+		bounds[k] = r
+	}
+	return bounds
+}
+
+// ParallelMergeNormalize merges the shards' accumulated contributions into
+// dst, compacts, and applies norm (which may be nil), with the row space
+// sharded across workers by contribution weight. Each worker owns a
+// contiguous, disjoint row range — per-row: concatenate every shard's
+// bucket, sort+sum in place, normalize — so no locks are needed and the
+// serial merge bottleneck of a table-based shard reduction disappears.
+// All shards must have dst's row count. dst is reset first and is
+// compacted when the call returns.
+func ParallelMergeNormalize(dst *PairFrontier, shards []*PairFrontier, workers int, norm func(i, j int, sum float64) (float64, bool)) {
+	dst.Reset()
+	n := len(dst.cols)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Weight rows by total incoming cells so ranges balance work, not rows.
+	weights := make([]int, n)
+	for _, s := range shards {
+		for r := 0; r < n; r++ {
+			weights[r] += len(s.cols[r])
+		}
+	}
+	bounds := SplitByWeight(weights, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo, hi := bounds[k], bounds[k+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				if need := weights[r]; cap(dst.cols[r]) < need {
+					dst.cols[r] = make([]int32, 0, need)
+					dst.vals[r] = make([]float64, 0, need)
+				}
+				for _, s := range shards {
+					dst.cols[r] = append(dst.cols[r], s.cols[r]...)
+					dst.vals[r] = append(dst.vals[r], s.vals[r]...)
+				}
+				dst.rawCompactNormalizeRow(r, norm)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	dst.compacted = true
+}

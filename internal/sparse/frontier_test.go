@@ -1,0 +1,349 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for randomized differential tests.
+type lcg uint64
+
+func (s *lcg) next(n int) int {
+	*s = *s*6364136223846793005 + 1442695040888963407
+	return int((uint64(*s) >> 33) % uint64(n))
+}
+
+func (s *lcg) float() float64 { return float64(s.next(2000)-1000) / 100 }
+
+func TestSortPairsMatchesReference(t *testing.T) {
+	rng := lcg(7)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.next(200)
+		cols := make([]int32, n)
+		vals := make([]float64, n)
+		// Small key range forces heavy duplication, the frontier's common case.
+		for i := range cols {
+			cols[i] = int32(rng.next(20))
+			vals[i] = float64(i)
+		}
+		type kv struct {
+			c int32
+			v float64
+		}
+		ref := make([]kv, n)
+		for i := range ref {
+			ref[i] = kv{cols[i], vals[i]}
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return ref[a].c < ref[b].c })
+		sortPairs(cols, vals)
+		seen := make(map[float64]bool, n)
+		for i := range cols {
+			if cols[i] != ref[i].c {
+				t.Fatalf("trial %d: cols[%d] = %d, want %d", trial, i, cols[i], ref[i].c)
+			}
+			if i > 0 && cols[i-1] > cols[i] {
+				t.Fatalf("trial %d: not sorted at %d", trial, i)
+			}
+			seen[vals[i]] = true
+		}
+		// Values must be a permutation (each original index appears once).
+		if len(seen) != n {
+			t.Fatalf("trial %d: values not a permutation: %d distinct of %d", trial, len(seen), n)
+		}
+	}
+}
+
+func TestCompactPairsSumsDuplicates(t *testing.T) {
+	cols := []int32{5, 2, 5, 9, 2, 5}
+	vals := []float64{1, 10, 2, 100, 20, 4}
+	n := compactPairs(cols, vals)
+	if n != 3 {
+		t.Fatalf("compacted length %d, want 3", n)
+	}
+	wantC := []int32{2, 5, 9}
+	wantV := []float64{30, 7, 100}
+	for i := 0; i < n; i++ {
+		if cols[i] != wantC[i] || vals[i] != wantV[i] {
+			t.Errorf("entry %d: (%d, %v), want (%d, %v)", i, cols[i], vals[i], wantC[i], wantV[i])
+		}
+	}
+}
+
+func TestFrontierEmptyRows(t *testing.T) {
+	f := NewPairFrontier(5)
+	f.Compact()
+	if f.Len() != 0 {
+		t.Errorf("empty frontier Len = %d", f.Len())
+	}
+	if _, ok := f.Get(0, 3); ok {
+		t.Error("Get on empty frontier reported a value")
+	}
+	if d := f.MaxAbsDiff(NewPairFrontier(5)); d != 0 {
+		t.Errorf("MaxAbsDiff of empties = %v", d)
+	}
+	f.Range(func(i, j int, v float64) bool {
+		t.Fatalf("Range visited (%d,%d) on empty frontier", i, j)
+		return false
+	})
+	// A frontier with only some rows populated must skip the empty ones.
+	f.Add(2, 4, 1.5)
+	f.Compact()
+	if v, ok := f.Get(4, 2); !ok || v != 1.5 {
+		t.Errorf("Get(4,2) = %v,%v want 1.5,true", v, ok)
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d want 1", f.Len())
+	}
+}
+
+func TestFrontierDiagonalDropped(t *testing.T) {
+	f := NewPairFrontier(4)
+	f.Add(2, 2, 99)
+	f.Add(1, 3, 1)
+	f.Compact()
+	if f.Len() != 1 {
+		t.Errorf("diagonal contribution stored: Len = %d", f.Len())
+	}
+	if _, ok := f.Get(2, 2); ok {
+		t.Error("Get(2,2) found the diagonal")
+	}
+}
+
+func TestFrontierPruneThenAddReuse(t *testing.T) {
+	f := NewPairFrontier(6)
+	f.Add(0, 1, 1e-9)
+	f.Add(0, 2, 0.5)
+	f.Add(3, 4, -1e-9)
+	f.Compact()
+	if removed := f.Prune(1e-6); removed != 2 {
+		t.Fatalf("Prune removed %d, want 2", removed)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("post-prune Len = %d", f.Len())
+	}
+	// Reuse after prune: reset and refill, including rows prune emptied.
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatalf("post-reset Len = %d", f.Len())
+	}
+	f.Add(0, 1, 2)
+	f.Add(1, 0, 3) // unordered: same pair
+	f.Add(3, 4, 7)
+	f.Compact()
+	if v, ok := f.Get(0, 1); !ok || v != 5 {
+		t.Errorf("Get(0,1) after reuse = %v,%v want 5,true", v, ok)
+	}
+	if v, ok := f.Get(3, 4); !ok || v != 7 {
+		t.Errorf("Get(3,4) after reuse = %v,%v want 7,true", v, ok)
+	}
+}
+
+func TestFrontierCompactNormalizeDrops(t *testing.T) {
+	f := NewPairFrontier(3)
+	f.Add(0, 1, 2)
+	f.Add(0, 2, 4)
+	f.Add(1, 2, 6)
+	f.CompactNormalize(func(i, j int, sum float64) (float64, bool) {
+		if j == 2 {
+			return 0, false
+		}
+		return sum * 10, true
+	})
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d want 1", f.Len())
+	}
+	if v, ok := f.Get(0, 1); !ok || v != 20 {
+		t.Errorf("Get(0,1) = %v,%v want 20,true", v, ok)
+	}
+}
+
+// TestFrontierMatchesMapAccumulation is the fuzz-style differential test:
+// identical random Add streams into a PairFrontier and a PairTable must
+// produce identical contents through compact, prune, map, and diff.
+func TestFrontierMatchesMapAccumulation(t *testing.T) {
+	rng := lcg(12345)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.next(30)
+		adds := 1 + rng.next(400)
+		f := NewPairFrontier(n)
+		m := NewPairTable(0)
+		for a := 0; a < adds; a++ {
+			i, j := rng.next(n), rng.next(n)
+			v := rng.float()
+			f.Add(i, j, v)
+			m.Add(i, j, v)
+		}
+		f.Compact()
+		assertFrontierEqualsTable(t, trial, "compact", f, m, n)
+
+		// Prune both with the same epsilon; counts must agree exactly
+		// because the accumulated values are identical sums of the same
+		// inputs in different order only across pairs, not within one.
+		eps := 0.75
+		fr, mr := f.Prune(eps), m.Prune(eps)
+		if fr != mr {
+			t.Fatalf("trial %d: Prune removed %d (frontier) vs %d (map)", trial, fr, mr)
+		}
+		assertFrontierEqualsTable(t, trial, "prune", f, m, n)
+
+		// MaxAbsDiff against a second random set must agree.
+		f2 := NewPairFrontier(n)
+		m2 := NewPairTable(0)
+		for a := 0; a < adds/2; a++ {
+			i, j := rng.next(n), rng.next(n)
+			v := rng.float()
+			f2.Add(i, j, v)
+			m2.Add(i, j, v)
+		}
+		f2.Compact()
+		if df, dm := f.MaxAbsDiff(f2), m.MaxAbsDiff(m2); math.Abs(df-dm) > 1e-12 {
+			t.Fatalf("trial %d: MaxAbsDiff %v (frontier) vs %v (map)", trial, df, dm)
+		}
+		if df, dm := f2.MaxAbsDiff(f), m2.MaxAbsDiff(m); math.Abs(df-dm) > 1e-12 {
+			t.Fatalf("trial %d: reverse MaxAbsDiff %v vs %v", trial, df, dm)
+		}
+
+		// Round-trip to PairTable preserves everything.
+		rt := f.ToPairTable()
+		if rt.Len() != f.Len() {
+			t.Fatalf("trial %d: round trip Len %d vs %d", trial, rt.Len(), f.Len())
+		}
+		rt.Range(func(i, j int, v float64) bool {
+			if fv, ok := f.Get(i, j); !ok || fv != v {
+				t.Fatalf("trial %d: round trip (%d,%d) %v vs %v", trial, i, j, v, fv)
+			}
+			return true
+		})
+	}
+}
+
+func assertFrontierEqualsTable(t *testing.T, trial int, stage string, f *PairFrontier, m *PairTable, n int) {
+	t.Helper()
+	if f.Len() != m.Len() {
+		t.Fatalf("trial %d %s: Len %d (frontier) vs %d (map)", trial, stage, f.Len(), m.Len())
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			fv, fok := f.Get(i, j)
+			mv, mok := m.Get(i, j)
+			if fok != mok || math.Abs(fv-mv) > 1e-12 {
+				t.Fatalf("trial %d %s: pair (%d,%d) frontier %v,%v map %v,%v",
+					trial, stage, i, j, fv, fok, mv, mok)
+			}
+		}
+	}
+	// Range must visit exactly the stored pairs, i < j, ascending within rows.
+	last := -1
+	count := 0
+	f.Range(func(i, j int, v float64) bool {
+		if i >= j {
+			t.Fatalf("trial %d %s: Range yielded i=%d >= j=%d", trial, stage, i, j)
+		}
+		key := i*(n+1) + j
+		if key <= last {
+			t.Fatalf("trial %d %s: Range out of order at (%d,%d)", trial, stage, i, j)
+		}
+		last = key
+		count++
+		return true
+	})
+	if count != m.Len() {
+		t.Fatalf("trial %d %s: Range visited %d pairs, want %d", trial, stage, count, m.Len())
+	}
+}
+
+func TestFrontierUncompactedGetSums(t *testing.T) {
+	f := NewPairFrontier(3)
+	f.Add(0, 1, 1)
+	f.Add(1, 0, 2)
+	if v, ok := f.Get(0, 1); !ok || v != 3 {
+		t.Errorf("uncompacted Get = %v,%v want 3,true", v, ok)
+	}
+}
+
+func TestFrontierFromPairTable(t *testing.T) {
+	m := NewPairTable(0)
+	m.Set(0, 3, 1.5)
+	m.Set(2, 1, -2)
+	f := FrontierFromPairTable(m, 4)
+	if !f.Compacted() || f.Len() != 2 {
+		t.Fatalf("FrontierFromPairTable: compacted=%v len=%d", f.Compacted(), f.Len())
+	}
+	if v, _ := f.Get(3, 0); v != 1.5 {
+		t.Errorf("Get(3,0) = %v", v)
+	}
+	if v, _ := f.Get(1, 2); v != -2 {
+		t.Errorf("Get(1,2) = %v", v)
+	}
+}
+
+func TestParallelMergeNormalizeMatchesSerial(t *testing.T) {
+	rng := lcg(777)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.next(40)
+		workers := 1 + rng.next(6)
+		shards := make([]*PairFrontier, workers)
+		serial := NewPairFrontier(n)
+		for w := range shards {
+			shards[w] = NewPairFrontier(n)
+			adds := rng.next(200)
+			for a := 0; a < adds; a++ {
+				i, j := rng.next(n), rng.next(n)
+				v := float64(1 + rng.next(5))
+				shards[w].Add(i, j, v)
+				serial.Add(i, j, v)
+			}
+		}
+		norm := func(i, j int, sum float64) (float64, bool) {
+			if sum > 40 {
+				return 0, false
+			}
+			return sum / 2, true
+		}
+		dst := NewPairFrontier(n)
+		ParallelMergeNormalize(dst, shards, workers, norm)
+		serial.CompactNormalize(norm)
+		// Integer-valued contributions make the comparison exact even
+		// though addition order differs between the two paths.
+		if d := dst.MaxAbsDiff(serial); d != 0 {
+			t.Fatalf("trial %d (workers=%d): merged result differs by %v", trial, workers, d)
+		}
+		if dst.Len() != serial.Len() {
+			t.Fatalf("trial %d: Len %d vs %d", trial, dst.Len(), serial.Len())
+		}
+	}
+}
+
+func TestPairTableIndexedTopKMatchesScan(t *testing.T) {
+	rng := lcg(42)
+	m := NewPairTable(0)
+	for a := 0; a < 300; a++ {
+		m.Add(rng.next(25), rng.next(25), rng.float())
+	}
+	for _, k := range []int{-1, 0, 1, 3, 100} {
+		for i := 0; i < 25; i++ {
+			scan := m.TopKFor(i, k) // index not built yet
+			m.EnsureIndex()
+			if !m.Indexed() {
+				t.Fatal("EnsureIndex did not build")
+			}
+			indexed := m.TopKFor(i, k)
+			if len(scan) != len(indexed) {
+				t.Fatalf("node %d k=%d: %d scan vs %d indexed", i, k, len(scan), len(indexed))
+			}
+			for p := range scan {
+				if scan[p] != indexed[p] {
+					t.Fatalf("node %d k=%d entry %d: %+v vs %+v", i, k, p, scan[p], indexed[p])
+				}
+			}
+			// Mutation invalidates so the next iteration re-exercises both
+			// paths (off-diagonal: Set on the diagonal is a no-op).
+			n1 := rng.next(24)
+			m.Set(n1, n1+1, rng.float())
+			if m.Indexed() {
+				t.Fatal("mutation did not invalidate index")
+			}
+		}
+	}
+}

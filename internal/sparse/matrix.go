@@ -94,8 +94,7 @@ func (c *CSR) normalizeRows() {
 	w := 0
 	for r := 0; r < c.rows; r++ {
 		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
-		row := rowView{cols: c.ColIdx[lo:hi], vals: c.Val[lo:hi]}
-		sort.Sort(row)
+		sortPairs(c.ColIdx[lo:hi], c.Val[lo:hi])
 		outPtr[r] = w
 		for i := lo; i < hi; i++ {
 			if w > outPtr[r] && c.ColIdx[w-1] == c.ColIdx[i] {
@@ -111,18 +110,6 @@ func (c *CSR) normalizeRows() {
 	c.RowPtr = outPtr
 	c.ColIdx = c.ColIdx[:w]
 	c.Val = c.Val[:w]
-}
-
-type rowView struct {
-	cols []int
-	vals []float64
-}
-
-func (r rowView) Len() int           { return len(r.cols) }
-func (r rowView) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
-func (r rowView) Swap(i, j int) {
-	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
-	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
 }
 
 // Dims returns the matrix dimensions.
