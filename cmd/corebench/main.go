@@ -31,14 +31,42 @@ type passResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// iterSample is one engine iteration of a weighted multi-iteration run:
+// wall time plus how many output rows the change-tracked delta skip copied
+// forward instead of recomputing.
+type iterSample struct {
+	Iter          int     `json:"iter"`
+	Ns            float64 `json:"ns"`
+	QuerySkipped  int     `json:"query_rows_skipped"`
+	AdSkipped     int     `json:"ad_rows_skipped"`
+	QuerySkipRate float64 `json:"query_skip_rate"`
+	AdSkipRate    float64 `json:"ad_skip_rate"`
+}
+
 type report struct {
-	GeneratedAt     string               `json:"generated_at"`
-	GoVersion       string               `json:"go_version"`
-	GOMAXPROCS      int                  `json:"gomaxprocs"`
-	Workload        core.PassBenchConfig `json:"workload"`
-	Results         []passResult         `json:"results"`
-	SpeedupVsMap    map[string]float64   `json:"speedup_vs_map"`
-	AllocRatioVsMap map[string]float64   `json:"alloc_ratio_vs_map"`
+	GeneratedAt string               `json:"generated_at"`
+	GoVersion   string               `json:"go_version"`
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	Workload    core.PassBenchConfig `json:"workload"`
+	Results     []passResult         `json:"results"`
+	// SpeedupVsBaseline / AllocRatioVsBaseline compare each variant to
+	// its group's baseline (baselineVariant): the map passes for
+	// SimplePass/WeightedPass, the Add-based build for EvidenceBuild.
+	SpeedupVsBaseline    map[string]float64 `json:"speedup_vs_baseline"`
+	AllocRatioVsBaseline map[string]float64 `json:"alloc_ratio_vs_baseline"`
+	// WeightedIterations holds one 20-iteration weighted-run trajectory
+	// per delta-skip mode (core.IterTrajectoryModes), so the record shows
+	// row skipping making later iterations cheaper as rows freeze.
+	WeightedIterations map[string][]iterSample `json:"weighted_iterations"`
+}
+
+// baselineVariant names the variant each benchmark group's speedups are
+// computed against: the map-based passes, and the Add-based evidence
+// build.
+var baselineVariant = map[string]string{
+	"SimplePass":    "map",
+	"WeightedPass":  "map",
+	"EvidenceBuild": "add",
 }
 
 func main() {
@@ -53,8 +81,10 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "corebench: %d queries, %d ads, %d edges, %d workers\n",
 		bc.Queries, bc.Ads, bc.Edges, bc.Workers)
+	cases := core.PassBenchCases(bc)
+	cases = append(cases, core.EvidenceBuildBenchCases(bc)...)
 	var results []passResult
-	for _, c := range core.PassBenchCases(bc) {
+	for _, c := range cases {
 		body := c.Body
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -71,30 +101,57 @@ func main() {
 			pr.Name, pr.NsPerOp, pr.BytesPerOp, pr.AllocsPerOp)
 	}
 
+	const trajectoryIters = 20
+	trajectories := map[string][]iterSample{}
+	for _, m := range core.IterTrajectoryModes {
+		stats := core.IterationTrajectory(bc, trajectoryIters, m.SkipTol, m.Channel)
+		samples := make([]iterSample, len(stats))
+		for i, s := range stats {
+			samples[i] = iterSample{
+				Iter:         i + 1,
+				Ns:           float64(s.Duration.Nanoseconds()),
+				QuerySkipped: s.QueryRowsSkipped,
+				AdSkipped:    s.AdRowsSkipped,
+			}
+			if s.QueryRows > 0 {
+				samples[i].QuerySkipRate = float64(s.QueryRowsSkipped) / float64(s.QueryRows)
+			}
+			if s.AdRows > 0 {
+				samples[i].AdSkipRate = float64(s.AdRowsSkipped) / float64(s.AdRows)
+			}
+		}
+		trajectories[m.Name] = samples
+		first, last := samples[0], samples[len(samples)-1]
+		fmt.Fprintf(os.Stderr, "  WeightedIterations/%-19s iter1 %9.0f ns  iter%d %9.0f ns  final skip q=%.0f%% a=%.0f%%\n",
+			m.Name, first.Ns, last.Iter, last.Ns, 100*last.QuerySkipRate, 100*last.AdSkipRate)
+	}
+
 	rep := report{
-		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
-		GoVersion:       runtime.Version(),
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Workload:        bc,
-		Results:         results,
-		SpeedupVsMap:    map[string]float64{},
-		AllocRatioVsMap: map[string]float64{},
+		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:            runtime.Version(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Workload:             bc,
+		Results:              results,
+		SpeedupVsBaseline:    map[string]float64{},
+		AllocRatioVsBaseline: map[string]float64{},
+		WeightedIterations:   trajectories,
 	}
 	base := map[string]passResult{}
 	for _, r := range results {
-		if strings.HasSuffix(r.Name, "/map") {
-			base[strings.TrimSuffix(r.Name, "/map")] = r
+		group, variant, _ := strings.Cut(r.Name, "/")
+		if variant == baselineVariant[group] {
+			base[group] = r
 		}
 	}
 	for _, r := range results {
 		group, variant, _ := strings.Cut(r.Name, "/")
-		if variant == "map" {
+		if variant == baselineVariant[group] {
 			continue
 		}
 		if b, ok := base[group]; ok && r.NsPerOp > 0 {
-			rep.SpeedupVsMap[r.Name] = b.NsPerOp / r.NsPerOp
+			rep.SpeedupVsBaseline[r.Name] = b.NsPerOp / r.NsPerOp
 			if r.AllocsPerOp > 0 {
-				rep.AllocRatioVsMap[r.Name] = float64(b.AllocsPerOp) / float64(r.AllocsPerOp)
+				rep.AllocRatioVsBaseline[r.Name] = float64(b.AllocsPerOp) / float64(r.AllocsPerOp)
 			}
 		}
 	}

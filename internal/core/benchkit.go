@@ -124,14 +124,14 @@ func benchSimplePass(st *passBenchState, workers int) map[string]func(n int) {
 			dst := sparse.NewPairFrontier(st.nq)
 			spas := newSPAs(1, side)
 			for i := 0; i < n; i++ {
-				simplePass(st.symA, st.in.qNbr, st.in.aNbr, st.cfg.C1, dst, 1, spas)
+				simplePass(st.symA, st.in.qNbr, st.in.aNbr, st.cfg.C1, dst, nil, nil, 1, spas)
 			}
 		},
 		"parallel": func(n int) {
 			dst := sparse.NewPairFrontier(st.nq)
 			spas := newSPAs(workers, side)
 			for i := 0; i < n; i++ {
-				simplePass(st.symA, st.in.qNbr, st.in.aNbr, st.cfg.C1, dst, workers, spas)
+				simplePass(st.symA, st.in.qNbr, st.in.aNbr, st.cfg.C1, dst, nil, nil, workers, spas)
 			}
 		},
 	}
@@ -156,14 +156,14 @@ func benchWeightedPass(st *passBenchState, workers int) map[string]func(n int) {
 			dst := sparse.NewPairFrontier(st.nq)
 			spas := newSPAs(1, side)
 			for i := 0; i < n; i++ {
-				weightedPass(st.symA, st.in.qNbr, st.in.aNbr, st.in.qW, st.in.revWQ, st.in.evQ, st.cfg.C1, dst, 1, spas)
+				weightedPass(st.symA, st.in.qNbr, st.in.aNbr, st.in.qW, st.in.revWQ, st.in.evQ, st.cfg.C1, dst, nil, nil, 1, spas)
 			}
 		},
 		"parallel": func(n int) {
 			dst := sparse.NewPairFrontier(st.nq)
 			spas := newSPAs(workers, side)
 			for i := 0; i < n; i++ {
-				weightedPass(st.symA, st.in.qNbr, st.in.aNbr, st.in.qW, st.in.revWQ, st.in.evQ, st.cfg.C1, dst, workers, spas)
+				weightedPass(st.symA, st.in.qNbr, st.in.aNbr, st.in.qW, st.in.revWQ, st.in.evQ, st.cfg.C1, dst, nil, nil, workers, spas)
 			}
 		},
 	}
@@ -185,4 +185,96 @@ func PassBenchCases(bc PassBenchConfig) []PassBenchCase {
 	add("SimplePass", benchSimplePass(newPassBenchState(bc, Simple), bc.Workers))
 	add("WeightedPass", benchWeightedPass(newPassBenchState(bc, Weighted), bc.Workers))
 	return out
+}
+
+// evidenceCountsViaAdd is the pre-fusion evidence build (one
+// PairFrontier.Add per co-occurrence event, multiplier deferred to
+// lookup), retained as the baseline EvidenceBuildBenchCases measures the
+// sorted per-row scatter against.
+func evidenceCountsViaAdd(n int, oppNbr [][]int) *sparse.PairFrontier {
+	counts := sparse.NewPairFrontier(n)
+	for _, nbrs := range oppNbr {
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				counts.Add(nbrs[x], nbrs[y], 1)
+			}
+		}
+	}
+	counts.Compact()
+	return counts
+}
+
+// EvidenceBuildBenchCases benchmarks building the query-side evidence
+// table on the bench graph: "add" is the old per-pair accumulation of raw
+// counts, "scatter" the current sorted per-row scatter (which additionally
+// precomputes every multiplier and expands the symmetric CSR the fused
+// harvest reads).
+func EvidenceBuildBenchCases(bc PassBenchConfig) []PassBenchCase {
+	g := benchGraph(bc.Seed, bc.Queries, bc.Ads, bc.Edges)
+	nq := g.NumQueries()
+	aNbr := make([][]int, g.NumAds())
+	for a := range aNbr {
+		aNbr[a], _ = g.QueriesOf(a)
+	}
+	return []PassBenchCase{
+		{Name: "EvidenceBuild/add", Body: func(n int) {
+			for i := 0; i < n; i++ {
+				evidenceCountsViaAdd(nq, aNbr)
+			}
+		}},
+		{Name: "EvidenceBuild/scatter", Body: func(n int) {
+			for i := 0; i < n; i++ {
+				newEvidenceTable(nq, aNbr, EvidenceGeometric, false)
+			}
+		}},
+	}
+}
+
+// IterationTrajectory runs the full weighted engine on the bench graph for
+// the given number of iterations (no early stop) and returns the
+// per-iteration stats: wall time plus how many rows the change-tracked
+// delta skip copied forward. skipTol maps to Config.DeltaSkipTolerance;
+// negative disables delta skipping, giving the full-recompute reference
+// trajectory.
+//
+// The channel picks the convergence regime on the synthetic bench graph:
+// ChannelRate (the paper's default) keeps every score alive, so rows only
+// freeze within a positive skipTol; ChannelClicks drains the run — its
+// spread factor e^{-Var} pushes every score below the prune threshold —
+// so after two iterations exact skipping copies the whole graph forward.
+func IterationTrajectory(bc PassBenchConfig, iterations int, skipTol float64, channel WeightChannel) []IterationStat {
+	if bc.Workers <= 0 {
+		bc.Workers = runtime.GOMAXPROCS(0)
+	}
+	g := benchGraph(bc.Seed, bc.Queries, bc.Ads, bc.Edges)
+	cfg := DefaultConfig().WithVariant(Weighted)
+	cfg.Channel = channel
+	cfg.Iterations = iterations
+	cfg.PruneEpsilon = 1e-5
+	if skipTol < 0 {
+		cfg.DisableDeltaSkip = true
+	} else {
+		cfg.DeltaSkipTolerance = skipTol
+	}
+	res, err := RunParallel(g, cfg, bc.Workers)
+	if err != nil {
+		panic(err)
+	}
+	return res.IterStats
+}
+
+// IterTrajectoryModes is the fixed trajectory matrix corebench records and
+// BenchmarkWeightedIterations runs: full recompute as the reference, exact
+// and tolerance-scaled delta skipping on the live (rate-channel) workload,
+// and exact skipping on the drained (clicks-channel) workload where rows
+// genuinely freeze.
+var IterTrajectoryModes = []struct {
+	Name    string
+	Channel WeightChannel
+	SkipTol float64 // negative: delta skip disabled
+}{
+	{"full", ChannelRate, -1},
+	{"delta-exact", ChannelRate, 0},
+	{"delta-tol1e-5", ChannelRate, 1e-5},
+	{"drained-delta-exact", ChannelClicks, 0},
 }

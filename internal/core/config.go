@@ -136,6 +136,23 @@ type Config struct {
 	// below it between iterations. This bounds memory on large graphs at
 	// the cost of exactness. The dense engine ignores it.
 	PruneEpsilon float64
+	// DeltaSkipTolerance tunes the sparse engines' change-tracked row
+	// skipping. An output row depends only on the score rows of its
+	// neighbors on the opposite side; when none of those moved since the
+	// previous iteration the engine copies the row's previous output
+	// instead of recomputing it. With the default 0, a node counts as
+	// moved if any of its pairs differs at all, so skipping is exact and
+	// results are bit-identical to full recomputation. A positive value
+	// also treats nodes whose largest pair change is within the tolerance
+	// as unmoved, trading a bounded score error for earlier skipping
+	// (differential-tested against full recompute). The dense engine
+	// ignores it.
+	DeltaSkipTolerance float64
+	// DisableDeltaSkip forces the sparse engines to recompute every row
+	// every iteration. It exists as the reference for the delta-skip
+	// differential tests and as an ablation; production runs should leave
+	// it off.
+	DisableDeltaSkip bool
 }
 
 // DefaultConfig returns the paper's experimental settings: C1 = C2 = 0.8
@@ -167,6 +184,9 @@ func (c Config) Validate() error {
 	}
 	if c.PruneEpsilon < 0 {
 		return fmt.Errorf("core: PruneEpsilon must be >= 0, got %v", c.PruneEpsilon)
+	}
+	if c.DeltaSkipTolerance < 0 {
+		return fmt.Errorf("core: DeltaSkipTolerance must be >= 0, got %v", c.DeltaSkipTolerance)
 	}
 	switch c.Variant {
 	case Simple, Evidence, Weighted:

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/sparse"
@@ -94,6 +96,14 @@ func reverseFactors(thisNbr, oppNbr [][]int, w [][]float64) [][]float64 {
 // row by row from the opposite side's prev (expanded to a symmetric
 // adjacency once per iteration), and swapped in; prev's buckets become
 // the next iteration's scratch.
+//
+// Iteration is change-tracked: the convergence merge-walk also marks which
+// nodes' scores moved (MaxAbsDiffChanged), and an output row whose
+// neighbors all went unmarked is copied forward from the previous output
+// instead of recomputed. With the default exact-equality tracking the copy
+// is bit-identical to recomputation — SimRank converges row by row, so
+// late iterations approach the cost of only their still-moving rows. See
+// Config.DeltaSkipTolerance / Config.DisableDeltaSkip.
 func runEngine(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -112,32 +122,59 @@ func runEngine(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) {
 	}
 	spas := newSPAs(workers, side)
 
+	deltaSkip := !cfg.DisableDeltaSkip
+	var chgQ, chgA *sparse.Bitset // nodes whose scores moved last iteration
+	if deltaSkip {
+		chgQ, chgA = sparse.NewBitset(nq), sparse.NewBitset(na)
+	}
+	// skipQ/skipA gate row skipping in the passes; nil (the first
+	// iteration, or always when delta skip is disabled) recomputes
+	// everything.
+	var skipQ, skipA *sparse.Bitset
+
 	iters := 0
 	converged := false
+	stats := make([]IterationStat, 0, cfg.Iterations)
 	for it := 0; it < cfg.Iterations; it++ {
+		start := time.Now()
 		symA = prevA.ExpandSymmetric(symA)
 		symQ = prevQ.ExpandSymmetric(symQ)
+		var sq, sa int
 		switch cfg.Variant {
 		case Weighted:
-			weightedPass(symA, in.qNbr, in.aNbr, in.qW, in.revWQ, in.evQ, cfg.C1, curQ, workers, spas)
-			weightedPass(symQ, in.aNbr, in.qNbr, in.aW, in.revWA, in.evA, cfg.C2, curA, workers, spas)
+			sq = weightedPass(symA, in.qNbr, in.aNbr, in.qW, in.revWQ, in.evQ, cfg.C1, curQ, prevQ, skipA, workers, spas)
+			sa = weightedPass(symQ, in.aNbr, in.qNbr, in.aW, in.revWA, in.evA, cfg.C2, curA, prevA, skipQ, workers, spas)
 		default:
-			simplePass(symA, in.qNbr, in.aNbr, cfg.C1, curQ, workers, spas)
-			simplePass(symQ, in.aNbr, in.qNbr, cfg.C2, curA, workers, spas)
+			sq = simplePass(symA, in.qNbr, in.aNbr, cfg.C1, curQ, prevQ, skipA, workers, spas)
+			sa = simplePass(symQ, in.aNbr, in.qNbr, cfg.C2, curA, prevA, skipQ, workers, spas)
 		}
 		if cfg.PruneEpsilon > 0 {
 			curQ.Prune(cfg.PruneEpsilon)
 			curA.Prune(cfg.PruneEpsilon)
 		}
 		iters = it + 1
-		done := cfg.Tolerance > 0 &&
-			curQ.MaxAbsDiff(prevQ) < cfg.Tolerance &&
-			curA.MaxAbsDiff(prevA) < cfg.Tolerance
+		var diffQ, diffA float64
+		if deltaSkip || cfg.Tolerance > 0 {
+			if deltaSkip {
+				chgQ.Clear()
+				chgA.Clear()
+			}
+			diffQ = curQ.MaxAbsDiffChanged(prevQ, cfg.DeltaSkipTolerance, chgQ)
+			diffA = curA.MaxAbsDiffChanged(prevA, cfg.DeltaSkipTolerance, chgA)
+		}
+		stats = append(stats, IterationStat{
+			Duration:         time.Since(start),
+			QueryRowsSkipped: sq, QueryRows: nq,
+			AdRowsSkipped: sa, AdRows: na,
+		})
 		prevQ, curQ = curQ, prevQ
 		prevA, curA = curA, prevA
-		if done {
+		if cfg.Tolerance > 0 && diffQ < cfg.Tolerance && diffA < cfg.Tolerance {
 			converged = true
 			break
+		}
+		if deltaSkip {
+			skipQ, skipA = chgQ, chgA
 		}
 	}
 
@@ -152,8 +189,18 @@ func runEngine(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) {
 		AdScores:    prevA.ToPairTable(),
 		Iterations:  iters,
 		Converged:   converged,
+		IterStats:   stats,
 	}, nil
 }
+
+// harvestDenseCutoff decides how an output row's touched list is put into
+// sorted order for the emit (and the evidence merge-walk): when the
+// remaining accumulator range (x, n) is at most this many times the
+// touched count, the harvest scans the range directly — touched cells come
+// out sorted for free and the scan is branch-predictable — otherwise the
+// touched list is sorted. Mid-run SimRank rows are dense, so the scan is
+// the common case; the sort covers early iterations and stragglers.
+const harvestDenseCutoff = 8
 
 // spa is one worker's sparse-accumulator state: dense value arrays with
 // touched lists for the gather (u, over the opposite side) and the row
@@ -176,24 +223,58 @@ func newSPAs(workers, n int) []*spa {
 	return spas
 }
 
-// runRowPass drives kernel over every output row of one side. With
+// runRowPass drives kernel over every output row of one side, returning
+// how many rows the delta skip copied forward instead of computing. With
 // workers > 1 the row space is split into contiguous ranges weighted by
 // expected gather work; each worker owns disjoint rows and a private spa,
 // so rows are computed and emitted with no locks and no merge phase.
-func runRowPass(thisNbr [][]int, sym *sparse.SymAdj, dst *sparse.PairFrontier, workers int, spas []*spa, kernel func(sp *spa, x int)) {
+//
+// When changed is non-nil it marks the opposite-side nodes whose scores
+// moved last iteration; an output row x depends only on the score rows of
+// i ∈ thisNbr[x], so if none of them is marked, row x of prev is copied
+// into dst — identical to what the kernel would recompute, for free.
+func runRowPass(thisNbr [][]int, sym *sparse.SymAdj, dst, prev *sparse.PairFrontier, changed *sparse.Bitset, workers int, spas []*spa, kernel func(sp *spa, x int)) int {
 	n := len(thisNbr)
 	dst.Reset()
 	if workers > n {
 		workers = n
 	}
+	unchanged := func(x int) bool {
+		// Rows with no neighbors are always empty and free to recompute;
+		// not counting them keeps the skip metrics honest.
+		if changed == nil || len(thisNbr[x]) == 0 {
+			return false
+		}
+		for _, i := range thisNbr[x] {
+			if changed.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	skipped := 0
 	if workers <= 1 {
 		sp := spas[0]
 		for x := 0; x < n; x++ {
+			if unchanged(x) {
+				dst.CopyRowFrom(prev, x)
+				skipped++
+				continue
+			}
 			kernel(sp, x)
 		}
 	} else {
 		weights := make([]int, n)
+		var skip []bool // decided once here, read by the workers
+		if changed != nil {
+			skip = make([]bool, n)
+		}
 		for x, nbrs := range thisNbr {
+			if unchanged(x) {
+				skip[x] = true
+				weights[x] = 1 // a copy, not a gather
+				continue
+			}
 			w := 1
 			for _, i := range nbrs {
 				w += 1 + sym.RowNNZ(i)
@@ -201,6 +282,7 @@ func runRowPass(thisNbr [][]int, sym *sparse.SymAdj, dst *sparse.PairFrontier, w
 			weights[x] = w
 		}
 		bounds := sparse.SplitByWeight(weights, workers)
+		skips := make([]int, workers)
 		var wg sync.WaitGroup
 		for wk := 0; wk < workers; wk++ {
 			lo, hi := bounds[wk], bounds[wk+1]
@@ -208,16 +290,25 @@ func runRowPass(thisNbr [][]int, sym *sparse.SymAdj, dst *sparse.PairFrontier, w
 				continue
 			}
 			wg.Add(1)
-			go func(sp *spa, lo, hi int) {
+			go func(sp *spa, wk, lo, hi int) {
 				defer wg.Done()
 				for x := lo; x < hi; x++ {
+					if skip != nil && skip[x] {
+						dst.CopyRowFrom(prev, x)
+						skips[wk]++
+						continue
+					}
 					kernel(sp, x)
 				}
-			}(spas[wk], lo, hi)
+			}(spas[wk], wk, lo, hi)
 		}
 		wg.Wait()
+		for _, s := range skips {
+			skipped += s
+		}
 	}
 	dst.Compact() // rows were emitted sorted; this just flips the flag
+	return skipped
 }
 
 // simplePass computes one plain-SimRank iteration for one side ("this"
@@ -230,8 +321,8 @@ func runRowPass(thisNbr [][]int, sym *sparse.SymAdj, dst *sparse.PairFrontier, w
 // each touched j scatters u(j) to t(p) for its neighbors p ∈ E(j) with
 // p > x — T is symmetric, so row x's computation alone yields the full
 // sum for every stored pair (x, y), y > x.
-func simplePass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, c float64, dst *sparse.PairFrontier, workers int, spas []*spa) {
-	runRowPass(thisNbr, sym, dst, workers, spas, func(sp *spa, x int) {
+func simplePass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, c float64, dst, prev *sparse.PairFrontier, changed *sparse.Bitset, workers int, spas []*spa) int {
+	return runRowPass(thisNbr, sym, dst, prev, changed, workers, spas, func(sp *spa, x int) {
 		nbrs := thisNbr[x]
 		if len(nbrs) == 0 {
 			return
@@ -267,6 +358,7 @@ func simplePass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, c float64, dst *spa
 			}
 		}
 		sp.ut = ut
+		tt = sortTouched(t, tt, x, len(thisNbr))
 		rowC, rowV := sp.rowC[:0], sp.rowV[:0]
 		dx := float64(len(nbrs))
 		for _, p := range tt {
@@ -279,8 +371,29 @@ func simplePass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, c float64, dst *spa
 		}
 		sp.tt = tt
 		sp.rowC, sp.rowV = rowC, rowV
-		dst.SetRow(x, rowC, rowV)
+		dst.SetSortedRow(x, rowC, rowV)
 	})
+}
+
+// sortTouched puts the row accumulator's touched list into ascending
+// order — the order the frontier stores rows in and the evidence
+// merge-walk requires. The scatter phase only writes indices in (x, n),
+// so when the touched list is dense relative to that range it is
+// recollected from a direct scan of t (sorted for free, and
+// branch-predictable); sparse lists are sorted instead. Harvest loops
+// stay in the kernels so their emit logic compiles to direct calls.
+func sortTouched(t []float64, tt []int, x, n int) []int {
+	if n-x-1 <= harvestDenseCutoff*len(tt) {
+		tt = tt[:0]
+		for p := x + 1; p < n; p++ {
+			if t[p] != 0 {
+				tt = append(tt, p)
+			}
+		}
+		return tt
+	}
+	sort.Ints(tt)
+	return tt
 }
 
 // weightedPass computes one weighted-SimRank iteration for one side into
@@ -289,8 +402,13 @@ func simplePass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, c float64, dst *spa
 // w holds this side's forward factor rows (aligned with thisNbr) and revW
 // the factors reversed onto the opposite side (reverseFactors), both
 // built once per run.
-func weightedPass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, w, revW [][]float64, ev *evidenceTable, c float64, dst *sparse.PairFrontier, workers int, spas []*spa) {
-	runRowPass(thisNbr, sym, dst, workers, spas, func(sp *spa, x int) {
+//
+// Evidence is fused into the harvest: the touched list is sorted (rows
+// must be emitted sorted anyway) and merge-walked against the evidence
+// table's precomputed multiplier row for x — O(d + k) sequential reads
+// instead of k binary-searched lookups each paying the multiplier math.
+func weightedPass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, w, revW [][]float64, ev *evidenceTable, c float64, dst, prev *sparse.PairFrontier, changed *sparse.Bitset, workers int, spas []*spa) int {
+	return runRowPass(thisNbr, sym, dst, prev, changed, workers, spas, func(sp *spa, x int) {
 		nbrs := thisNbr[x]
 		if len(nbrs) == 0 {
 			return
@@ -337,11 +455,22 @@ func weightedPass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, w, revW [][]float
 			}
 		}
 		sp.ut = ut
+		tt = sortTouched(t, tt, x, len(thisNbr))
 		rowC, rowV := sp.rowC[:0], sp.rowV[:0]
+		evC, evV := ev.mult.Row(x)
+		def := ev.def
+		k := 0 // merge-walk cursor into the evidence row; p ascends with it
 		for _, p := range tt {
 			tv := t[p]
 			t[p] = 0
-			if e := ev.score(x, p); e > 0 {
+			for k < len(evC) && int(evC[k]) < p {
+				k++
+			}
+			e := def
+			if k < len(evC) && int(evC[k]) == p {
+				e = evV[k]
+			}
+			if e > 0 {
 				if s := e * c * tv; s != 0 {
 					rowC = append(rowC, int32(p))
 					rowV = append(rowV, s)
@@ -350,38 +479,102 @@ func weightedPass(sym *sparse.SymAdj, thisNbr, oppNbr [][]int, w, revW [][]float
 		}
 		sp.tt = tt
 		sp.rowC, sp.rowV = rowC, rowV
-		dst.SetRow(x, rowC, rowV)
+		dst.SetSortedRow(x, rowC, rowV)
 	})
 }
 
-// evidenceTable caches common-neighbor counts for one side in a compacted
-// frontier (O(log d) lookup, no hashing), with the configured evidence
-// multiplier applied on lookup.
+// evidenceTable holds one side's evidence multipliers, fully expanded into
+// a symmetric CSR (sparse.SymAdj) whose values are the precomputed
+// EvidenceMultiplier of each pair's common-neighbor count. The exp/shift
+// math of Equation 7.3/7.4 is paid once per pair at build; the weighted
+// harvest merge-walks a row instead of probing a table, and pairs with no
+// common neighbors fall through to def (1 pass-through, or 0 under
+// Config.StrictEvidence).
 type evidenceTable struct {
-	form   EvidenceForm
-	strict bool
-	counts *sparse.PairFrontier
+	mult *sparse.SymAdj
+	def  float64
 }
 
 // newEvidenceTable counts common neighbors for every pair on one side (n
-// nodes) by scattering through the opposite side's neighbor lists (oppNbr
-// maps each opposite-side node to this side's adjacent nodes).
+// nodes) and maps the counts to multipliers. oppNbr maps each
+// opposite-side node to this side's adjacent nodes (ascending), so every
+// pair (nbrs[x], nbrs[y]), x < y, is one co-occurrence event already
+// bucketed under its smaller index. The build is a sorted per-row scatter:
+// size each bucket, scatter the events flat, then sort + run-length count
+// each row — no per-pair binary searches and no tail-fold churn.
 func newEvidenceTable(n int, oppNbr [][]int, form EvidenceForm, strict bool) *evidenceTable {
-	counts := sparse.NewPairFrontier(n)
+	start := make([]int, n+1)
 	for _, nbrs := range oppNbr {
-		for x := 0; x < len(nbrs); x++ {
-			for y := x + 1; y < len(nbrs); y++ {
-				counts.Add(nbrs[x], nbrs[y], 1)
-			}
+		for k := range nbrs {
+			start[nbrs[k]+1] += len(nbrs) - k - 1
 		}
 	}
-	counts.Compact()
-	return &evidenceTable{form: form, strict: strict, counts: counts}
+	for i := 0; i < n; i++ {
+		start[i+1] += start[i]
+	}
+	events := make([]int32, start[n])
+	next := make([]int, n)
+	copy(next, start[:n])
+	for _, nbrs := range oppNbr {
+		for x := 0; x+1 < len(nbrs); x++ {
+			p := next[nbrs[x]]
+			for _, y := range nbrs[x+1:] {
+				events[p] = int32(y)
+				p++
+			}
+			next[nbrs[x]] = p
+		}
+	}
+	f := sparse.NewPairFrontier(n)
+	var rowV []float64
+	for r := 0; r < n; r++ {
+		row := events[start[r]:start[r+1]]
+		if len(row) == 0 {
+			continue
+		}
+		slices.Sort(row)
+		rowV = rowV[:0]
+		w := 0
+		for i := 0; i < len(row); {
+			j := i + 1
+			for j < len(row) && row[j] == row[i] {
+				j++
+			}
+			row[w] = row[i]
+			rowV = append(rowV, EvidenceScore(form, j-i))
+			w++
+			i = j
+		}
+		f.SetSortedRow(r, row[:w], rowV)
+	}
+	f.Compact()
+	def := 1.0
+	if strict {
+		def = 0
+	}
+	return &evidenceTable{mult: f.ExpandSymmetric(nil), def: def}
 }
 
+// score returns the multiplier for the pair (x, y): a binary search of
+// x's symmetric multiplier row. The hot path (weightedPass) does not call
+// it — it merge-walks the row — but the scatter/map baselines and
+// applyEvidence do.
 func (e *evidenceTable) score(x, y int) float64 {
-	n, _ := e.counts.Get(x, y)
-	return EvidenceMultiplier(e.form, int(n), e.strict)
+	cols, vals := e.mult.Row(x)
+	target := int32(y)
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cols[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && cols[lo] == target {
+		return vals[lo]
+	}
+	return e.def
 }
 
 // applyEvidence multiplies every stored pair by its evidence in place,

@@ -38,3 +38,54 @@ func runPassBenchCases(b *testing.B, prefix string) {
 
 func BenchmarkSimplePass(b *testing.B)   { runPassBenchCases(b, "SimplePass") }
 func BenchmarkWeightedPass(b *testing.B) { runPassBenchCases(b, "WeightedPass") }
+
+// BenchmarkEvidenceBuild measures constructing the query-side evidence
+// table: the old per-pair Add accumulation vs the sorted per-row scatter
+// (which additionally precomputes the multipliers and expands the
+// symmetric CSR the fused harvest reads).
+func BenchmarkEvidenceBuild(b *testing.B) {
+	bc := benchPassConfig(b)
+	for _, c := range EvidenceBuildBenchCases(bc) {
+		_, variant, _ := strings.Cut(c.Name, "/")
+		b.Run(variant, func(b *testing.B) {
+			b.ReportAllocs()
+			c.Body(b.N)
+		})
+	}
+}
+
+// BenchmarkWeightedIterations measures whole multi-iteration weighted runs
+// under the delta-skip modes (one 20-iteration run per op). Beyond ns/op,
+// each sub-benchmark reports the mean cost of the first iteration, the
+// most expensive iteration, and the last three iterations — the shape that
+// shows change-tracked skipping making later iterations cheaper as rows
+// freeze. See PERF.md for how to read the three modes.
+func BenchmarkWeightedIterations(b *testing.B) {
+	bc := benchPassConfig(b)
+	const iters = 20
+	for _, m := range IterTrajectoryModes {
+		b.Run(m.Name, func(b *testing.B) {
+			var iter1, peak, late float64
+			for i := 0; i < b.N; i++ {
+				stats := IterationTrajectory(bc, iters, m.SkipTol, m.Channel)
+				pk, lt := 0.0, 0.0
+				for _, s := range stats {
+					if d := float64(s.Duration.Nanoseconds()); d > pk {
+						pk = d
+					}
+				}
+				tail := stats[len(stats)-3:]
+				for _, s := range tail {
+					lt += float64(s.Duration.Nanoseconds())
+				}
+				iter1 += float64(stats[0].Duration.Nanoseconds())
+				peak += pk
+				late += lt / float64(len(tail))
+			}
+			n := float64(b.N)
+			b.ReportMetric(iter1/n, "iter1-ns")
+			b.ReportMetric(peak/n, "peak-ns")
+			b.ReportMetric(late/n, "late-ns")
+		})
+	}
+}

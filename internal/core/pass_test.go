@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -65,7 +66,7 @@ func TestSimplePassVariantsMatchMap(t *testing.T) {
 
 		for _, workers := range []int{1, 2, 3, 8} {
 			got := sparse.NewPairFrontier(fx.nq)
-			simplePass(fx.symA, fx.in.qNbr, fx.in.aNbr, fx.cfg.C1, got, workers, newSPAs(workers, fx.nq+fx.na))
+			simplePass(fx.symA, fx.in.qNbr, fx.in.aNbr, fx.cfg.C1, got, nil, nil, workers, newSPAs(workers, fx.nq+fx.na))
 			assertFrontierMatchesTable(t, "row-major", got, want, 1e-12)
 
 			gotS := sparse.NewPairFrontier(fx.nq)
@@ -84,7 +85,7 @@ func TestWeightedPassVariantsMatchMap(t *testing.T) {
 
 		for _, workers := range []int{1, 2, 5} {
 			got := sparse.NewPairFrontier(fx.nq)
-			weightedPass(fx.symA, fx.in.qNbr, fx.in.aNbr, fx.in.qW, fx.in.revWQ, fx.in.evQ, fx.cfg.C1, got, workers, newSPAs(workers, fx.nq+fx.na))
+			weightedPass(fx.symA, fx.in.qNbr, fx.in.aNbr, fx.in.qW, fx.in.revWQ, fx.in.evQ, fx.cfg.C1, got, nil, nil, workers, newSPAs(workers, fx.nq+fx.na))
 			assertFrontierMatchesTable(t, "row-major", got, want, 1e-12)
 
 			gotS := sparse.NewPairFrontier(fx.nq)
@@ -94,27 +95,147 @@ func TestWeightedPassVariantsMatchMap(t *testing.T) {
 	}
 }
 
-// TestParallelBitIdentical: each output row is computed by exactly one
-// worker in the serial kernel order, so RunParallel must equal Run
-// bit-for-bit, not just within rounding.
-func TestParallelBitIdentical(t *testing.T) {
-	g := randomGraph(31, 14, 11, 50)
+// assertBitIdentical fails unless both results store exactly the same
+// pairs with exactly the same float64 values on both sides.
+func assertBitIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	check := func(side string, as, bs *sparse.PairTable) {
+		as.Range(func(i, j int, v float64) bool {
+			if bv, ok := bs.Get(i, j); !ok || bv != v {
+				t.Fatalf("%s: %s pair (%d,%d) %v vs %v,%v", label, side, i, j, v, bv, ok)
+			}
+			return true
+		})
+		if as.Len() != bs.Len() {
+			t.Fatalf("%s: %s pair count %d vs %d", label, side, as.Len(), bs.Len())
+		}
+	}
+	check("query", a.QueryScores, b.QueryScores)
+	check("ad", a.AdScores, b.AdScores)
+}
+
+// bitIdenticalConfigs is the config matrix the bit-identicality tests run:
+// every variant, plus the evidence-strictness and pruning knobs that alter
+// the harvest and the delta-skip interplay.
+func bitIdenticalConfigs() []Config {
+	var cfgs []Config
 	for _, variant := range []Variant{Simple, Evidence, Weighted} {
 		cfg := DefaultConfig().WithVariant(variant)
 		cfg.Channel = ChannelClicks
+		cfgs = append(cfgs, cfg)
+	}
+	strict := DefaultConfig().WithVariant(Weighted)
+	strict.Channel = ChannelClicks
+	strict.StrictEvidence = true
+	cfgs = append(cfgs, strict)
+
+	strictEv := DefaultConfig().WithVariant(Evidence)
+	strictEv.StrictEvidence = true
+	cfgs = append(cfgs, strictEv)
+
+	prunedW := DefaultConfig().WithVariant(Weighted) // rate channel: scores survive pruning
+	prunedW.PruneEpsilon = 1e-4
+	cfgs = append(cfgs, prunedW)
+
+	prunedS := DefaultConfig()
+	prunedS.PruneEpsilon = 1e-3
+	cfgs = append(cfgs, prunedS)
+	return cfgs
+}
+
+// TestParallelBitIdentical: each output row is computed by exactly one
+// worker in the serial kernel order (or copied forward by the delta skip,
+// which is worker-independent), so RunParallel must equal Run bit-for-bit,
+// not just within rounding — across variants, strict evidence, and
+// pruning.
+func TestParallelBitIdentical(t *testing.T) {
+	g := randomGraph(31, 14, 11, 50)
+	for _, cfg := range bitIdenticalConfigs() {
 		serial := mustRun(t, g, cfg)
 		par, err := RunParallel(g, cfg, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial.QueryScores.Range(func(i, j int, v float64) bool {
-			if pv, ok := par.QueryScores.Get(i, j); !ok || pv != v {
-				t.Fatalf("%v: query pair (%d,%d) serial %v parallel %v,%v", variant, i, j, v, pv, ok)
+		label := fmt.Sprintf("%v strict=%v prune=%g", cfg.Variant, cfg.StrictEvidence, cfg.PruneEpsilon)
+		assertBitIdentical(t, label, serial, par)
+	}
+}
+
+// TestDeltaSkipExactMatchesFull pins the change-tracked delta iteration
+// against full recomputation: with the default exact-equality tracking, a
+// skipped row is a copy of a row whose recomputation would read
+// bit-identical inputs, so whole runs must match bit for bit — serial and
+// parallel, across variants, strictness, and pruning. The iteration count
+// is high enough that rows do freeze (the probe below asserts skips
+// actually happened, so the test cannot pass vacuously).
+func TestDeltaSkipExactMatchesFull(t *testing.T) {
+	totalSkips := 0
+	for _, seed := range []uint64{5, 77, 1234} {
+		g := randomGraph(seed, 18, 14, 70)
+		for _, cfg := range bitIdenticalConfigs() {
+			cfg.Iterations = 14
+			full := cfg
+			full.DisableDeltaSkip = true
+			delta := mustRun(t, g, cfg)
+			ref := mustRun(t, g, full)
+			label := fmt.Sprintf("seed=%d %v strict=%v prune=%g", seed, cfg.Variant, cfg.StrictEvidence, cfg.PruneEpsilon)
+			assertBitIdentical(t, label, delta, ref)
+			deltaPar, err := RunParallel(g, cfg, 4)
+			if err != nil {
+				t.Fatal(err)
 			}
-			return true
-		})
-		if serial.QueryScores.Len() != par.QueryScores.Len() {
-			t.Fatalf("%v: pair count %d vs %d", variant, serial.QueryScores.Len(), par.QueryScores.Len())
+			assertBitIdentical(t, label+" parallel", deltaPar, ref)
+			for _, s := range delta.IterStats {
+				totalSkips += s.QueryRowsSkipped + s.AdRowsSkipped
+			}
+			for _, s := range ref.IterStats {
+				if s.QueryRowsSkipped != 0 || s.AdRowsSkipped != 0 {
+					t.Fatalf("%s: DisableDeltaSkip run skipped rows", label)
+				}
+			}
+		}
+	}
+	if totalSkips == 0 {
+		t.Fatal("no rows were ever delta-skipped; the differential is vacuous")
+	}
+}
+
+// TestDeltaSkipToleranceBounded pins the approximate mode: with a positive
+// DeltaSkipTolerance, rows are frozen while their inputs still move within
+// the tolerance, so scores may drift from the full recomputation — but
+// only by a small multiple of the tolerance (each frozen row's inputs are
+// within tol of the values it was computed from, and the c < 1 contraction
+// keeps the propagated error of the same order).
+func TestDeltaSkipToleranceBounded(t *testing.T) {
+	const tol = 1e-6
+	for _, seed := range []uint64{9, 404} {
+		g := randomGraph(seed, 20, 16, 90)
+		for _, variant := range []Variant{Simple, Weighted} {
+			cfg := DefaultConfig().WithVariant(variant)
+			cfg.Iterations = 20
+			cfg.DeltaSkipTolerance = tol
+			full := cfg
+			full.DisableDeltaSkip = true
+			delta := mustRun(t, g, cfg)
+			ref := mustRun(t, g, full)
+			maxd := 0.0
+			for i := 0; i < g.NumQueries(); i++ {
+				for j := i + 1; j < g.NumQueries(); j++ {
+					if d := math.Abs(delta.QuerySim(i, j) - ref.QuerySim(i, j)); d > maxd {
+						maxd = d
+					}
+				}
+			}
+			for i := 0; i < g.NumAds(); i++ {
+				for j := i + 1; j < g.NumAds(); j++ {
+					if d := math.Abs(delta.AdSim(i, j) - ref.AdSim(i, j)); d > maxd {
+						maxd = d
+					}
+				}
+			}
+			if maxd > 100*tol {
+				t.Errorf("seed=%d %v: tolerance-skipped run drifted %g from full recompute (tol %g)", seed, variant, maxd, tol)
+			}
 		}
 	}
 }

@@ -1,9 +1,26 @@
 package core
 
 import (
+	"time"
+
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/sparse"
 )
+
+// IterationStat records one sparse-engine iteration: its wall time and how
+// many output rows the change-tracked delta skip copied forward instead of
+// recomputing (see Config.DeltaSkipTolerance). Skip counts are zero on the
+// first iteration (there is no previous diff yet) and grow as rows
+// converge.
+type IterationStat struct {
+	// Duration is the iteration's wall time: both passes, pruning, and
+	// the convergence/change diff.
+	Duration time.Duration
+	// QueryRowsSkipped of QueryRows query-side output rows were copied
+	// forward unchanged; likewise AdRowsSkipped of AdRows.
+	QueryRowsSkipped, QueryRows int
+	AdRowsSkipped, AdRows       int
+}
 
 // Result holds the similarity scores an engine computed: one symmetric
 // sparse table per graph side. Diagonal scores are implicitly 1 per the
@@ -21,6 +38,10 @@ type Result struct {
 	// Converged reports whether iteration stopped because the largest
 	// score change fell below Config.Tolerance.
 	Converged bool
+	// IterStats holds per-iteration timing and delta-skip counters for
+	// runs of the sparse engines (nil from RunDense and deserialized
+	// results).
+	IterStats []IterationStat
 }
 
 // QuerySim returns s(q1, q2): 1 on the diagonal, the stored score or 0

@@ -1,0 +1,42 @@
+package sparse
+
+import "math/bits"
+
+// Bitset is a minimal fixed-capacity bit vector. The engines use one per
+// graph side to track which nodes' scores changed between iterations
+// (MaxAbsDiffChanged marks it), so the next pass can skip output rows
+// whose inputs are all unchanged.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns a cleared bitset with capacity for n bits.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Clear zeroes every bit, keeping capacity.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether bit i is set.
+func (b *Bitset) Has(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -320,6 +320,17 @@ func (f *PairFrontier) Prune(eps float64) int {
 // iterative SimRank. Rows are compared with a linear merge-walk over their
 // sorted columns; either frontier is compacted first if needed.
 func (f *PairFrontier) MaxAbsDiff(o *PairFrontier) float64 {
+	return f.MaxAbsDiffChanged(o, 0, nil)
+}
+
+// MaxAbsDiffChanged is MaxAbsDiff with change tracking fused into the same
+// merge-walk: when changed is non-nil, every node incident to a pair whose
+// |a-b| exceeds tol is marked — both the bucket row and the partner column,
+// since a stored pair {i, j} is part of node i's and node j's score rows
+// alike. A node left unmarked therefore has every one of its stored pairs
+// within tol of the other frontier (exactly equal when tol is 0), which is
+// the per-node signal the engines' delta iteration keys row skipping on.
+func (f *PairFrontier) MaxAbsDiffChanged(o *PairFrontier, tol float64, changed *Bitset) float64 {
 	if !f.compacted {
 		f.Compact()
 	}
@@ -345,15 +356,16 @@ func (f *PairFrontier) MaxAbsDiff(o *PairFrontier) float64 {
 		i, j := 0, 0
 		for i < len(ac) || j < len(bc) {
 			var d float64
+			var c int32
 			switch {
 			case j >= len(bc) || (i < len(ac) && ac[i] < bc[j]):
-				d = av[i]
+				d, c = av[i], ac[i]
 				i++
 			case i >= len(ac) || bc[j] < ac[i]:
-				d = bv[j]
+				d, c = bv[j], bc[j]
 				j++
 			default:
-				d = av[i] - bv[j]
+				d, c = av[i]-bv[j], ac[i]
 				i++
 				j++
 			}
@@ -362,6 +374,10 @@ func (f *PairFrontier) MaxAbsDiff(o *PairFrontier) float64 {
 			}
 			if d > max {
 				max = d
+			}
+			if changed != nil && d > tol {
+				changed.Set(r)
+				changed.Set(int(c))
 			}
 		}
 	}
@@ -382,6 +398,26 @@ func (f *PairFrontier) SetRow(r int, cols []int32, vals []float64) {
 	f.sorted[r] = len(rc)
 }
 
+// SetSortedRow is SetRow for columns that are already strictly ascending:
+// the copy is kept but the sort is skipped. The harvest loops emit rows in
+// sorted order (they walk a sorted touched list), so this removes the
+// per-row sortPairs that dominated SetRow's cost.
+func (f *PairFrontier) SetSortedRow(r int, cols []int32, vals []float64) {
+	f.cols[r] = append(f.cols[r][:0], cols...)
+	f.vals[r] = append(f.vals[r][:0], vals...)
+	f.sorted[r] = len(cols)
+}
+
+// CopyRowFrom replaces row r of f with row r of src, reusing f's row
+// capacity. Distinct rows may be copied concurrently, like SetRow. The
+// delta iteration uses it to carry an output row forward when none of the
+// inputs it depends on changed.
+func (f *PairFrontier) CopyRowFrom(src *PairFrontier, r int) {
+	f.cols[r] = append(f.cols[r][:0], src.cols[r]...)
+	f.vals[r] = append(f.vals[r][:0], src.vals[r]...)
+	f.sorted[r] = src.sorted[r]
+}
+
 // SymAdj is the fully-expanded symmetric adjacency of a pair frontier:
 // CSR-style partner lists where each stored pair {i, j} appears in both
 // row i and row j (the diagonal stays implicit). The SimRank row-major
@@ -396,6 +432,13 @@ type SymAdj struct {
 
 // RowNNZ returns the number of partners of node r.
 func (s *SymAdj) RowNNZ(r int) int { return s.RowPtr[r+1] - s.RowPtr[r] }
+
+// Row returns node r's partner columns and values (ascending columns).
+// The slices alias the adjacency's storage; callers must not mutate them.
+func (s *SymAdj) Row(r int) ([]int32, []float64) {
+	lo, hi := s.RowPtr[r], s.RowPtr[r+1]
+	return s.Col[lo:hi], s.Val[lo:hi]
+}
 
 // ExpandSymmetric writes f's symmetric adjacency into dst (allocating one
 // if nil), reusing dst's buffers when they are large enough, and returns
