@@ -43,6 +43,17 @@ type iterSample struct {
 	AdSkipRate    float64 `json:"ad_skip_rate"`
 }
 
+// shardSection records the multi-cluster shard workload: the monolithic
+// vs sharded comparison plus the plan shape it ran under.
+type shardSection struct {
+	Workload core.ShardBenchConfig `json:"workload"`
+	core.ShardBenchResult
+	// Speedup is monolithic/sharded wall time; SPARatio is the monolithic
+	// dense-accumulator footprint over the largest single shard's.
+	Speedup  float64 `json:"speedup"`
+	SPARatio float64 `json:"spa_ratio"`
+}
+
 type report struct {
 	GeneratedAt string               `json:"generated_at"`
 	GoVersion   string               `json:"go_version"`
@@ -58,6 +69,10 @@ type report struct {
 	// per delta-skip mode (core.IterTrajectoryModes), so the record shows
 	// row skipping making later iterations cheaper as rows freeze.
 	WeightedIterations map[string][]iterSample `json:"weighted_iterations"`
+	// ShardWorkload records the multi-cluster monolithic-vs-sharded
+	// comparison (wall clock, iteration trajectories, peak accumulator
+	// footprints). See PERF.md's shard memory model section.
+	ShardWorkload *shardSection `json:"shard_workload,omitempty"`
 }
 
 // baselineVariant names the variant each benchmark group's speedups are
@@ -72,12 +87,25 @@ var baselineVariant = map[string]string{
 func main() {
 	bc := core.DefaultPassBenchConfig()
 	out := flag.String("o", "BENCH_core.json", "output path")
+	smoke := flag.Bool("smoke", false, "seconds-scale CI workloads (reduced graphs and trajectories)")
+	shardReps := flag.Int("shard-reps", 3, "repetitions of the shard workload comparison (best kept)")
 	flag.Uint64Var(&bc.Seed, "seed", bc.Seed, "workload seed")
 	flag.IntVar(&bc.Queries, "queries", bc.Queries, "graph queries")
 	flag.IntVar(&bc.Ads, "ads", bc.Ads, "graph ads")
 	flag.IntVar(&bc.Edges, "edges", bc.Edges, "graph edges")
 	flag.IntVar(&bc.Workers, "workers", bc.Workers, "parallel pass workers")
 	flag.Parse()
+
+	trajectoryIters := 20
+	sbc := core.DefaultShardBenchConfig()
+	if *smoke {
+		bc.Queries, bc.Ads, bc.Edges = 120, 90, 900
+		trajectoryIters = 8
+		sbc = core.SmokeShardBenchConfig()
+		if *shardReps > 1 {
+			*shardReps = 1
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "corebench: %d queries, %d ads, %d edges, %d workers\n",
 		bc.Queries, bc.Ads, bc.Edges, bc.Workers)
@@ -101,7 +129,6 @@ func main() {
 			pr.Name, pr.NsPerOp, pr.BytesPerOp, pr.AllocsPerOp)
 	}
 
-	const trajectoryIters = 20
 	trajectories := map[string][]iterSample{}
 	for _, m := range core.IterTrajectoryModes {
 		stats := core.IterationTrajectory(bc, trajectoryIters, m.SkipTol, m.Channel)
@@ -126,6 +153,25 @@ func main() {
 			m.Name, first.Ns, last.Iter, last.Ns, 100*last.QuerySkipRate, 100*last.AdSkipRate)
 	}
 
+	fmt.Fprintf(os.Stderr, "corebench: shard workload: %d clusters + giant, budget %d nodes, %d reps\n",
+		sbc.Clusters, sbc.MaxShardNodes, *shardReps)
+	sres, _, err := core.RunShardBench(sbc, *shardReps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+	shard := &shardSection{Workload: sbc, ShardBenchResult: sres}
+	if sres.ShardedNs > 0 {
+		shard.Speedup = float64(sres.MonolithicNs) / float64(sres.ShardedNs)
+	}
+	if sres.MaxShardSPABytes > 0 {
+		shard.SPARatio = float64(sres.MonolithicSPABytes) / float64(sres.MaxShardSPABytes)
+	}
+	fmt.Fprintf(os.Stderr, "  ShardedRun: monolithic %.0f ms (%d iters)  sharded %.0f ms (%d iters, plan %.0f ms one-time)  speedup %.2fx  SPA %.0f KiB -> max shard %.0f KiB (%.1fx)\n",
+		float64(sres.MonolithicNs)/1e6, sres.MonolithicIters,
+		float64(sres.ShardedNs)/1e6, sres.ShardedIters, float64(sres.PlanNs)/1e6, shard.Speedup,
+		float64(sres.MonolithicSPABytes)/1024, float64(sres.MaxShardSPABytes)/1024, shard.SPARatio)
+
 	rep := report{
 		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:            runtime.Version(),
@@ -135,6 +181,7 @@ func main() {
 		SpeedupVsBaseline:    map[string]float64{},
 		AllocRatioVsBaseline: map[string]float64{},
 		WeightedIterations:   trajectories,
+		ShardWorkload:        shard,
 	}
 	base := map[string]passResult{}
 	for _, r := range results {

@@ -6,9 +6,17 @@
 //
 //	partition -graph FILE [-count 5] [-alpha 0.15] [-epsilon 1e-6]
 //	          [-min-nodes 300] [-out-prefix subgraph]
+//	partition -graph FILE -plan [-max-shard-nodes 4096] [-min-cut-nodes 64]
 //
 // Each subgraph is written to <out-prefix>N.graph; statistics go to
 // stdout in the shape of Table 5.
+//
+// With -plan, no subgraphs are written: the full shard plan that
+// core.RunSharded (simrank -sharded) would execute is built — whole
+// components packed under the node budget, oversized components carved
+// with ACL sweep cuts — and printed as a table of per-shard sizes, cut
+// edges and conductance, so a plan can be inspected before committing to
+// a sharded run.
 package main
 
 import (
@@ -28,6 +36,9 @@ func main() {
 		epsilon   = flag.Float64("epsilon", 1e-6, "PPR push threshold")
 		minNodes  = flag.Int("min-nodes", 300, "minimum nodes per subgraph")
 		outPrefix = flag.String("out-prefix", "subgraph", "output file prefix")
+		planMode  = flag.Bool("plan", false, "print the shard plan RunSharded would execute instead of extracting subgraphs")
+		maxShard  = flag.Int("max-shard-nodes", 4096, "plan mode: shard node budget")
+		minCut    = flag.Int("min-cut-nodes", 64, "plan mode: minimum ACL sweep-cut prefix")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -43,6 +54,22 @@ func main() {
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
+	}
+
+	if *planMode {
+		pcfg := partition.PlanConfig{
+			MaxShardNodes: *maxShard,
+			MinCutNodes:   *minCut,
+			PPR:           partition.PPRConfig{Alpha: *alpha, Epsilon: *epsilon},
+		}
+		plan, err := partition.BuildPlan(g, pcfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	subs, err := partition.Extract(g, *count, partition.PPRConfig{Alpha: *alpha, Epsilon: *epsilon}, *minNodes)

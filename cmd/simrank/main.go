@@ -6,10 +6,17 @@
 //	simrank -graph FILE [-method simple|evidence|weighted|pearson]
 //	        [-query Q | -all] [-top K] [-c 0.8] [-iterations 7]
 //	        [-bids FILE] [-strict-evidence]
+//	        [-sharded] [-shard-max-nodes 4096] [-shard-workers 0]
 //
 // With -query it prints rewrites for one query; with -all it prints the
 // top rewrites for every query. When -bids is given, rewrites are passed
 // through the full §9.3 pipeline (stem dedup + bid filtering + depth 5).
+//
+// With -sharded, the graph is decomposed per §9.2 (whole components
+// packed under the node budget, oversized components ACL-cut) and one
+// engine runs per shard on a bounded worker pool; the plan summary goes
+// to stderr before the run. Component-exact plans reproduce the
+// monolithic scores bit for bit; carved plans drop cross-shard evidence.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
 	"simrankpp/internal/rewrite"
 )
 
@@ -35,6 +43,9 @@ func main() {
 		prune     = flag.Float64("prune", 1e-5, "sparse-engine pruning threshold (0 = exact)")
 		bidsPath  = flag.String("bids", "", "bid-term list file enabling the full filtering pipeline")
 		strict    = flag.Bool("strict-evidence", false, "apply Equation 7.3 literally (zero evidence for no common ads)")
+		sharded   = flag.Bool("sharded", false, "decompose the graph and run one engine per shard")
+		shardMax  = flag.Int("shard-max-nodes", 4096, "sharded: shard node budget (components above it are ACL-cut)")
+		shardWork = flag.Int("shard-workers", 0, "sharded: concurrent shard engines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -64,7 +75,7 @@ func main() {
 		}
 	}
 
-	src, err := buildSource(g, *method, *c, *iters, *prune, *strict)
+	src, err := buildSource(g, *method, *c, *iters, *prune, *strict, *sharded, *shardMax, *shardWork)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,7 +112,7 @@ func main() {
 	}
 }
 
-func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict bool) (rewrite.Source, error) {
+func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict, sharded bool, shardMax, shardWorkers int) (rewrite.Source, error) {
 	if method == "pearson" {
 		return &rewrite.PearsonSource{Graph: g, Channel: core.ChannelRate}, nil
 	}
@@ -120,7 +131,22 @@ func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)
 	}
-	res, err := core.Run(g, cfg)
+	var res *core.Result
+	var err error
+	if sharded {
+		pcfg := partition.DefaultPlanConfig()
+		pcfg.MaxShardNodes = shardMax
+		plan, perr := partition.BuildPlan(g, pcfg)
+		if perr != nil {
+			return nil, perr
+		}
+		if werr := plan.WriteSummary(os.Stderr); werr != nil {
+			return nil, werr
+		}
+		res, err = core.RunSharded(g, cfg, plan, core.ShardOptions{Workers: shardWorkers})
+	} else {
+		res, err = core.Run(g, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,131 @@
+package clickgraph
+
+import (
+	"testing"
+)
+
+// subviewRandomGraph builds a deterministic pseudo-random graph for the
+// subview tests (a local copy of the core package's generator idiom).
+func subviewRandomGraph(seed uint64, nq, na, edges int) *Graph {
+	b := NewBuilder()
+	s := seed
+	next := func(n int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(n))
+	}
+	for i := 0; i < nq; i++ {
+		b.AddQuery(testName("q", i))
+	}
+	for i := 0; i < na; i++ {
+		b.AddAd(testName("ad", i))
+	}
+	for e := 0; e < edges; e++ {
+		clicks := int64(next(9) + 1)
+		err := b.AddEdge(testName("q", next(nq)), testName("ad", next(na)), EdgeWeights{
+			Impressions: clicks * 2, Clicks: clicks,
+			ExpectedClickRate: float64(next(100)) / 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func testName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestSubviewMatchesInducedSubgraph(t *testing.T) {
+	g := subviewRandomGraph(5, 20, 15, 80)
+	queryIDs := []int{0, 2, 3, 7, 8, 11, 12, 19}
+	adIDs := []int{1, 2, 5, 6, 9, 14}
+	want := g.InducedSubgraph(queryIDs, adIDs)
+	view, err := NewSubview(g, queryIDs, adIDs)
+	if err != nil {
+		t.Fatalf("NewSubview: %v", err)
+	}
+	got := view.Graph
+	if got.NumQueries() != want.NumQueries() || got.NumAds() != want.NumAds() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("dims: got %d×%d/%d edges, want %d×%d/%d",
+			got.NumQueries(), got.NumAds(), got.NumEdges(),
+			want.NumQueries(), want.NumAds(), want.NumEdges())
+	}
+	// InducedSubgraph interns in list order; checkIDs sorts ascending and
+	// the test ids are already ascending, so local ids agree node for node.
+	want.Edges(func(q, a int, w EdgeWeights) bool {
+		gw, ok := got.EdgeWeightsOf(q, a)
+		if !ok {
+			t.Fatalf("edge (%d,%d) missing from subview", q, a)
+		}
+		if gw != w {
+			t.Fatalf("edge (%d,%d): weights %+v, want %+v", q, a, gw, w)
+		}
+		return true
+	})
+}
+
+func TestSubviewIDMapping(t *testing.T) {
+	g := subviewRandomGraph(9, 12, 10, 50)
+	// Deliberately unsorted with a duplicate: NewSubview must sort+dedupe.
+	view, err := NewSubview(g, []int{7, 1, 4, 1}, []int{9, 0, 3})
+	if err != nil {
+		t.Fatalf("NewSubview: %v", err)
+	}
+	wantQ := []int{1, 4, 7}
+	if len(view.QueryIDs) != len(wantQ) {
+		t.Fatalf("QueryIDs = %v, want %v", view.QueryIDs, wantQ)
+	}
+	for local, global := range wantQ {
+		if view.GlobalQuery(local) != global {
+			t.Errorf("GlobalQuery(%d) = %d, want %d", local, view.GlobalQuery(local), global)
+		}
+		if l, ok := view.LocalQuery(global); !ok || l != local {
+			t.Errorf("LocalQuery(%d) = %d,%v, want %d,true", global, l, ok, local)
+		}
+		if view.Graph.Query(local) != g.Query(global) {
+			t.Errorf("query name mismatch at local %d", local)
+		}
+	}
+	if _, ok := view.LocalQuery(5); ok {
+		t.Error("LocalQuery(5) should be absent")
+	}
+	if a, ok := view.LocalAd(3); !ok || view.GlobalAd(a) != 3 {
+		t.Errorf("ad mapping roundtrip failed: %d,%v", a, ok)
+	}
+}
+
+func TestSubviewWholeGraph(t *testing.T) {
+	g := subviewRandomGraph(3, 10, 8, 40)
+	all := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	view, err := NewSubview(g, all(g.NumQueries()), all(g.NumAds()))
+	if err != nil {
+		t.Fatalf("NewSubview: %v", err)
+	}
+	if view.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("whole-graph view lost edges: %d vs %d", view.Graph.NumEdges(), g.NumEdges())
+	}
+	g.Edges(func(q, a int, w EdgeWeights) bool {
+		gw, ok := view.Graph.EdgeWeightsOf(q, a)
+		if !ok || gw != w {
+			t.Fatalf("edge (%d,%d): %+v,%v want %+v", q, a, gw, ok, w)
+		}
+		return true
+	})
+}
+
+func TestSubviewRejectsOutOfRange(t *testing.T) {
+	g := subviewRandomGraph(4, 5, 5, 10)
+	if _, err := NewSubview(g, []int{0, 5}, nil); err == nil {
+		t.Error("accepted out-of-range query id")
+	}
+	if _, err := NewSubview(g, nil, []int{-1}); err == nil {
+		t.Error("accepted negative ad id")
+	}
+}

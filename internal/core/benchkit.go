@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/partition"
 	"simrankpp/internal/sparse"
 )
 
@@ -54,22 +56,24 @@ type passBenchState struct {
 	symA   *sparse.SymAdj       // opposite (ad) side, symmetric adjacency
 }
 
-// benchGraph builds a deterministic pseudo-random bipartite click graph.
-func benchGraph(seed uint64, nq, na, edges int) *clickgraph.Graph {
-	b := clickgraph.NewBuilder()
+// addBenchCluster adds one deterministic pseudo-random bipartite cluster
+// to the builder. Node names are prefixed, so clusters with distinct
+// prefixes are vertex-disjoint — each its own connected component (up to
+// edge sampling leaving some nodes isolated).
+func addBenchCluster(b *clickgraph.Builder, prefix string, seed uint64, nq, na, edges int) {
 	s := seed
 	next := func(n int) int {
 		s = s*6364136223846793005 + 1442695040888963407
 		return int((s >> 33) % uint64(n))
 	}
 	for i := 0; i < nq; i++ {
-		b.AddQuery(fmt.Sprintf("q%d", i))
+		b.AddQuery(fmt.Sprintf("%sq%d", prefix, i))
 	}
 	for e := 0; e < edges; e++ {
 		q := next(nq)
 		a := next(na)
 		clicks := int64(next(20) + 1)
-		err := b.AddEdge(fmt.Sprintf("q%d", q), fmt.Sprintf("ad%d", a), clickgraph.EdgeWeights{
+		err := b.AddEdge(fmt.Sprintf("%sq%d", prefix, q), fmt.Sprintf("%sad%d", prefix, a), clickgraph.EdgeWeights{
 			Impressions: clicks * 3, Clicks: clicks,
 			ExpectedClickRate: float64(next(100)) / 100,
 		})
@@ -77,6 +81,12 @@ func benchGraph(seed uint64, nq, na, edges int) *clickgraph.Graph {
 			panic(err)
 		}
 	}
+}
+
+// benchGraph builds a deterministic pseudo-random bipartite click graph.
+func benchGraph(seed uint64, nq, na, edges int) *clickgraph.Graph {
+	b := clickgraph.NewBuilder()
+	addBenchCluster(b, "", seed, nq, na, edges)
 	return b.Build()
 }
 
@@ -261,6 +271,186 @@ func IterationTrajectory(bc PassBenchConfig, iterations int, skipTol float64, ch
 		panic(err)
 	}
 	return res.IterStats
+}
+
+// ShardBenchConfig sizes the multi-cluster shard workload: Clusters
+// medium components plus one giant component, the shape of a real click
+// log (many niche markets, one head market). The giant exceeds the shard
+// budget, so the plan packs the medium clusters into exact shards and
+// carves the giant with ACL cuts.
+type ShardBenchConfig struct {
+	Seed           uint64  `json:"seed"`
+	Clusters       int     `json:"clusters"`
+	ClusterQueries int     `json:"cluster_queries"`
+	ClusterAds     int     `json:"cluster_ads"`
+	ClusterEdges   int     `json:"cluster_edges"`
+	GiantQueries   int     `json:"giant_queries"`
+	GiantAds       int     `json:"giant_ads"`
+	GiantEdges     int     `json:"giant_edges"`
+	MaxShardNodes  int     `json:"max_shard_nodes"`
+	Workers        int     `json:"workers"`
+	Iterations     int     `json:"iterations"`
+	Tolerance      float64 `json:"tolerance"`
+}
+
+// DefaultShardBenchConfig returns the recorded workload: 16 medium
+// clusters plus a giant component about five times a cluster's size,
+// under a budget that packs the clusters and carves the giant. The run
+// config mirrors PERF.md's production mode (weighted, rate channel,
+// pruning, tolerance-scaled delta skip) with a convergence tolerance, so
+// the sharded run can stop finished shards early — the serial half of the
+// win; the worker pool is the parallel half.
+func DefaultShardBenchConfig() ShardBenchConfig {
+	return ShardBenchConfig{
+		Seed: 7, Clusters: 16,
+		ClusterQueries: 130, ClusterAds: 90, ClusterEdges: 1000,
+		GiantQueries: 650, GiantAds: 450, GiantEdges: 5500,
+		MaxShardNodes: 400, Workers: runtime.GOMAXPROCS(0),
+		Iterations: 15, Tolerance: 1e-4,
+	}
+}
+
+// SmokeShardBenchConfig returns a seconds-scale variant for CI.
+func SmokeShardBenchConfig() ShardBenchConfig {
+	bc := DefaultShardBenchConfig()
+	bc.Clusters = 4
+	bc.ClusterQueries, bc.ClusterAds, bc.ClusterEdges = 60, 40, 400
+	bc.GiantQueries, bc.GiantAds, bc.GiantEdges = 240, 160, 1800
+	bc.MaxShardNodes = 200
+	bc.Iterations = 8
+	return bc
+}
+
+// MultiClusterGraph builds the workload's click graph.
+func MultiClusterGraph(bc ShardBenchConfig) *clickgraph.Graph {
+	b := clickgraph.NewBuilder()
+	for c := 0; c < bc.Clusters; c++ {
+		addBenchCluster(b, fmt.Sprintf("c%d-", c), bc.Seed+uint64(c)*1000003, bc.ClusterQueries, bc.ClusterAds, bc.ClusterEdges)
+	}
+	addBenchCluster(b, "g-", bc.Seed+999999937, bc.GiantQueries, bc.GiantAds, bc.GiantEdges)
+	return b.Build()
+}
+
+// shardBenchRunConfig is the engine configuration both sides of the
+// comparison run: PERF.md's production mode plus the workload's
+// convergence tolerance.
+func shardBenchRunConfig(bc ShardBenchConfig) Config {
+	cfg := DefaultConfig().WithVariant(Weighted)
+	cfg.Iterations = bc.Iterations
+	cfg.Tolerance = bc.Tolerance
+	cfg.PruneEpsilon = 1e-5
+	cfg.DeltaSkipTolerance = 1e-5
+	return cfg
+}
+
+// ShardBenchResult is one monolithic-vs-sharded measurement on the
+// multi-cluster workload.
+type ShardBenchResult struct {
+	// Graph and plan shape.
+	Queries       int  `json:"queries"`
+	Ads           int  `json:"ads"`
+	Edges         int  `json:"edges"`
+	Shards        int  `json:"shards"`
+	ExactPlan     bool `json:"exact_plan"`
+	TotalCutEdges int  `json:"total_cut_edges"`
+	// Wall-clock, best of the harness's repetitions. PlanNs is the
+	// one-time partition.BuildPlan cost (ACL pushes + sweep cuts), kept
+	// separate because a deployment plans once and runs per refresh; the
+	// run comparison is ShardedNs vs MonolithicNs, the end-to-end one
+	// (PlanNs + ShardedNs) vs MonolithicNs.
+	PlanNs       int64 `json:"plan_ns"`
+	MonolithicNs int64 `json:"monolithic_ns"`
+	ShardedNs    int64 `json:"sharded_ns"`
+	// Iterations actually run (tolerance can stop either side early; for
+	// the sharded run this is the slowest shard's count).
+	MonolithicIters int `json:"monolithic_iters"`
+	ShardedIters    int `json:"sharded_iters"`
+	// Peak dense-accumulator footprint: the monolithic engine's SPA is
+	// sized to the whole graph's larger side, each shard's only to its
+	// own. MaxShardSPABytes is the largest any single shard needed.
+	MonolithicSPABytes int64 `json:"monolithic_spa_bytes"`
+	MaxShardSPABytes   int64 `json:"max_shard_spa_bytes"`
+	// Per-iteration wall-time trajectories (ns): the monolithic engine's
+	// and, for the sharded run, the per-index sum over shards (total
+	// work; finished shards stop contributing, which is the point).
+	MonolithicIterNs []int64 `json:"monolithic_iter_ns"`
+	ShardedIterNs    []int64 `json:"sharded_iter_ns"`
+}
+
+// RunShardBench builds the workload, plans it, and measures one
+// monolithic serial run against one sharded run (reps repetitions each,
+// best wall time kept). It returns the measurement plus the plan for
+// reporting.
+func RunShardBench(bc ShardBenchConfig, reps int) (ShardBenchResult, *partition.Plan, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if bc.Workers <= 0 {
+		bc.Workers = runtime.GOMAXPROCS(0)
+	}
+	g := MultiClusterGraph(bc)
+	cfg := shardBenchRunConfig(bc)
+	pcfg := partition.DefaultPlanConfig()
+	pcfg.MaxShardNodes = bc.MaxShardNodes
+	pcfg.MinCutNodes = bc.MaxShardNodes / 4
+	tPlan := time.Now()
+	plan, err := partition.BuildPlan(g, pcfg)
+	if err != nil {
+		return ShardBenchResult{}, nil, err
+	}
+
+	out := ShardBenchResult{
+		Queries: g.NumQueries(), Ads: g.NumAds(), Edges: g.NumEdges(),
+		Shards: len(plan.Shards), ExactPlan: plan.Exact, TotalCutEdges: plan.TotalCutEdges,
+		PlanNs: time.Since(tPlan).Nanoseconds(),
+	}
+	side := g.NumQueries()
+	if na := g.NumAds(); na > side {
+		side = na
+	}
+	out.MonolithicSPABytes = int64(side) * 16
+
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		mono, err := Run(g, cfg)
+		if err != nil {
+			return ShardBenchResult{}, nil, err
+		}
+		ns := time.Since(t0).Nanoseconds()
+		if r == 0 || ns < out.MonolithicNs {
+			out.MonolithicNs = ns
+			out.MonolithicIters = mono.Iterations
+			out.MonolithicIterNs = iterNs(mono.IterStats)
+		}
+	}
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		sharded, err := RunSharded(g, cfg, plan, ShardOptions{Workers: bc.Workers})
+		if err != nil {
+			return ShardBenchResult{}, nil, err
+		}
+		ns := time.Since(t0).Nanoseconds()
+		if r == 0 || ns < out.ShardedNs {
+			out.ShardedNs = ns
+			out.ShardedIters = sharded.Iterations
+			out.ShardedIterNs = iterNs(sharded.IterStats)
+			out.MaxShardSPABytes = 0
+			for _, s := range sharded.ShardStats {
+				if s.SPABytes > out.MaxShardSPABytes {
+					out.MaxShardSPABytes = s.SPABytes
+				}
+			}
+		}
+	}
+	return out, plan, nil
+}
+
+func iterNs(stats []IterationStat) []int64 {
+	out := make([]int64, len(stats))
+	for i, s := range stats {
+		out[i] = s.Duration.Nanoseconds()
+	}
+	return out
 }
 
 // IterTrajectoryModes is the fixed trajectory matrix corebench records and

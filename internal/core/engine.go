@@ -26,7 +26,7 @@ import (
 // of the hash probe the map-based engine paid, and the frontiers ping-pong
 // across iterations so steady-state passes barely allocate.
 func Run(g *clickgraph.Graph, cfg Config) (*Result, error) {
-	return runEngine(g, cfg, 1)
+	return runEngine(g, cfg, 1, nil)
 }
 
 // passInputs holds the per-run immutable inputs of the iteration passes:
@@ -91,11 +91,64 @@ func reverseFactors(thisNbr, oppNbr [][]int, w [][]float64) [][]float64 {
 	return revW
 }
 
-// runEngine is the shared iteration loop behind Run (workers == 1) and
-// RunParallel. Each side ping-pongs two frontiers: cur is reset, filled
-// row by row from the opposite side's prev (expanded to a symmetric
-// adjacency once per iteration), and swapped in; prev's buckets become
-// the next iteration's scratch.
+// engineArena is the reusable allocation state of one engine run:
+// ping-pong frontiers, symmetric adjacencies, dense accumulators, and the
+// change bitsets. A fresh runEngine call with a nil arena allocates its
+// own; the shard scheduler keeps one arena per pool worker and re-runs it
+// across shards, so every shard after a worker's first reuses the
+// previous shard's capacity instead of reallocating — and since the
+// structures are sized to the shard being run, a worker's footprint is
+// proportional to the largest shard it sees, never the whole graph.
+type engineArena struct {
+	prevQ, curQ, prevA, curA *sparse.PairFrontier
+	symQ, symA               *sparse.SymAdj
+	spas                     []*spa
+	chgQ, chgA               *sparse.Bitset
+}
+
+// frontier returns *slot resized to rows, allocating on first use.
+func arenaFrontier(slot **sparse.PairFrontier, rows int) *sparse.PairFrontier {
+	if *slot == nil {
+		*slot = sparse.NewPairFrontier(rows)
+	} else {
+		(*slot).Resize(rows)
+	}
+	return *slot
+}
+
+func arenaBitset(slot **sparse.Bitset, n int) *sparse.Bitset {
+	if *slot == nil {
+		*slot = sparse.NewBitset(n)
+	} else {
+		(*slot).Resize(n)
+	}
+	return *slot
+}
+
+// ensureSPAs returns workers accumulators with dense arrays of at least n
+// cells, growing the arena's pool as needed. Reused spa arrays are already
+// zero: the kernels restore every touched cell to zero as they harvest.
+func (ar *engineArena) ensureSPAs(workers, n int) []*spa {
+	for len(ar.spas) < workers {
+		ar.spas = append(ar.spas, &spa{u: make([]float64, n), t: make([]float64, n)})
+	}
+	spas := ar.spas[:workers]
+	for _, sp := range spas {
+		if len(sp.u) < n {
+			sp.u = make([]float64, n)
+			sp.t = make([]float64, n)
+		}
+	}
+	return spas
+}
+
+// runEngine is the shared iteration loop behind Run (workers == 1),
+// RunParallel, and the per-shard engines of RunSharded. Each side
+// ping-pongs two frontiers: cur is reset, filled row by row from the
+// opposite side's prev (expanded to a symmetric adjacency once per
+// iteration), and swapped in; prev's buckets become the next iteration's
+// scratch. ar supplies reusable allocation state (nil for a standalone
+// run).
 //
 // Iteration is change-tracked: the convergence merge-walk also marks which
 // nodes' scores moved (MaxAbsDiffChanged), and an output row whose
@@ -104,28 +157,34 @@ func reverseFactors(thisNbr, oppNbr [][]int, w [][]float64) [][]float64 {
 // is bit-identical to recomputation — SimRank converges row by row, so
 // late iterations approach the cost of only their still-moving rows. See
 // Config.DeltaSkipTolerance / Config.DisableDeltaSkip.
-func runEngine(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) {
+func runEngine(g *clickgraph.Graph, cfg Config, workers int, ar *engineArena) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if ar == nil {
+		ar = &engineArena{}
 	}
 	in := newPassInputs(g, cfg)
 	nq, na := g.NumQueries(), g.NumAds()
 
-	prevQ, curQ := sparse.NewPairFrontier(nq), sparse.NewPairFrontier(nq)
-	prevA, curA := sparse.NewPairFrontier(na), sparse.NewPairFrontier(na)
+	prevQ, curQ := arenaFrontier(&ar.prevQ, nq), arenaFrontier(&ar.curQ, nq)
+	prevA, curA := arenaFrontier(&ar.prevA, na), arenaFrontier(&ar.curA, na)
 	prevQ.Compact() // empty but read-ready: passes and MaxAbsDiff read prev
 	prevA.Compact()
-	symQ, symA := &sparse.SymAdj{}, &sparse.SymAdj{}
+	if ar.symQ == nil {
+		ar.symQ, ar.symA = &sparse.SymAdj{}, &sparse.SymAdj{}
+	}
+	symQ, symA := ar.symQ, ar.symA
 	side := nq
 	if na > side {
 		side = na
 	}
-	spas := newSPAs(workers, side)
+	spas := ar.ensureSPAs(workers, side)
 
 	deltaSkip := !cfg.DisableDeltaSkip
 	var chgQ, chgA *sparse.Bitset // nodes whose scores moved last iteration
 	if deltaSkip {
-		chgQ, chgA = sparse.NewBitset(nq), sparse.NewBitset(na)
+		chgQ, chgA = arenaBitset(&ar.chgQ, nq), arenaBitset(&ar.chgA, na)
 	}
 	// skipQ/skipA gate row skipping in the passes; nil (the first
 	// iteration, or always when delta skip is disabled) recomputes
@@ -137,8 +196,20 @@ func runEngine(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) {
 	stats := make([]IterationStat, 0, cfg.Iterations)
 	for it := 0; it < cfg.Iterations; it++ {
 		start := time.Now()
-		symA = prevA.ExpandSymmetric(symA)
-		symQ = prevQ.ExpandSymmetric(symQ)
+		// A side whose change bitset came back empty needs no re-expansion:
+		// with every opposite-side input row unmarked, the passes below copy
+		// forward every output row that has neighbors and recompute only
+		// empty rows (whose kernels return before touching the adjacency),
+		// so the symmetric expansion would never be read — and the stale one
+		// from the last changed iteration stays value-identical anyway.
+		// Drained workloads used to pay both ExpandSymmetric calls every
+		// iteration for rows that were 100% copied forward.
+		if skipA == nil || skipA.Count() > 0 {
+			symA = prevA.ExpandSymmetric(symA)
+		}
+		if skipQ == nil || skipQ.Count() > 0 {
+			symQ = prevQ.ExpandSymmetric(symQ)
+		}
 		var sq, sa int
 		switch cfg.Variant {
 		case Weighted:

@@ -3,6 +3,8 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"simrankpp/internal/partition"
 )
 
 // Micro-benchmarks for the iteration hot path: one accumulation pass per
@@ -88,4 +90,41 @@ func BenchmarkWeightedIterations(b *testing.B) {
 			b.ReportMetric(late/n, "late-ns")
 		})
 	}
+}
+
+// BenchmarkShardedRun compares one full weighted run of the multi-cluster
+// workload (many medium components + one ACL-carved giant) monolithic vs
+// sharded: same config, tolerance-based early stop, pruning, delta skip.
+// The sharded engine stops finished shards entirely and runs shards
+// concurrently on a bounded pool; its accumulators are sized per shard.
+func BenchmarkShardedRun(b *testing.B) {
+	bc := DefaultShardBenchConfig()
+	if testing.Short() {
+		bc = SmokeShardBenchConfig()
+	}
+	g := MultiClusterGraph(bc)
+	cfg := shardBenchRunConfig(bc)
+	pcfg := partition.DefaultPlanConfig()
+	pcfg.MaxShardNodes = bc.MaxShardNodes
+	pcfg.MinCutNodes = bc.MaxShardNodes / 4
+	plan, err := partition.BuildPlan(g, pcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("graph: %d queries, %d ads, %d edges; plan: %d shards, exact=%v, %d cut edges",
+		g.NumQueries(), g.NumAds(), g.NumEdges(), len(plan.Shards), plan.Exact, plan.TotalCutEdges)
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(g, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunSharded(g, cfg, plan, ShardOptions{Workers: bc.Workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

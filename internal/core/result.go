@@ -40,8 +40,12 @@ type Result struct {
 	Converged bool
 	// IterStats holds per-iteration timing and delta-skip counters for
 	// runs of the sparse engines (nil from RunDense and deserialized
-	// results).
+	// results). For RunSharded, entry i sums every shard's iteration i —
+	// total work, not wall time, since shards run concurrently.
 	IterStats []IterationStat
+	// ShardStats records each shard engine's run, in plan order, when the
+	// result came from RunSharded (nil otherwise).
+	ShardStats []ShardStat
 }
 
 // QuerySim returns s(q1, q2): 1 on the diagonal, the stored score or 0

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/sparse"
+)
+
+// This file is the shard orchestration layer of §9.2's scaling story: the
+// click graph is decomposed into a partition.Plan (whole components packed
+// exactly, oversized components carved with ACL sweep cuts) and one
+// engine runs per shard over a bounded worker pool. Each shard engine
+// sizes its dense accumulators, frontiers, and evidence tables to the
+// shard — not the universe — which is what makes sides too large for one
+// monolithic dense SPA tractable.
+
+// ShardOptions parameterizes RunSharded's scheduling.
+type ShardOptions struct {
+	// Workers is the total worker budget (<= 0 means GOMAXPROCS): it
+	// bounds how many shard engines run concurrently, and each engine
+	// additionally gets a node-proportional share of it as its own
+	// row-parallel workers so a dominant shard does not run serially
+	// while the rest of the pool idles. Each pool worker owns one
+	// reusable engine arena, so peak scratch memory is on the order of
+	// Workers × the largest shard's side, never the whole graph's.
+	Workers int
+}
+
+// ShardStat records one shard engine run for the stitched Result.
+type ShardStat struct {
+	// Queries, Ads, Edges are the shard subgraph's dimensions.
+	Queries, Ads, Edges int
+	// CutEdges and Exact echo the plan: evidence this shard could not see.
+	CutEdges int
+	Exact    bool
+	// Iterations/Converged are the shard engine's own run outcome.
+	Iterations int
+	Converged  bool
+	// Duration is the shard's wall time including subgraph extraction.
+	Duration time.Duration
+	// SPABytes is the dense sparse-accumulator footprint this shard's
+	// engine needed: 2 float64 arrays sized to its larger side, per
+	// engine worker the shard was granted. The monolithic equivalent is
+	// 16·max(NumQueries, NumAds) per worker.
+	SPABytes int64
+}
+
+// RunSharded executes the plan: one sparse engine per shard, scheduled
+// big-shards-first across a bounded worker pool, stitched into a single
+// Result in the parent graph's id space (scores, the TopRewrites partner
+// index via the stitched tables, and merged IterStats).
+//
+// When the plan is exact — every shard a union of whole connected
+// components — the stitched scores are bit-identical to Run(g, cfg) at a
+// fixed iteration count: pairs in different components score 0 in both,
+// and a shard's local computation replays the monolithic one contribution
+// for contribution (the differential tests pin this, serial and parallel,
+// across variants). Two documented deviations:
+//
+//   - With Config.Tolerance > 0, each shard stops at its *own*
+//     convergence instead of the global maximum, so converged shards stop
+//     paying expansion/diff work entirely (part of the sharded speedup);
+//     scores then differ from the monolithic run by at most the
+//     tolerance-scale drift. Result.Converged reports whether every shard
+//     converged.
+//   - With an ACL-cut (non-exact) plan, cut edges' evidence is invisible
+//     to both shards they straddle: cross-shard pairs score 0 and
+//     boundary pairs are approximated, the same trade the paper accepts
+//     when decomposing its giant component (§9.2).
+//
+// Result.IterStats sums, per iteration index, the per-shard stats (shards
+// run concurrently, so summed durations measure total work, not wall
+// time); Result.ShardStats records each shard's run in plan order.
+func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt ShardOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("core: RunSharded needs a partition.Plan")
+	}
+	if err := plan.Validate(g); err != nil {
+		return nil, err
+	}
+	budget := opt.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	// The pool never needs more slots than shards; the engine-worker
+	// shares below still draw on the full budget, so a single-shard plan
+	// runs its one engine with every worker (≈ RunParallel).
+	workers := budget
+	if workers > len(plan.Shards) {
+		workers = len(plan.Shards)
+	}
+
+	// Big shards first: the largest shard bounds the pool's makespan, so
+	// it must not be picked up last.
+	order := make([]int, len(plan.Shards))
+	totalNodes := 0
+	for i := range order {
+		order[i] = i
+		totalNodes += plan.Shards[i].Nodes()
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := plan.Shards[order[a]].Nodes(), plan.Shards[order[b]].Nodes()
+		if na != nb {
+			return na > nb
+		}
+		return order[a] < order[b]
+	})
+	// A dominant shard must not run serially while the rest of the pool
+	// idles (one uncarvable component plus a handful of tiny ones is the
+	// worst case), so each shard's engine gets a share of the worker
+	// budget proportional to its node count. Shares sum to ≈ workers;
+	// transient oversubscription while small shards drain is bounded and
+	// cheap (goroutines, with parallelism capped by GOMAXPROCS anyway).
+	engineWorkers := func(nodes int) int {
+		if totalNodes == 0 {
+			return 1
+		}
+		w := (budget*nodes + totalNodes/2) / totalNodes
+		if w < 1 {
+			return 1
+		}
+		if w > budget {
+			return budget
+		}
+		return w
+	}
+
+	outs := make([]shardOut, len(plan.Shards))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ar := &engineArena{} // reused across this worker's shards
+			for idx := range jobs {
+				sh := &plan.Shards[idx]
+				start := time.Now()
+				view, err := clickgraph.NewSubview(g, sh.Queries, sh.Ads)
+				if err != nil {
+					fail(fmt.Errorf("core: shard %d: %w", idx, err))
+					continue
+				}
+				ew := engineWorkers(sh.Nodes())
+				res, err := runEngine(view.Graph, cfg, ew, ar)
+				if err != nil {
+					fail(fmt.Errorf("core: shard %d: %w", idx, err))
+					continue
+				}
+				side := view.Graph.NumQueries()
+				if na := view.Graph.NumAds(); na > side {
+					side = na
+				}
+				outs[idx] = shardOut{view: view, res: res, stat: ShardStat{
+					Queries:    view.Graph.NumQueries(),
+					Ads:        view.Graph.NumAds(),
+					Edges:      view.Graph.NumEdges(),
+					CutEdges:   sh.CutEdges,
+					Exact:      sh.Exact,
+					Iterations: res.Iterations,
+					Converged:  res.Converged,
+					Duration:   time.Since(start),
+					// u + t float64 arrays per engine worker.
+					SPABytes: int64(ew) * int64(side) * 16,
+				}}
+			}
+		}()
+	}
+	for _, idx := range order {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return stitch(g, cfg, outs)
+}
+
+// shardOut is one shard engine's output awaiting the stitch.
+type shardOut struct {
+	view *clickgraph.Subview
+	res  *Result
+	stat ShardStat
+}
+
+// stitch remaps every shard's local pair tables into the parent id space
+// and merges the run metadata.
+func stitch(g *clickgraph.Graph, cfg Config, outs []shardOut) (*Result, error) {
+	qPairs, aPairs, maxIters := 0, 0, 0
+	for i := range outs {
+		qPairs += outs[i].res.QueryScores.Len()
+		aPairs += outs[i].res.AdScores.Len()
+		if outs[i].res.Iterations > maxIters {
+			maxIters = outs[i].res.Iterations
+		}
+	}
+	qTab, aTab := sparse.NewPairTable(qPairs), sparse.NewPairTable(aPairs)
+	iterStats := make([]IterationStat, maxIters)
+	shardStats := make([]ShardStat, len(outs))
+	converged := true
+	for i := range outs {
+		view, res := outs[i].view, outs[i].res
+		res.QueryScores.Range(func(a, b int, v float64) bool {
+			qTab.Set(view.GlobalQuery(a), view.GlobalQuery(b), v)
+			return true
+		})
+		res.AdScores.Range(func(a, b int, v float64) bool {
+			aTab.Set(view.GlobalAd(a), view.GlobalAd(b), v)
+			return true
+		})
+		for it, s := range res.IterStats {
+			iterStats[it].Duration += s.Duration
+			iterStats[it].QueryRowsSkipped += s.QueryRowsSkipped
+			iterStats[it].QueryRows += s.QueryRows
+			iterStats[it].AdRowsSkipped += s.AdRowsSkipped
+			iterStats[it].AdRows += s.AdRows
+		}
+		converged = converged && res.Converged
+		shardStats[i] = outs[i].stat
+	}
+	return &Result{
+		Graph:       g,
+		Config:      cfg,
+		QueryScores: qTab,
+		AdScores:    aTab,
+		Iterations:  maxIters,
+		Converged:   converged,
+		IterStats:   iterStats,
+		ShardStats:  shardStats,
+	}, nil
+}

@@ -179,6 +179,17 @@ func SweepCut(g *clickgraph.Graph, p map[NodeID]float64) (map[NodeID]bool, float
 // nodes (clamped to the support size), which keeps extracted subgraphs
 // "big enough" the way the paper's iterative extraction required.
 func SweepCutMin(g *clickgraph.Graph, p map[NodeID]float64, minNodes int) (map[NodeID]bool, float64) {
+	return SweepCutBounded(g, p, minNodes, 0)
+}
+
+// SweepCutBounded is SweepCutMin additionally restricted to prefixes of
+// at most maxNodes nodes (0 means unbounded). The shard planner uses the
+// bound for two things: carved pieces respect the shard budget, and the
+// sweep can never "choose" the entire support — when the support covers a
+// whole component of a multi-component graph, the full prefix has
+// conductance 0 (it cuts nothing) and would always win, which is a
+// non-answer for a planner that needs a strict piece.
+func SweepCutBounded(g *clickgraph.Graph, p map[NodeID]float64, minNodes, maxNodes int) (map[NodeID]bool, float64) {
 	type ranked struct {
 		node NodeID
 		val  float64
@@ -204,6 +215,12 @@ func SweepCutMin(g *clickgraph.Graph, p map[NodeID]float64, minNodes int) (map[N
 	if minNodes > len(order) {
 		minNodes = len(order)
 	}
+	if maxNodes <= 0 || maxNodes > len(order) {
+		maxNodes = len(order)
+	}
+	if maxNodes < minNodes {
+		maxNodes = minNodes
+	}
 
 	totalVol := 0
 	for q := 0; q < g.NumQueries(); q++ {
@@ -220,7 +237,7 @@ func SweepCutMin(g *clickgraph.Graph, p map[NodeID]float64, minNodes int) (map[N
 	vol, cut := 0, 0
 	bestPhi := 1.0
 	bestLen := 0
-	for i, rk := range order {
+	for i, rk := range order[:maxNodes] {
 		u := rk.node
 		in[u] = true
 		vol += degree(g, u)

@@ -15,6 +15,18 @@ func NewBitset(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+63)/64)}
 }
 
+// Resize re-dimensions the bitset to n bits and clears it, reusing the
+// word array when it is large enough.
+func (b *Bitset) Resize(n int) {
+	words := (n + 63) / 64
+	if words > cap(b.words) {
+		b.words = make([]uint64, words)
+		return
+	}
+	b.words = b.words[:words]
+	b.Clear()
+}
+
 // Clear zeroes every bit, keeping capacity.
 func (b *Bitset) Clear() {
 	for i := range b.words {

@@ -85,6 +85,28 @@ func (f *PairFrontier) Len() int {
 	return n
 }
 
+// Resize re-dimensions the frontier to rows row buckets and empties it,
+// keeping as much allocated capacity as possible: shrinking retains the
+// out-of-range rows' backing slices for a later re-grow, and growing
+// within capacity picks them back up. The shard engine pool uses this to
+// run one reusable frontier arena across shards of different sizes.
+func (f *PairFrontier) Resize(rows int) {
+	if rows <= cap(f.cols) && rows <= cap(f.vals) && rows <= cap(f.sorted) {
+		f.cols = f.cols[:rows]
+		f.vals = f.vals[:rows]
+		f.sorted = f.sorted[:rows]
+	} else {
+		nc := make([][]int32, rows)
+		copy(nc, f.cols)
+		nv := make([][]float64, rows)
+		copy(nv, f.vals)
+		ns := make([]int, rows)
+		copy(ns, f.sorted)
+		f.cols, f.vals, f.sorted = nc, nv, ns
+	}
+	f.Reset()
+}
+
 // Reset empties the frontier for reuse, keeping every row's capacity.
 func (f *PairFrontier) Reset() {
 	for r := range f.cols {

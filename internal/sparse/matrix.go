@@ -112,6 +112,23 @@ func (c *CSR) normalizeRows() {
 	c.Val = c.Val[:w]
 }
 
+// NewCSR wraps prebuilt CSR arrays without copying. rowPtr must have
+// rows+1 ascending offsets into colIdx/val, and each row's columns must be
+// ascending and duplicate-free — the invariants Compile establishes. It is
+// for construction paths that already produce compiled form (e.g. induced
+// subgraph extraction slicing a parent CSR) and panics on malformed
+// dimensions, treating them as programming errors like NewCOO does.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, val []float64) *CSR {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+	}
+	if len(rowPtr) != rows+1 || len(colIdx) != len(val) || rowPtr[rows] != len(colIdx) {
+		panic(fmt.Sprintf("sparse: inconsistent CSR arrays: rows=%d len(rowPtr)=%d len(colIdx)=%d len(val)=%d",
+			rows, len(rowPtr), len(colIdx), len(val)))
+	}
+	return &CSR{rows: rows, cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
 // Dims returns the matrix dimensions.
 func (c *CSR) Dims() (rows, cols int) { return c.rows, c.cols }
 
