@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"simrankpp/internal/core"
+	"simrankpp/internal/serve"
 )
 
 type passResult struct {
@@ -73,6 +74,10 @@ type report struct {
 	// comparison (wall clock, iteration trajectories, peak accumulator
 	// footprints). See PERF.md's shard memory model section.
 	ShardWorkload *shardSection `json:"shard_workload,omitempty"`
+	// Snapshot records the serving path on the same workload: persisting
+	// the sharded result, opening the snapshot (header + string table
+	// only), and warm per-query lookups. See PERF.md's serving section.
+	Snapshot *serve.SnapshotBenchResult `json:"snapshot,omitempty"`
 }
 
 // baselineVariant names the variant each benchmark group's speedups are
@@ -155,7 +160,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "corebench: shard workload: %d clusters + giant, budget %d nodes, %d reps\n",
 		sbc.Clusters, sbc.MaxShardNodes, *shardReps)
-	sres, _, err := core.RunShardBench(sbc, *shardReps)
+	sres, _, shardedRes, err := core.RunShardBench(sbc, *shardReps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "corebench:", err)
 		os.Exit(1)
@@ -172,6 +177,16 @@ func main() {
 		float64(sres.ShardedNs)/1e6, sres.ShardedIters, float64(sres.PlanNs)/1e6, shard.Speedup,
 		float64(sres.MonolithicSPABytes)/1024, float64(sres.MaxShardSPABytes)/1024, shard.SPARatio)
 
+	snapRes, err := serve.RunSnapshotBench(shardedRes, *shardReps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "  Snapshot: write %.1f ms (%d shards, %.0f KiB)  open %.0f µs  first lookup %.0f µs  warm lookup %.0f ns (%d lookups)\n",
+		float64(snapRes.WriteNs)/1e6, snapRes.Shards, float64(snapRes.Bytes)/1024,
+		float64(snapRes.OpenNs)/1e3, float64(snapRes.FirstLookupNs)/1e3,
+		float64(snapRes.LookupNs), snapRes.Lookups)
+
 	rep := report{
 		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:            runtime.Version(),
@@ -182,6 +197,7 @@ func main() {
 		AllocRatioVsBaseline: map[string]float64{},
 		WeightedIterations:   trajectories,
 		ShardWorkload:        shard,
+		Snapshot:             &snapRes,
 	}
 	base := map[string]passResult{}
 	for _, r := range results {

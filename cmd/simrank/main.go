@@ -7,6 +7,8 @@
 //	        [-query Q | -all] [-top K] [-c 0.8] [-iterations 7]
 //	        [-bids FILE] [-strict-evidence]
 //	        [-sharded] [-shard-max-nodes 4096] [-shard-workers 0]
+//	        [-save SNAPSHOT]
+//	simrank -load SNAPSHOT [-query Q | -all] [-top K] [-bids FILE]
 //
 // With -query it prints rewrites for one query; with -all it prints the
 // top rewrites for every query. When -bids is given, rewrites are passed
@@ -17,6 +19,11 @@
 // engine runs per shard on a bounded worker pool; the plan summary goes
 // to stderr before the run. Component-exact plans reproduce the
 // monolithic scores bit for bit; carved plans drop cross-shard evidence.
+//
+// With -save, the computed scores are also written as a binary snapshot
+// (per-shard segments under -sharded) that cmd/simrankd serves online;
+// with -load, rewrites are answered straight from such a snapshot — no
+// graph file and no engine run, the batch/online split of Figure 2.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"simrankpp/internal/core"
 	"simrankpp/internal/partition"
 	"simrankpp/internal/rewrite"
+	"simrankpp/internal/serve"
 )
 
 func main() {
@@ -46,40 +54,67 @@ func main() {
 		sharded   = flag.Bool("sharded", false, "decompose the graph and run one engine per shard")
 		shardMax  = flag.Int("shard-max-nodes", 4096, "sharded: shard node budget (components above it are ACL-cut)")
 		shardWork = flag.Int("shard-workers", 0, "sharded: concurrent shard engines (0 = GOMAXPROCS)")
+		savePath  = flag.String("save", "", "write the computed scores as a serving snapshot")
+		loadPath  = flag.String("load", "", "answer from a snapshot instead of running an engine (-graph not needed)")
 	)
 	flag.Parse()
-	if *graphPath == "" {
-		fatal(fmt.Errorf("-graph is required"))
+	if *loadPath != "" && *savePath != "" {
+		fatal(fmt.Errorf("-save makes no sense with -load: the snapshot already exists"))
 	}
-	if !*all && *query == "" {
-		fatal(fmt.Errorf("give -query or -all"))
+	if *loadPath == "" && *graphPath == "" {
+		fatal(fmt.Errorf("-graph is required (or -load a snapshot)"))
 	}
-
-	f, err := os.Open(*graphPath)
-	if err != nil {
-		fatal(err)
-	}
-	g, err := clickgraph.Read(f)
-	if err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		fatal(err)
+	if !*all && *query == "" && *savePath == "" {
+		fatal(fmt.Errorf("give -query or -all (or just -save)"))
 	}
 
 	var bidTerms map[string]bool
+	var err error
 	if *bidsPath != "" {
-		bidTerms, err = readBidTerms(*bidsPath)
+		bidTerms, err = rewrite.ReadBidTermsFile(*bidsPath)
 		if err != nil {
 			fatal(err)
 		}
 	}
 
-	src, err := buildSource(g, *method, *c, *iters, *prune, *strict, *sharded, *shardMax, *shardWork)
-	if err != nil {
-		fatal(err)
+	// The serving surface: a snapshot or a fresh engine run, behind the
+	// same ScoreIndex interface the pipeline consumes.
+	var src rewrite.Source
+	var names interface {
+		rewrite.QueryNames
+		QueryID(string) (int, bool)
 	}
-	pipe := rewrite.NewPipeline(g, bidTerms)
+	if *loadPath != "" {
+		snap, err := serve.OpenSnapshot(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer snap.Close()
+		src = &rewrite.ResultSource{Index: snap}
+		names = snap
+	} else {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := clickgraph.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		src, err = buildSource(g, *method, *c, *iters, *prune, *strict, *sharded, *shardMax, *shardWork, *savePath)
+		if err != nil {
+			fatal(err)
+		}
+		names = g
+	}
+
+	if *query == "" && !*all {
+		return // -save only: snapshot written by buildSource
+	}
+	pipe := rewrite.NewPipeline(names, bidTerms)
 	pipe.MaxRewrites = *top
 
 	out := bufio.NewWriter(os.Stdout)
@@ -89,31 +124,34 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s\n", g.Query(qid))
+		fmt.Fprintf(out, "%s\n", names.Query(qid))
 		for i, cand := range cands {
 			fmt.Fprintf(out, "  %d. %-40s %.6f\n", i+1, cand.Text, cand.Score)
 		}
 		return nil
 	}
 	if *all {
-		for qid := 0; qid < g.NumQueries(); qid++ {
+		for qid := 0; qid < names.NumQueries(); qid++ {
 			if err := printFor(qid); err != nil {
 				fatal(err)
 			}
 		}
 		return
 	}
-	qid, ok := g.QueryID(*query)
+	qid, ok := names.QueryID(*query)
 	if !ok {
-		fatal(fmt.Errorf("query %q not in graph", *query))
+		fatal(fmt.Errorf("query %q not in index", *query))
 	}
 	if err := printFor(qid); err != nil {
 		fatal(err)
 	}
 }
 
-func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict, sharded bool, shardMax, shardWorkers int) (rewrite.Source, error) {
+func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict, sharded bool, shardMax, shardWorkers int, savePath string) (rewrite.Source, error) {
 	if method == "pearson" {
+		if savePath != "" {
+			return nil, fmt.Errorf("-save needs a SimRank method: pearson has no score table to snapshot")
+		}
 		return &rewrite.PearsonSource{Graph: g, Channel: core.ChannelRate}, nil
 	}
 	cfg := core.DefaultConfig()
@@ -143,30 +181,25 @@ func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune
 		if werr := plan.WriteSummary(os.Stderr); werr != nil {
 			return nil, werr
 		}
-		res, err = core.RunSharded(g, cfg, plan, core.ShardOptions{Workers: shardWorkers})
+		// Retaining the per-shard tables lets -save emit one snapshot
+		// segment per shard straight from the engines' local outputs.
+		res, err = core.RunSharded(g, cfg, plan, core.ShardOptions{
+			Workers:           shardWorkers,
+			RetainShardScores: savePath != "",
+		})
 	} else {
 		res, err = core.Run(g, cfg)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &rewrite.ResultSource{Result: res}, nil
-}
-
-func readBidTerms(path string) (map[string]bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	terms := make(map[string]bool)
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		if line := sc.Text(); line != "" {
-			terms[line] = true
+	if savePath != "" {
+		if err := serve.WriteSnapshotFile(savePath, res); err != nil {
+			return nil, err
 		}
+		fmt.Fprintf(os.Stderr, "simrank: wrote snapshot %s (%d shards)\n", savePath, max(1, len(res.ShardScores)))
 	}
-	return terms, sc.Err()
+	return &rewrite.ResultSource{Index: res}, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,133 @@
+// Command simrankd is the serving half of the paper's Figure 2 deployment
+// split: a long-running HTTP/JSON front-end that answers query-rewrite
+// requests from a precomputed SimRank++ snapshot, never touching an
+// engine. Scores are computed offline (cmd/simrank -save, optionally
+// -sharded) and the daemon routes each query to its shard's score segment,
+// loading segments lazily and caching hot responses in a bounded LRU.
+//
+// # Usage
+//
+//	simrankd -snapshot FILE [-addr :8080] [-top 5] [-max-top 100]
+//	         [-cache 4096] [-bids FILE] [-preload]
+//
+// # Endpoints
+//
+//	GET /rewrite?q=QUERY[&top=K]   filtered rewrites (stem dedup, bid
+//	                               filtering when -bids is given, depth K)
+//	GET /similar?q=QUERY[&top=K]   raw ranked similar queries
+//	GET /similar?ad=AD[&top=K]     raw ranked similar ads
+//	GET /stats                     serving counters + snapshot metadata
+//	GET /healthz                   liveness probe
+//
+// # Example
+//
+//	simrank -graph clicks.graph -method weighted -sharded -save scores.snap
+//	simrankd -snapshot scores.snap -addr :8080 &
+//	curl 'localhost:8080/rewrite?q=camera&top=3'
+//
+// # Reload
+//
+// On SIGHUP the daemon re-opens -snapshot (typically after the batch side
+// atomically replaced the file) and swaps it in without dropping in-flight
+// requests; a failed reload keeps the old snapshot serving.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simrankpp/internal/rewrite"
+	"simrankpp/internal/serve"
+)
+
+func main() {
+	var (
+		snapPath = flag.String("snapshot", "", "snapshot file written by simrank -save (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		top      = flag.Int("top", 5, "default rewrites per query")
+		maxTop   = flag.Int("max-top", 100, "cap on the per-request top parameter")
+		cache    = flag.Int("cache", 4096, "hot-query LRU entries (0 disables)")
+		bidsPath = flag.String("bids", "", "bid-term list file enabling bid filtering on /rewrite")
+		preload  = flag.Bool("preload", false, "verify and load every score segment at startup")
+	)
+	flag.Parse()
+	if *snapPath == "" {
+		fatal(fmt.Errorf("-snapshot is required"))
+	}
+
+	cfg := serve.DefaultServerConfig()
+	cfg.DefaultTop = *top
+	cfg.MaxTop = *maxTop
+	cfg.CacheSize = *cache
+	if *bidsPath != "" {
+		terms, err := rewrite.ReadBidTermsFile(*bidsPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.BidTerms = terms
+	}
+
+	open := func() (serve.ScoreIndex, error) {
+		snap, err := serve.OpenSnapshot(*snapPath)
+		if err != nil {
+			return nil, err
+		}
+		if *preload {
+			if err := snap.PreloadAll(); err != nil {
+				snap.Close()
+				return nil, err
+			}
+		}
+		return snap, nil
+	}
+	idx, err := open()
+	if err != nil {
+		fatal(err)
+	}
+	snap := idx.(*serve.Snapshot)
+	meta := snap.Meta()
+	log.Printf("simrankd: %s: %d queries, %d ads, %d shards, %d+%d pairs (%s, %d iterations)",
+		*snapPath, meta.NumQueries, meta.NumAds, meta.Shards,
+		meta.QueryPairs, meta.AdPairs, meta.Variant, meta.Iterations)
+
+	srv := serve.NewServer(idx, cfg)
+	srv.ReloadOnSIGHUP(open, func(old serve.ScoreIndex) {
+		if c, ok := old.(*serve.Snapshot); ok {
+			c.Close()
+		}
+	}, log.Printf)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan os.Signal, 1)
+	drained := make(chan struct{})
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		close(drained)
+	}()
+	log.Printf("simrankd: serving on %s", *addr)
+	err = httpSrv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the
+	// drain to finish so in-flight requests complete before exit.
+	if err == http.ErrServerClosed {
+		<-drained
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrankd:", err)
+	os.Exit(1)
+}

@@ -50,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 	pipe := rewrite.NewPipeline(g, res.BidTerms)
-	src := &rewrite.ResultSource{Result: simres}
+	src := &rewrite.ResultSource{Index: simres}
 
 	// Find a query in the graph whose own text has no bids — the case
 	// the paper's architecture exists for: without rewrites the back-end

@@ -98,7 +98,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	// 5. Rewriting pipeline + editorial grading: rewrites must be
 	//    bid-filtered, stem-distinct, depth-capped, and gradeable.
 	pipe := rewrite.NewPipeline(g, log.BidTerms)
-	src := &rewrite.ResultSource{Result: loaded}
+	src := &rewrite.ResultSource{Index: loaded}
 	oracle := judge.New(u)
 	sample := []int{}
 	for q := 0; q < g.NumQueries() && len(sample) < 25; q += 7 {

@@ -379,9 +379,12 @@ type ShardBenchResult struct {
 
 // RunShardBench builds the workload, plans it, and measures one
 // monolithic serial run against one sharded run (reps repetitions each,
-// best wall time kept). It returns the measurement plus the plan for
-// reporting.
-func RunShardBench(bc ShardBenchConfig, reps int) (ShardBenchResult, *partition.Plan, error) {
+// best wall time kept). It returns the measurement, the plan, and the
+// best sharded Result with its per-shard scores retained — the snapshot
+// serving benchmark serializes that same result, so the serving numbers
+// describe exactly the workload the shard numbers do, without a second
+// engine run.
+func RunShardBench(bc ShardBenchConfig, reps int) (ShardBenchResult, *partition.Plan, *Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -396,7 +399,7 @@ func RunShardBench(bc ShardBenchConfig, reps int) (ShardBenchResult, *partition.
 	tPlan := time.Now()
 	plan, err := partition.BuildPlan(g, pcfg)
 	if err != nil {
-		return ShardBenchResult{}, nil, err
+		return ShardBenchResult{}, nil, nil, err
 	}
 
 	out := ShardBenchResult{
@@ -414,7 +417,7 @@ func RunShardBench(bc ShardBenchConfig, reps int) (ShardBenchResult, *partition.
 		t0 := time.Now()
 		mono, err := Run(g, cfg)
 		if err != nil {
-			return ShardBenchResult{}, nil, err
+			return ShardBenchResult{}, nil, nil, err
 		}
 		ns := time.Since(t0).Nanoseconds()
 		if r == 0 || ns < out.MonolithicNs {
@@ -423,14 +426,18 @@ func RunShardBench(bc ShardBenchConfig, reps int) (ShardBenchResult, *partition.
 			out.MonolithicIterNs = iterNs(mono.IterStats)
 		}
 	}
+	var best *Result
 	for r := 0; r < reps; r++ {
 		t0 := time.Now()
-		sharded, err := RunSharded(g, cfg, plan, ShardOptions{Workers: bc.Workers})
+		// Shard scores are retained (pointer-sized bookkeeping, no table
+		// copies) so the serving benchmark can serialize this run.
+		sharded, err := RunSharded(g, cfg, plan, ShardOptions{Workers: bc.Workers, RetainShardScores: true})
 		if err != nil {
-			return ShardBenchResult{}, nil, err
+			return ShardBenchResult{}, nil, nil, err
 		}
 		ns := time.Since(t0).Nanoseconds()
 		if r == 0 || ns < out.ShardedNs {
+			best = sharded
 			out.ShardedNs = ns
 			out.ShardedIters = sharded.Iterations
 			out.ShardedIterNs = iterNs(sharded.IterStats)
@@ -442,7 +449,7 @@ func RunShardBench(bc ShardBenchConfig, reps int) (ShardBenchResult, *partition.
 			}
 		}
 	}
-	return out, plan, nil
+	return out, plan, best, nil
 }
 
 func iterNs(stats []IterationStat) []int64 {

@@ -46,6 +46,21 @@ type Result struct {
 	// ShardStats records each shard engine's run, in plan order, when the
 	// result came from RunSharded (nil otherwise).
 	ShardStats []ShardStat
+	// ShardScores retains each shard engine's local-id score tables with
+	// their local→global maps, in plan order, when RunSharded ran with
+	// ShardOptions.RetainShardScores (nil otherwise). serve.WriteSnapshot
+	// encodes per-shard segments directly from them, in parallel, without
+	// repartitioning the stitched tables.
+	ShardScores []ShardScoreSet
+}
+
+// ShardScoreSet is one shard engine's raw output: pair tables in the
+// shard's local id space plus the ascending local→global id maps.
+type ShardScoreSet struct {
+	// QueryIDs maps local query id -> global query id; AdIDs likewise.
+	QueryIDs, AdIDs []int
+	// QueryScores and AdScores are the shard engine's tables, local ids.
+	QueryScores, AdScores *sparse.PairTable
 }
 
 // QuerySim returns s(q1, q2): 1 on the diagonal, the stored score or 0
@@ -76,3 +91,37 @@ func (r *Result) TopRewrites(q, k int) []sparse.Scored {
 	r.QueryScores.EnsureIndex()
 	return r.QueryScores.TopKFor(q, k)
 }
+
+// TopSimilarAds is TopRewrites for the ad side: the k ads most similar to
+// a, descending by score with deterministic tie-breaking.
+func (r *Result) TopSimilarAds(a, k int) []sparse.Scored {
+	r.AdScores.EnsureIndex()
+	return r.AdScores.TopKFor(a, k)
+}
+
+// The delegating accessors below complete the serve.ScoreIndex read
+// surface, so a live Result and a loaded serve.Snapshot are
+// interchangeable to every score consumer (the rewrite pipeline, the
+// simrankd server). They mirror clickgraph.Graph's names.
+
+// NumQueries returns the number of query nodes in the scored graph.
+func (r *Result) NumQueries() int { return r.Graph.NumQueries() }
+
+// NumAds returns the number of ad nodes in the scored graph.
+func (r *Result) NumAds() int { return r.Graph.NumAds() }
+
+// Query returns the query string for id.
+func (r *Result) Query(id int) string { return r.Graph.Query(id) }
+
+// Ad returns the ad string for id.
+func (r *Result) Ad(id int) string { return r.Graph.Ad(id) }
+
+// QueryID returns the id of query q and whether it exists.
+func (r *Result) QueryID(q string) (int, bool) { return r.Graph.QueryID(q) }
+
+// AdID returns the id of ad a and whether it exists.
+func (r *Result) AdID(a string) (int, bool) { return r.Graph.AdID(a) }
+
+// VariantName names the similarity measure that produced the scores
+// ("simrank", "evidence-based simrank", "weighted simrank").
+func (r *Result) VariantName() string { return r.Config.Variant.String() }

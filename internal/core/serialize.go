@@ -17,15 +17,81 @@ import (
 //
 // The format is line-oriented text, mirroring the click graph format:
 //
-//	#simrankpp-scores v1
+//	#simrankpp-scores v2
 //	!meta  variant=<n> iterations=<n> c1=<f> c2=<f>
 //	Q <query1> <TAB> <query2> <TAB> <score>
 //	A <ad1>    <TAB> <ad2>    <TAB> <score>
 //
 // Node names are the graph's strings, so a result can be loaded against
-// any graph containing the same names.
+// any graph containing the same names. Since v2, names containing the
+// format's structural characters — tab, newline, carriage return — or a
+// backslash are escaped on write (\t, \n, \r, \\) and unescaped on read;
+// an unknown escape is rejected with the offending line number. v1 files
+// (which stored names raw and could not represent structural characters)
+// are still read, with no unescaping, so files written by older releases
+// keep loading byte for byte. The binary snapshot format (internal/serve)
+// length-prefixes names instead and needs no escaping.
 
-const scoresHeader = "#simrankpp-scores v1"
+const (
+	scoresHeader   = "#simrankpp-scores v2"
+	scoresHeaderV1 = "#simrankpp-scores v1"
+)
+
+// escapeName makes a node name safe for one tab-separated field.
+func escapeName(s string) string {
+	if !strings.ContainsAny(s, "\\\t\n\r") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapeName inverts escapeName, rejecting truncated or unknown escapes.
+func unescapeName(s string) (string, error) {
+	if !strings.Contains(s, `\`) {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", fmt.Errorf("truncated escape at end of name %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in name %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
 
 // WriteResult serializes the result's query and ad pair scores.
 func WriteResult(w io.Writer, r *Result) error {
@@ -41,7 +107,7 @@ func WriteResult(w io.Writer, r *Result) error {
 	}
 	var werr error
 	emit := func(kind byte, n1, n2 string, v float64) bool {
-		_, werr = fmt.Fprintf(bw, "%c\t%s\t%s\t%s\n", kind, n1, n2,
+		_, werr = fmt.Fprintf(bw, "%c\t%s\t%s\t%s\n", kind, escapeName(n1), escapeName(n2),
 			strconv.FormatFloat(v, 'g', -1, 64))
 		return werr == nil
 	}
@@ -74,7 +140,12 @@ func ReadResult(r io.Reader, g *clickgraph.Graph) (*Result, error) {
 		}
 		return nil, fmt.Errorf("core: empty scores stream")
 	}
-	if sc.Text() != scoresHeader {
+	escaped := true
+	switch sc.Text() {
+	case scoresHeader:
+	case scoresHeaderV1:
+		escaped = false
+	default:
 		return nil, fmt.Errorf("core: bad scores header %q", sc.Text())
 	}
 	res := &Result{
@@ -104,18 +175,27 @@ func ReadResult(r io.Reader, g *clickgraph.Graph) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: line %d: bad score: %v", lineNo, err)
 		}
+		n1, n2 := fields[1], fields[2]
+		if escaped {
+			if n1, err = unescapeName(n1); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			if n2, err = unescapeName(n2); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+		}
 		if fields[0] == "Q" {
-			i, ok1 := g.QueryID(fields[1])
-			j, ok2 := g.QueryID(fields[2])
+			i, ok1 := g.QueryID(n1)
+			j, ok2 := g.QueryID(n2)
 			if !ok1 || !ok2 {
-				return nil, fmt.Errorf("core: line %d: query pair (%q,%q) not in graph", lineNo, fields[1], fields[2])
+				return nil, fmt.Errorf("core: line %d: query pair (%q,%q) not in graph", lineNo, n1, n2)
 			}
 			res.QueryScores.Set(i, j, v)
 		} else {
-			i, ok1 := g.AdID(fields[1])
-			j, ok2 := g.AdID(fields[2])
+			i, ok1 := g.AdID(n1)
+			j, ok2 := g.AdID(n2)
 			if !ok1 || !ok2 {
-				return nil, fmt.Errorf("core: line %d: ad pair (%q,%q) not in graph", lineNo, fields[1], fields[2])
+				return nil, fmt.Errorf("core: line %d: ad pair (%q,%q) not in graph", lineNo, n1, n2)
 			}
 			res.AdScores.Set(i, j, v)
 		}

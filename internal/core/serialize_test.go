@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+)
+
+// nastyNameGraph builds a graph whose node names contain every character
+// the line-oriented score format treats structurally.
+func nastyNameGraph(t *testing.T) *clickgraph.Graph {
+	t.Helper()
+	b := clickgraph.NewBuilder()
+	edges := []struct{ q, a string }{
+		{"tab\there", "ad\tone"},
+		{"new\nline", "ad\tone"},
+		{"back\\slash", "ad\rtwo"},
+		{"tab\there", "ad\rtwo"},
+		{`trailing\`, "plain ad"},
+		{"new\nline", "plain ad"},
+	}
+	for _, e := range edges {
+		if err := b.AddClick(e.q, e.a, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestSerializeEscapesStructuralCharacters pins that node names containing
+// tabs, newlines, carriage returns and backslashes survive the text score
+// format round trip bit for bit.
+func TestSerializeEscapesStructuralCharacters(t *testing.T) {
+	g := nastyNameGraph(t)
+	res, err := Run(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryScores.Len() == 0 {
+		t.Fatal("fixture scored no query pairs; test is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	// The serialized stream must still be line-per-pair: raw structural
+	// bytes in a name would change the line count.
+	wantLines := 2 + res.QueryScores.Len() + res.AdScores.Len() // header + meta
+	if got := strings.Count(buf.String(), "\n"); got != wantLines {
+		t.Errorf("serialized stream has %d lines, want %d (unescaped name?)", got, wantLines)
+	}
+	loaded, err := ReadResult(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.QueryScores.Range(func(i, j int, v float64) bool {
+		if lv := loaded.QuerySim(i, j); lv != v {
+			t.Fatalf("query sim(%d,%d) = %v after round trip, want %v", i, j, lv, v)
+		}
+		return true
+	})
+	res.AdScores.Range(func(i, j int, v float64) bool {
+		if lv := loaded.AdSim(i, j); lv != v {
+			t.Fatalf("ad sim(%d,%d) = %v after round trip, want %v", i, j, lv, v)
+		}
+		return true
+	})
+	if loaded.QueryScores.Len() != res.QueryScores.Len() || loaded.AdScores.Len() != res.AdScores.Len() {
+		t.Errorf("round trip pair counts %d/%d, want %d/%d",
+			loaded.QueryScores.Len(), loaded.AdScores.Len(),
+			res.QueryScores.Len(), res.AdScores.Len())
+	}
+}
+
+// TestReadResultAcceptsLegacyV1 pins backward compatibility: a v1 file —
+// written by releases that stored names raw — loads without unescaping,
+// so a literal backslash in a v1 name is not misread as an escape.
+func TestReadResultAcceptsLegacyV1(t *testing.T) {
+	b := clickgraph.NewBuilder()
+	if err := b.AddClick(`back\slash`, "ad1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddClick(`other`, "ad1", 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	in := scoresHeaderV1 + "\n" +
+		"!meta\tvariant=0\titerations=7\tc1=0.8\tc2=0.8\n" +
+		"Q\tback\\slash\tother\t0.25\n"
+	res, err := ReadResult(strings.NewReader(in), g)
+	if err != nil {
+		t.Fatalf("v1 file with raw backslash rejected: %v", err)
+	}
+	q1, _ := g.QueryID(`back\slash`)
+	q2, _ := g.QueryID("other")
+	if got := res.QuerySim(q1, q2); got != 0.25 {
+		t.Errorf("v1 sim = %v, want 0.25", got)
+	}
+}
+
+// TestReadResultRejectsBadEscape pins the line-numbered rejection of
+// malformed escapes.
+func TestReadResultRejectsBadEscape(t *testing.T) {
+	g := clickgraph.Fig3()
+	cases := []struct {
+		name, line string
+	}{
+		{"unknown escape", "Q\tpc\\x\tcamera\t0.5"},
+		{"truncated escape", "Q\tpc\tcamera\\\t0.5"},
+	}
+	for _, c := range cases {
+		in := scoresHeader + "\n" + c.line + "\n"
+		_, err := ReadResult(strings.NewReader(in), g)
+		if err == nil {
+			t.Errorf("%s: ReadResult accepted %q", c.name, c.line)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: error %q does not name line 2", c.name, err)
+		}
+	}
+}

@@ -30,6 +30,13 @@ type ShardOptions struct {
 	// reusable engine arena, so peak scratch memory is on the order of
 	// Workers × the largest shard's side, never the whole graph's.
 	Workers int
+	// RetainShardScores keeps each shard engine's local-id tables and
+	// local→global maps on the Result (Result.ShardScores) in addition to
+	// the stitched global tables. serve.WriteSnapshot uses them to emit
+	// per-shard snapshot segments directly, in parallel, without
+	// repartitioning; the cost is the scores held twice until the Result
+	// is dropped.
+	RetainShardScores bool
 }
 
 // ShardStat records one shard engine run for the stitched Result.
@@ -192,7 +199,22 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return stitch(g, cfg, outs)
+	res, err := stitch(g, cfg, outs)
+	if err != nil {
+		return nil, err
+	}
+	if opt.RetainShardScores {
+		res.ShardScores = make([]ShardScoreSet, len(outs))
+		for i := range outs {
+			res.ShardScores[i] = ShardScoreSet{
+				QueryIDs:    outs[i].view.QueryIDs,
+				AdIDs:       outs[i].view.AdIDs,
+				QueryScores: outs[i].res.QueryScores,
+				AdScores:    outs[i].res.AdScores,
+			}
+		}
+	}
+	return res, nil
 }
 
 // shardOut is one shard engine's output awaiting the stitch.

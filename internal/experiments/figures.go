@@ -66,7 +66,7 @@ func RunMethods(ds *Dataset) ([]MethodRun, error) {
 		if err != nil {
 			return nil, err
 		}
-		sources = append(sources, &rewrite.ResultSource{Result: res})
+		sources = append(sources, &rewrite.ResultSource{Index: res})
 	}
 
 	var runs []MethodRun

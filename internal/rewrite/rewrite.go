@@ -7,7 +7,10 @@
 package rewrite
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"os"
 
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/core"
@@ -25,23 +28,40 @@ type Source interface {
 	Rewrites(q int, limit int) ([]sparse.Scored, error)
 }
 
-// ResultSource serves rewrites from a precomputed core.Result.
-type ResultSource struct {
-	Result *core.Result
-	Label  string
+// Scores is the slice of the serving layer's serve.ScoreIndex that
+// ResultSource consumes: the ranked partners of one query. Both a live
+// *core.Result and a loaded serve.Snapshot satisfy it, which is what makes
+// the filtering pipeline engine-agnostic — it never sees whether scores
+// came from a just-finished run or a precomputed per-shard snapshot.
+type Scores interface {
+	// TopRewrites returns the k most similar queries to q, best first;
+	// k < 0 means all.
+	TopRewrites(q, k int) []sparse.Scored
 }
 
-// Name implements Source.
+// ResultSource serves rewrites from a precomputed score index (a live
+// core.Result or a loaded snapshot).
+type ResultSource struct {
+	Index Scores
+	Label string
+}
+
+// Name implements Source. Without an explicit Label it asks the index for
+// its variant name (core.Result and serve.Snapshot both provide one) and
+// falls back to "simrank".
 func (s *ResultSource) Name() string {
 	if s.Label != "" {
 		return s.Label
 	}
-	return s.Result.Config.Variant.String()
+	if v, ok := s.Index.(interface{ VariantName() string }); ok {
+		return v.VariantName()
+	}
+	return "simrank"
 }
 
 // Rewrites implements Source.
 func (s *ResultSource) Rewrites(q, limit int) ([]sparse.Scored, error) {
-	return s.Result.TopRewrites(q, limit), nil
+	return s.Index.TopRewrites(q, limit), nil
 }
 
 // PearsonSource serves rewrites from the Pearson-correlation baseline.
@@ -94,10 +114,19 @@ type Candidate struct {
 	Score float64 // the source's similarity score
 }
 
+// QueryNames resolves query ids to display strings — the only part of the
+// click graph the filtering pipeline needs, so the pipeline runs equally
+// against a *clickgraph.Graph or a serve.ScoreIndex (whose snapshot form
+// carries its own string table).
+type QueryNames interface {
+	NumQueries() int
+	Query(id int) string
+}
+
 // Pipeline applies the paper's filtering steps to a source's raw ranking.
 type Pipeline struct {
 	// Graph resolves query ids to strings.
-	Graph *clickgraph.Graph
+	Graph QueryNames
 	// TopN is how many raw candidates to consider per query; the paper
 	// records the top 100.
 	TopN int
@@ -110,8 +139,34 @@ type Pipeline struct {
 }
 
 // NewPipeline returns the paper's settings: top 100 raw, at most 5 kept.
-func NewPipeline(g *clickgraph.Graph, bidTerms map[string]bool) *Pipeline {
+func NewPipeline(g QueryNames, bidTerms map[string]bool) *Pipeline {
 	return &Pipeline{Graph: g, TopN: 100, MaxRewrites: 5, BidTerms: bidTerms}
+}
+
+// ReadBidTerms parses a bid-term list — one term per line, blank lines
+// ignored — into the set Pipeline.BidTerms consumes. Both the batch CLI
+// and the serving daemon load their lists through this, so the two
+// filtering surfaces cannot drift.
+func ReadBidTerms(r io.Reader) (map[string]bool, error) {
+	terms := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			terms[line] = true
+		}
+	}
+	return terms, sc.Err()
+}
+
+// ReadBidTermsFile is ReadBidTerms over a file path.
+func ReadBidTermsFile(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBidTerms(f)
 }
 
 // Rewrite runs the full pipeline for query id q against src.

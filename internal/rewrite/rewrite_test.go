@@ -141,7 +141,7 @@ func TestSourcesEndToEnd(t *testing.T) {
 	pc, _ := g.QueryID("pc")
 
 	sources := []Source{
-		&ResultSource{Result: res},
+		&ResultSource{Index: res},
 		&PearsonSource{Graph: g, Channel: core.ChannelClicks},
 		&LocalSource{Graph: g, Config: cfg, Local: core.DefaultLocalConfig()},
 	}
@@ -196,10 +196,10 @@ func TestResultSourceLabel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name := (&ResultSource{Result: res}).Name(); name != "simrank" {
+	if name := (&ResultSource{Index: res}).Name(); name != "simrank" {
 		t.Errorf("default name = %q", name)
 	}
-	if name := (&ResultSource{Result: res, Label: "custom"}).Name(); name != "custom" {
+	if name := (&ResultSource{Index: res, Label: "custom"}).Name(); name != "custom" {
 		t.Errorf("label override = %q", name)
 	}
 }
@@ -212,7 +212,7 @@ func TestRewriteAll(t *testing.T) {
 	}
 	p := NewPipeline(g, nil)
 	sample := []int{0, 1, 2}
-	all, err := p.RewriteAll(&ResultSource{Result: res}, sample)
+	all, err := p.RewriteAll(&ResultSource{Index: res}, sample)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+
+	"simrankpp/internal/core"
+)
+
+// This file measures the serving path on the shard benchmark workload so
+// BENCH_core.json tracks it PR over PR alongside the engine passes: how
+// long a sharded run takes to persist, how cheap opening is relative to
+// the data (the lazy-segment claim in numbers), and what a warm lookup
+// costs.
+
+// SnapshotBenchResult is one measurement of the snapshot serving path.
+type SnapshotBenchResult struct {
+	// Shards and Bytes describe the written snapshot.
+	Shards int   `json:"shards"`
+	Bytes  int64 `json:"bytes"`
+	// QueryPairs + AdPairs is the score volume behind WriteNs.
+	QueryPairs int64 `json:"query_pairs"`
+	AdPairs    int64 `json:"ad_pairs"`
+	// WriteNs persists the sharded result (parallel segment encode +
+	// file write + rename); OpenNs opens it (header, strings, route map,
+	// directory — no segments). Best of the harness's repetitions.
+	WriteNs int64 `json:"snapshot_write_ns"`
+	OpenNs  int64 `json:"snapshot_open_ns"`
+	// FirstLookupNs is one cold TopRewrites — it pays its shard's
+	// segment load + index build; LookupNs is the mean warm TopRewrites
+	// over Lookups queries spread across every shard.
+	FirstLookupNs int64 `json:"first_lookup_ns"`
+	LookupNs      int64 `json:"lookup_ns"`
+	Lookups       int   `json:"lookups"`
+}
+
+// RunSnapshotBench measures write / open / lookup on a snapshot of res —
+// normally the sharded Result core.RunShardBench already computed (with
+// shard scores retained), so the serving numbers describe exactly the
+// workload the shard numbers do without a second engine run. Snapshots go
+// to a temporary directory (removed afterwards); reps repetitions of
+// write and open are taken, best kept.
+func RunSnapshotBench(res *core.Result, reps int) (SnapshotBenchResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	dir, err := os.MkdirTemp("", "simrank-snap-bench")
+	if err != nil {
+		return SnapshotBenchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.snap")
+
+	out := SnapshotBenchResult{
+		Shards:     len(res.ShardScores),
+		QueryPairs: int64(res.QueryScores.Len()),
+		AdPairs:    int64(res.AdScores.Len()),
+	}
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		if err := WriteSnapshotFile(path, res); err != nil {
+			return SnapshotBenchResult{}, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); r == 0 || ns < out.WriteNs {
+			out.WriteNs = ns
+		}
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return SnapshotBenchResult{}, err
+	}
+	out.Bytes = st.Size()
+
+	var snap *Snapshot
+	for r := 0; r < reps; r++ {
+		if snap != nil {
+			snap.Close()
+		}
+		t0 := time.Now()
+		snap, err = OpenSnapshot(path)
+		if err != nil {
+			return SnapshotBenchResult{}, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); r == 0 || ns < out.OpenNs {
+			out.OpenNs = ns
+		}
+	}
+	defer snap.Close()
+
+	t0 := time.Now()
+	snap.TopRewrites(0, 5)
+	out.FirstLookupNs = time.Since(t0).Nanoseconds()
+
+	// Warm lookups across the whole query space touch every shard; one
+	// priming pass pays the remaining segment loads and index builds so
+	// the measured pass is pure serving. Stride keeps the count bounded
+	// on big workloads.
+	nq := res.NumQueries()
+	stride := nq / 2048
+	if stride < 1 {
+		stride = 1
+	}
+	for q := 0; q < nq; q += stride {
+		snap.TopRewrites(q, 5)
+	}
+	t0 = time.Now()
+	for q := 0; q < nq; q += stride {
+		snap.TopRewrites(q, 5)
+		out.Lookups++
+	}
+	if out.Lookups > 0 {
+		out.LookupNs = time.Since(t0).Nanoseconds() / int64(out.Lookups)
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, concurrency-safe LRU keyed by string — the hot-
+// query response cache of the serving front-end. A click workload is
+// Zipfian (the paper's motivation for precomputing head queries), so a
+// small cache absorbs most of the rewrite traffic; see PERF.md's serving
+// section for sizing.
+type lruCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List               // front = most recent
+	m   map[string]*list.Element // value: *lruEntry
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRU returns a cache bounded to max entries; max <= 0 disables
+// caching (every Get misses, Put is a no-op).
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key and marks them most-recent.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores val under key, evicting the least-recent entry when full.
+// Callers must not mutate val afterwards.
+func (c *lruCache) Put(key string, val []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Clear drops every entry (called on snapshot reload: cached responses
+// describe the old scores).
+func (c *lruCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+}

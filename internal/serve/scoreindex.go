@@ -1,0 +1,51 @@
+// Package serve is the online half of the paper's Figure 2 deployment
+// split: SimRank++ scores are computed offline (core.Run / core.RunSharded),
+// persisted as a shard-segmented binary snapshot, and answered at query
+// time by a front-end that never touches an engine. The package provides
+// the ScoreIndex read abstraction every score consumer targets, the
+// versioned snapshot format (snapshot.go), and the simrankd HTTP server
+// (server.go).
+package serve
+
+import (
+	"simrankpp/internal/core"
+	"simrankpp/internal/sparse"
+)
+
+// ScoreIndex is the engine-agnostic read surface over a computed
+// similarity result: node naming plus pair scores plus the ranked
+// serving-path lookups. A live *core.Result implements it directly; a
+// *Snapshot implements it from a file, loading per-shard score segments
+// lazily. The rewrite filtering pipeline and the simrankd server consume
+// only this interface, so the compute path and the read path evolve
+// independently.
+//
+// Implementations must be safe for concurrent readers.
+type ScoreIndex interface {
+	// NumQueries and NumAds are the scored graph's dimensions.
+	NumQueries() int
+	NumAds() int
+	// Query and Ad resolve ids to display strings; QueryID and AdID
+	// invert them.
+	Query(id int) string
+	Ad(id int) string
+	QueryID(name string) (int, bool)
+	AdID(name string) (int, bool)
+	// QuerySim returns s(q1, q2): 1 on the diagonal, 0 for unscored
+	// pairs. AdSim likewise for ads.
+	QuerySim(q1, q2 int) float64
+	AdSim(a1, a2 int) float64
+	// TopRewrites returns the k most similar queries to q, best first
+	// with deterministic tie-breaking; k < 0 means all. TopSimilarAds is
+	// the ad-side counterpart.
+	TopRewrites(q, k int) []sparse.Scored
+	TopSimilarAds(a, k int) []sparse.Scored
+	// VariantName names the similarity measure that produced the scores.
+	VariantName() string
+}
+
+// Both halves of the batch/online split serve the same interface.
+var (
+	_ ScoreIndex = (*core.Result)(nil)
+	_ ScoreIndex = (*Snapshot)(nil)
+)

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"simrankpp/internal/rewrite"
+	"simrankpp/internal/sparse"
+)
+
+// This file is the query-rewrite front-end of Figure 2 as a daemon: an
+// HTTP/JSON server answering rewrite queries from a ScoreIndex — normally
+// a snapshot the batch side wrote — with the §9.3 filtering pipeline on
+// the /rewrite path, a bounded LRU for hot queries, and a lock-guarded
+// index swap so SIGHUP reloads never disturb in-flight requests.
+
+// Config parameterizes a Server.
+type Config struct {
+	// DefaultTop is the rewrite depth when the request omits top; the
+	// paper serves at most 5.
+	DefaultTop int
+	// MaxTop caps the per-request top parameter.
+	MaxTop int
+	// CacheSize bounds the hot-query LRU (entries); <= 0 disables it.
+	CacheSize int
+	// BidTerms, when non-nil, enables bid-term filtering on /rewrite.
+	BidTerms map[string]bool
+}
+
+// DefaultServerConfig returns the paper's depth-5 serving settings with a
+// 4096-entry cache.
+func DefaultServerConfig() Config {
+	return Config{DefaultTop: 5, MaxTop: 100, CacheSize: 4096}
+}
+
+// Server answers rewrite queries over HTTP from a ScoreIndex.
+//
+// Endpoints:
+//
+//	GET /rewrite?q=QUERY[&top=K]  pipeline-filtered rewrites (stem dedup,
+//	                              bid filtering, depth cap)
+//	GET /similar?q=QUERY[&top=K]  raw ranked similar queries, unfiltered
+//	GET /similar?ad=AD[&top=K]    raw ranked similar ads
+//	GET /stats                    serving counters + index metadata
+//	GET /healthz                  liveness probe
+type Server struct {
+	cfg   Config
+	cache *lruCache
+	start time.Time
+
+	// mu guards idx: handlers hold the read side for the whole request,
+	// so Swap (write side) returns only once no request uses the old
+	// index — the graceful half of graceful reload.
+	mu  sync.RWMutex
+	idx ScoreIndex
+
+	requests  atomic.Int64
+	cacheHits atomic.Int64
+	reloads   atomic.Int64
+}
+
+// NewServer returns a server answering from idx.
+func NewServer(idx ScoreIndex, cfg Config) *Server {
+	if cfg.DefaultTop <= 0 {
+		cfg.DefaultTop = 5
+	}
+	if cfg.MaxTop <= 0 {
+		cfg.MaxTop = 100
+	}
+	return &Server{cfg: cfg, cache: newLRU(cfg.CacheSize), idx: idx, start: time.Now()}
+}
+
+// Swap atomically replaces the served index and clears the response cache,
+// returning the previous index once no in-flight request still reads it —
+// the caller may then safely close it.
+func (s *Server) Swap(idx ScoreIndex) ScoreIndex {
+	s.mu.Lock()
+	old := s.idx
+	s.idx = idx
+	s.mu.Unlock()
+	s.cache.Clear()
+	s.reloads.Add(1)
+	return old
+}
+
+// ReloadOnSIGHUP installs a handler that, on each SIGHUP, builds a fresh
+// index via load and swaps it in; a failed load keeps the old index
+// serving. The returned previous index is passed to retire (which may
+// close it); logf receives one line per attempt. Both callbacks may be
+// nil.
+func (s *Server) ReloadOnSIGHUP(load func() (ScoreIndex, error), retire func(ScoreIndex), logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	go func() {
+		for range ch {
+			idx, err := load()
+			if err != nil {
+				logf("serve: reload failed, keeping current index: %v", err)
+				continue
+			}
+			old := s.Swap(idx)
+			logf("serve: reloaded index (%d queries, %d ads)", idx.NumQueries(), idx.NumAds())
+			if retire != nil && old != nil {
+				retire(old)
+			}
+		}
+	}()
+}
+
+// Handler returns the server's route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rewrite", s.handleRewrite)
+	mux.HandleFunc("/similar", s.handleSimilar)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// RewriteAnswer is one served rewrite.
+type RewriteAnswer struct {
+	Text  string  `json:"text"`
+	Score float64 `json:"score"`
+}
+
+// rewriteResponse is the /rewrite (and /similar) payload.
+type rewriteResponse struct {
+	Query    string          `json:"query"`
+	Method   string          `json:"method"`
+	Rewrites []RewriteAnswer `json:"rewrites"`
+}
+
+func (s *Server) topParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("top")
+	if raw == "" {
+		return s.cfg.DefaultTop, nil
+	}
+	top, err := strconv.Atoi(raw)
+	if err != nil || top < 1 {
+		return 0, fmt.Errorf("bad top %q: want a positive integer", raw)
+	}
+	if top > s.cfg.MaxTop {
+		top = s.cfg.MaxTop
+	}
+	return top, nil
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	top, err := s.topParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := "rw\x00" + q + "\x00" + strconv.Itoa(top)
+	if body, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		writeJSONBytes(w, body)
+		return
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	qid, ok := s.idx.QueryID(q)
+	if !ok {
+		http.Error(w, fmt.Sprintf("query %q not in index", q), http.StatusNotFound)
+		return
+	}
+	pipe := rewrite.NewPipeline(s.idx, s.cfg.BidTerms)
+	pipe.MaxRewrites = top
+	if top > pipe.TopN {
+		// A depth above the paper's 100-candidate default (operator
+		// raised -max-top) must widen the raw ranking too, or filtering
+		// would silently truncate at TopN.
+		pipe.TopN = top
+	}
+	src := &rewrite.ResultSource{Index: s.idx}
+	cands, err := pipe.Rewrite(src, qid)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := rewriteResponse{Query: q, Method: src.Name(), Rewrites: make([]RewriteAnswer, 0, len(cands))}
+	for _, c := range cands {
+		resp.Rewrites = append(resp.Rewrites, RewriteAnswer{Text: c.Text, Score: c.Score})
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Put(key, body)
+	writeJSONBytes(w, body)
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q, ad := r.URL.Query().Get("q"), r.URL.Query().Get("ad")
+	if (q == "") == (ad == "") {
+		http.Error(w, "give exactly one of q or ad", http.StatusBadRequest)
+		return
+	}
+	top, err := s.topParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var scored []sparse.Scored
+	var name func(int) string
+	subject := q
+	if q != "" {
+		qid, ok := s.idx.QueryID(q)
+		if !ok {
+			http.Error(w, fmt.Sprintf("query %q not in index", q), http.StatusNotFound)
+			return
+		}
+		scored = s.idx.TopRewrites(qid, top)
+		name = s.idx.Query
+	} else {
+		aid, ok := s.idx.AdID(ad)
+		if !ok {
+			http.Error(w, fmt.Sprintf("ad %q not in index", ad), http.StatusNotFound)
+			return
+		}
+		scored = s.idx.TopSimilarAds(aid, top)
+		name = s.idx.Ad
+		subject = ad
+	}
+	resp := rewriteResponse{Query: subject, Method: s.idx.VariantName(), Rewrites: make([]RewriteAnswer, 0, len(scored))}
+	for _, sc := range scored {
+		resp.Rewrites = append(resp.Rewrites, RewriteAnswer{Text: name(sc.Node), Score: sc.Score})
+	}
+	writeJSON(w, resp)
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheSize     int     `json:"cache_size"`
+	Reloads       int64   `json:"reloads"`
+	Queries       int     `json:"queries"`
+	Ads           int     `json:"ads"`
+	Method        string  `json:"method"`
+	// Snapshot-backed indexes add their header metadata, how many of the
+	// per-shard score segments are materialized, and any segment-load
+	// failure.
+	Snapshot       *SnapshotMeta `json:"snapshot,omitempty"`
+	LoadedSegments int           `json:"loaded_segments,omitempty"`
+	IndexError     string        `json:"index_error,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheEntries:  s.cache.Len(),
+		CacheSize:     s.cfg.CacheSize,
+		Reloads:       s.reloads.Load(),
+		Queries:       s.idx.NumQueries(),
+		Ads:           s.idx.NumAds(),
+		Method:        s.idx.VariantName(),
+	}
+	if snap, ok := s.idx.(*Snapshot); ok {
+		meta := snap.Meta()
+		resp.Snapshot = &meta
+		resp.LoadedSegments = snap.LoadedSegments()
+		if err := snap.Err(); err != nil {
+			resp.IndexError = err.Error()
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSONBytes(w, append(body, '\n'))
+}
+
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+)
+
+func fig3Server(t *testing.T, cfg Config) (*Server, *core.Result) {
+	t.Helper()
+	res, err := core.Run(clickgraph.Fig3(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(res, cfg), res
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestServerRewriteEndpoint(t *testing.T) {
+	srv, res := fig3Server(t, DefaultServerConfig())
+	h := srv.Handler()
+
+	code, body := get(t, h, "/rewrite?q=camera&top=2")
+	if code != http.StatusOK {
+		t.Fatalf("GET /rewrite = %d: %s", code, body)
+	}
+	var resp rewriteResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	if resp.Query != "camera" || resp.Method != "simrank" {
+		t.Errorf("response header = %+v", resp)
+	}
+	if len(resp.Rewrites) == 0 || len(resp.Rewrites) > 2 {
+		t.Fatalf("got %d rewrites, want 1..2", len(resp.Rewrites))
+	}
+	// The top rewrite must agree with the live index (camera's best
+	// partner on Fig3 is "digital camera").
+	if resp.Rewrites[0].Text != "digital camera" {
+		t.Errorf("top rewrite = %q, want %q", resp.Rewrites[0].Text, "digital camera")
+	}
+	cam, _ := res.QueryID("camera")
+	want := res.TopRewrites(cam, 1)[0]
+	if resp.Rewrites[0].Score != want.Score {
+		t.Errorf("top score = %v, want %v", resp.Rewrites[0].Score, want.Score)
+	}
+
+	// Error paths.
+	if code, _ := get(t, h, "/rewrite"); code != http.StatusBadRequest {
+		t.Errorf("missing q -> %d, want 400", code)
+	}
+	if code, _ := get(t, h, "/rewrite?q=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown query -> %d, want 404", code)
+	}
+	if code, _ := get(t, h, "/rewrite?q=camera&top=x"); code != http.StatusBadRequest {
+		t.Errorf("bad top -> %d, want 400", code)
+	}
+}
+
+func TestServerSimilarEndpoint(t *testing.T) {
+	srv, res := fig3Server(t, DefaultServerConfig())
+	h := srv.Handler()
+
+	code, body := get(t, h, "/similar?q=pc&top=3")
+	if code != http.StatusOK {
+		t.Fatalf("GET /similar = %d: %s", code, body)
+	}
+	var resp rewriteResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	pc, _ := res.QueryID("pc")
+	want := res.TopRewrites(pc, 3)
+	if len(resp.Rewrites) != len(want) {
+		t.Fatalf("got %d similar queries, want %d", len(resp.Rewrites), len(want))
+	}
+	for i := range want {
+		if resp.Rewrites[i].Text != res.Query(want[i].Node) || resp.Rewrites[i].Score != want[i].Score {
+			t.Errorf("similar[%d] = %+v, want %q %v", i, resp.Rewrites[i], res.Query(want[i].Node), want[i].Score)
+		}
+	}
+
+	code, body = get(t, h, "/similar?ad=hp.com&top=3")
+	if code != http.StatusOK {
+		t.Fatalf("GET /similar?ad = %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rewrites) == 0 {
+		t.Error("no similar ads for hp.com")
+	}
+	if code, _ := get(t, h, "/similar"); code != http.StatusBadRequest {
+		t.Errorf("neither q nor ad -> %d, want 400", code)
+	}
+	if code, _ := get(t, h, "/similar?q=pc&ad=hp.com"); code != http.StatusBadRequest {
+		t.Errorf("both q and ad -> %d, want 400", code)
+	}
+}
+
+func TestServerCacheAndStats(t *testing.T) {
+	srv, _ := fig3Server(t, Config{DefaultTop: 5, MaxTop: 10, CacheSize: 8})
+	h := srv.Handler()
+
+	_, first := get(t, h, "/rewrite?q=camera")
+	_, second := get(t, h, "/rewrite?q=camera")
+	if !bytes.Equal(first, second) {
+		t.Errorf("cached response differs: %q vs %q", first, second)
+	}
+	code, body := get(t, h, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 2 || stats.CacheHits != 1 || stats.CacheEntries != 1 {
+		t.Errorf("stats = %+v, want 2 requests / 1 hit / 1 entry", stats)
+	}
+	if stats.Queries != 5 || stats.Method != "simrank" {
+		t.Errorf("index stats = %+v", stats)
+	}
+	if stats.Snapshot != nil {
+		t.Error("live result reported snapshot metadata")
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, _ := fig3Server(t, DefaultServerConfig())
+	code, body := get(t, srv.Handler(), "/healthz")
+	if code != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+// TestServerSnapshotSwap pins graceful reload: the server serves a
+// snapshot, Swap replaces it, the cache is dropped, and stats expose the
+// snapshot metadata and lazy segment count.
+func TestServerSnapshotSwap(t *testing.T) {
+	res, err := core.Run(clickgraph.Fig3(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(snap, DefaultServerConfig())
+	h := srv.Handler()
+
+	code, body := get(t, h, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshot == nil || stats.Snapshot.Shards != 1 {
+		t.Fatalf("stats lack snapshot metadata: %+v", stats)
+	}
+	if stats.LoadedSegments != 0 {
+		t.Errorf("segments loaded before any query: %d", stats.LoadedSegments)
+	}
+
+	if code, _ := get(t, h, "/rewrite?q=camera"); code != http.StatusOK {
+		t.Fatal("rewrite from snapshot failed")
+	}
+	if srv.cache.Len() != 1 {
+		t.Fatalf("cache entries = %d, want 1", srv.cache.Len())
+	}
+	// Swap in a weighted run; the cache must drop and the method change.
+	wres, err := core.Run(clickgraph.Fig3(), core.DefaultConfig().WithVariant(core.Weighted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old := srv.Swap(wres); old != ScoreIndex(snap) {
+		t.Error("Swap did not return the previous index")
+	}
+	if srv.cache.Len() != 0 {
+		t.Error("cache survived Swap")
+	}
+	code, body = get(t, h, "/rewrite?q=camera")
+	if code != http.StatusOK {
+		t.Fatalf("rewrite after swap = %d", code)
+	}
+	var resp rewriteResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != "weighted simrank" {
+		t.Errorf("method after swap = %q, want weighted simrank", resp.Method)
+	}
+}

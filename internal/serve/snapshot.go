@@ -1,0 +1,654 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"simrankpp/internal/core"
+	"simrankpp/internal/sparse"
+)
+
+// This file is the batch→online handoff of Figure 2 in binary form: a
+// versioned snapshot a sharded run writes once and a server opens in
+// O(header + string table), routing each query to its shard's score
+// segment without ever materializing the other shards.
+//
+// Layout (all integers little-endian):
+//
+//	header    fixed 132 bytes: magic, version, run metadata (variant,
+//	          iterations, C1/C2, converged), graph dimensions, shard
+//	          count, section offsets/lengths, per-section CRC32s, and a
+//	          trailing CRC32 over the header itself.
+//	strings   NumQueries then NumAds names, each uvarint length + raw
+//	          bytes. Length-prefixed, so names may contain tabs or
+//	          newlines that would corrupt the line-oriented text format.
+//	route     NumQueries + NumAds uint32s: each node's shard index — the
+//	          partition.Plan node→shard map in serialized form. Pairs
+//	          never cross shards (cut pairs score 0), so one lookup
+//	          routes a query to the only segment that can score it.
+//	dir       one fixed 48-byte entry per shard: offset, pair count and
+//	          CRC32 of its query segment and of its ad segment.
+//	segments  per shard, per side: pair records (uint32 i, uint32 j,
+//	          float64 score) with i < j in global ids, sorted ascending —
+//	          written in parallel, one encoder per shard, and loaded
+//	          lazily per shard per side on first access.
+
+const (
+	snapshotMagic   = "SRPPSNAP"
+	snapshotVersion = 1
+	headerSize      = 132
+	dirEntrySize    = 48
+	pairRecordSize  = 16
+
+	flagConverged = 1 << 0
+)
+
+// SnapshotMeta is the run metadata a snapshot carries, available from the
+// header alone.
+type SnapshotMeta struct {
+	Variant    core.Variant `json:"variant"`
+	Iterations int          `json:"iterations"`
+	C1         float64      `json:"c1"`
+	C2         float64      `json:"c2"`
+	Converged  bool         `json:"converged"`
+	NumQueries int          `json:"queries"`
+	NumAds     int          `json:"ads"`
+	// Shards is the number of score segments; 1 for a monolithic run.
+	Shards int `json:"shards"`
+	// QueryPairs and AdPairs are the total stored pair counts across all
+	// shards (recorded in the header, so stats never force a segment load).
+	QueryPairs int64 `json:"query_pairs"`
+	AdPairs    int64 `json:"ad_pairs"`
+}
+
+// shardSource is one shard's tables awaiting encoding: ids remap local →
+// global and are nil for an identity (monolithic) shard.
+type shardSource struct {
+	qIDs, aIDs []int
+	q, a       *sparse.PairTable
+}
+
+// snapshotSources decomposes a result into per-shard table sources: the
+// retained shard outputs of a RunSharded(..., RetainShardScores) run, or
+// the stitched tables as one identity shard.
+func snapshotSources(res *core.Result) []shardSource {
+	if len(res.ShardScores) > 0 {
+		out := make([]shardSource, len(res.ShardScores))
+		for i, s := range res.ShardScores {
+			out[i] = shardSource{qIDs: s.QueryIDs, aIDs: s.AdIDs, q: s.QueryScores, a: s.AdScores}
+		}
+		return out
+	}
+	return []shardSource{{q: res.QueryScores, a: res.AdScores}}
+}
+
+// encodeSegment flattens one pair table into the sorted binary record
+// stream, remapping ids through the ascending local→global map when given
+// (monotone, so local i < j stays global i < j).
+func encodeSegment(t *sparse.PairTable, ids []int) []byte {
+	type rec struct {
+		i, j uint32
+		v    float64
+	}
+	recs := make([]rec, 0, t.Len())
+	t.Range(func(i, j int, v float64) bool {
+		if ids != nil {
+			i, j = ids[i], ids[j]
+		}
+		recs = append(recs, rec{uint32(i), uint32(j), v})
+		return true
+	})
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].i != recs[b].i {
+			return recs[a].i < recs[b].i
+		}
+		return recs[a].j < recs[b].j
+	})
+	buf := make([]byte, len(recs)*pairRecordSize)
+	for k, r := range recs {
+		o := k * pairRecordSize
+		binary.LittleEndian.PutUint32(buf[o:], r.i)
+		binary.LittleEndian.PutUint32(buf[o+4:], r.j)
+		binary.LittleEndian.PutUint64(buf[o+8:], math.Float64bits(r.v))
+	}
+	return buf
+}
+
+// WriteSnapshot serializes res in the snapshot format. A result carrying
+// retained shard scores (core.ShardOptions.RetainShardScores) writes one
+// segment pair per shard, encoded in parallel directly from the shard
+// engines' local tables; any other result writes a single segment pair.
+func WriteSnapshot(w io.Writer, res *core.Result) error {
+	srcs := snapshotSources(res)
+	nq, na := res.NumQueries(), res.NumAds()
+	if len(srcs) > 1<<30 || uint64(nq) > math.MaxUint32 || uint64(na) > math.MaxUint32 {
+		return fmt.Errorf("serve: snapshot dimensions overflow uint32")
+	}
+
+	// Per-shard segments, one encoder per shard on a bounded pool.
+	qSegs := make([][]byte, len(srcs))
+	aSegs := make([][]byte, len(srcs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				qSegs[i] = encodeSegment(srcs[i].q, srcs[i].qIDs)
+				aSegs[i] = encodeSegment(srcs[i].a, srcs[i].aIDs)
+			}
+		}()
+	}
+	for i := range srcs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// String table: length-prefixed names, queries then ads.
+	var strBuf []byte
+	var lenScratch [binary.MaxVarintLen64]byte
+	appendName := func(s string) {
+		n := binary.PutUvarint(lenScratch[:], uint64(len(s)))
+		strBuf = append(strBuf, lenScratch[:n]...)
+		strBuf = append(strBuf, s...)
+	}
+	for q := 0; q < nq; q++ {
+		appendName(res.Query(q))
+	}
+	for a := 0; a < na; a++ {
+		appendName(res.Ad(a))
+	}
+
+	// Route section: node → shard, from the retained shard id lists.
+	route := make([]byte, 4*(nq+na))
+	for si, src := range srcs {
+		for _, q := range src.qIDs {
+			binary.LittleEndian.PutUint32(route[4*q:], uint32(si))
+		}
+		for _, a := range src.aIDs {
+			binary.LittleEndian.PutUint32(route[4*(nq+a):], uint32(si))
+		}
+	}
+
+	// Directory + totals; segment offsets follow header/strings/route/dir.
+	stringsOff := uint64(headerSize)
+	routeOff := stringsOff + uint64(len(strBuf))
+	dirOff := routeOff + uint64(len(route))
+	segOff := dirOff + uint64(dirEntrySize*len(srcs))
+	dir := make([]byte, dirEntrySize*len(srcs))
+	var totalQ, totalA uint64
+	for i := range srcs {
+		o := i * dirEntrySize
+		qPairs := uint64(len(qSegs[i]) / pairRecordSize)
+		aPairs := uint64(len(aSegs[i]) / pairRecordSize)
+		binary.LittleEndian.PutUint64(dir[o:], segOff)
+		segOff += uint64(len(qSegs[i]))
+		binary.LittleEndian.PutUint64(dir[o+8:], segOff)
+		segOff += uint64(len(aSegs[i]))
+		binary.LittleEndian.PutUint64(dir[o+16:], qPairs)
+		binary.LittleEndian.PutUint64(dir[o+24:], aPairs)
+		binary.LittleEndian.PutUint32(dir[o+32:], crc32.ChecksumIEEE(qSegs[i]))
+		binary.LittleEndian.PutUint32(dir[o+36:], crc32.ChecksumIEEE(aSegs[i]))
+		totalQ += qPairs
+		totalA += aPairs
+	}
+
+	hdr := make([]byte, headerSize)
+	copy(hdr, snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], snapshotVersion)
+	var flags uint32
+	if res.Converged {
+		flags |= flagConverged
+	}
+	binary.LittleEndian.PutUint32(hdr[12:], flags)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(res.Config.Variant))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(res.Iterations))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(res.Config.C1))
+	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(res.Config.C2))
+	binary.LittleEndian.PutUint32(hdr[40:], uint32(nq))
+	binary.LittleEndian.PutUint32(hdr[44:], uint32(na))
+	binary.LittleEndian.PutUint32(hdr[48:], uint32(len(srcs)))
+	binary.LittleEndian.PutUint32(hdr[52:], crc32.ChecksumIEEE(strBuf))
+	binary.LittleEndian.PutUint64(hdr[56:], totalQ)
+	binary.LittleEndian.PutUint64(hdr[64:], totalA)
+	binary.LittleEndian.PutUint64(hdr[72:], stringsOff)
+	binary.LittleEndian.PutUint64(hdr[80:], uint64(len(strBuf)))
+	binary.LittleEndian.PutUint64(hdr[88:], routeOff)
+	binary.LittleEndian.PutUint64(hdr[96:], uint64(len(route)))
+	binary.LittleEndian.PutUint64(hdr[104:], dirOff)
+	binary.LittleEndian.PutUint64(hdr[112:], uint64(len(dir)))
+	binary.LittleEndian.PutUint32(hdr[120:], crc32.ChecksumIEEE(route))
+	binary.LittleEndian.PutUint32(hdr[124:], crc32.ChecksumIEEE(dir))
+	binary.LittleEndian.PutUint32(hdr[128:], crc32.ChecksumIEEE(hdr[:128]))
+
+	for _, b := range [][]byte{hdr, strBuf, route, dir} {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	for i := range srcs {
+		if _, err := w.Write(qSegs[i]); err != nil {
+			return err
+		}
+		if _, err := w.Write(aSegs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the snapshot to a temporary file in path's
+// directory and renames it into place, so a server reloading on SIGHUP
+// never observes a half-written snapshot.
+func WriteSnapshotFile(path string, res *core.Result) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshot(tmp, res); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// segEntry is one decoded directory row.
+type segEntry struct {
+	qOff, aOff     uint64
+	qPairs, aPairs uint64
+	qCRC, aCRC     uint32
+}
+
+// snapShard is one shard's lazily-loaded tables. The sync.Onces make
+// concurrent first touches race-free; after loading, the tables are
+// read-only (PairTable reads and EnsureIndex are concurrency-safe).
+type snapShard struct {
+	qOnce, aOnce sync.Once
+	qErr, aErr   error
+	qTab, aTab   *sparse.PairTable
+}
+
+// Snapshot is a loaded snapshot file implementing ScoreIndex. Opening
+// reads only the header, string table, route map and directory — O(nodes),
+// independent of how many scores the file holds; each shard's score
+// segments are read, checksummed and indexed on first access.
+type Snapshot struct {
+	r      io.ReaderAt
+	size   int64
+	closer io.Closer
+
+	meta         SnapshotMeta
+	queries, ads []string
+	queryID      map[string]int
+	adID         map[string]int
+	qRoute       []uint32
+	aRoute       []uint32
+	dir          []segEntry
+	shards       []snapShard
+	// loaded counts successfully materialized segments; atomic because
+	// stats readers race with lazy loads inside the Onces.
+	loaded atomic.Int32
+
+	mu      sync.Mutex
+	lazyErr error // first segment-load failure, surfaced via Err
+}
+
+// OpenSnapshot opens a snapshot file. Close releases it.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := NewSnapshot(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// NewSnapshot opens a snapshot from any random-access reader of the given
+// total size.
+func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
+	if size < headerSize {
+		return nil, fmt.Errorf("serve: snapshot too small (%d bytes)", size)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("serve: reading snapshot header: %w", err)
+	}
+	if string(hdr[:8]) != snapshotMagic {
+		return nil, fmt.Errorf("serve: bad snapshot magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != snapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	if got, want := crc32.ChecksumIEEE(hdr[:128]), binary.LittleEndian.Uint32(hdr[128:]); got != want {
+		return nil, fmt.Errorf("serve: snapshot header checksum mismatch (corrupt header)")
+	}
+
+	flags := binary.LittleEndian.Uint32(hdr[12:])
+	s := &Snapshot{r: r, size: size}
+	s.meta = SnapshotMeta{
+		Variant:    core.Variant(binary.LittleEndian.Uint32(hdr[16:])),
+		Iterations: int(binary.LittleEndian.Uint32(hdr[20:])),
+		C1:         math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
+		C2:         math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:])),
+		Converged:  flags&flagConverged != 0,
+		NumQueries: int(binary.LittleEndian.Uint32(hdr[40:])),
+		NumAds:     int(binary.LittleEndian.Uint32(hdr[44:])),
+		Shards:     int(binary.LittleEndian.Uint32(hdr[48:])),
+		QueryPairs: int64(binary.LittleEndian.Uint64(hdr[56:])),
+		AdPairs:    int64(binary.LittleEndian.Uint64(hdr[64:])),
+	}
+	stringsOff := binary.LittleEndian.Uint64(hdr[72:])
+	stringsLen := binary.LittleEndian.Uint64(hdr[80:])
+	routeOff := binary.LittleEndian.Uint64(hdr[88:])
+	routeLen := binary.LittleEndian.Uint64(hdr[96:])
+	dirOff := binary.LittleEndian.Uint64(hdr[104:])
+	dirLen := binary.LittleEndian.Uint64(hdr[112:])
+
+	strBuf, err := s.section("string table", stringsOff, stringsLen, binary.LittleEndian.Uint32(hdr[52:]))
+	if err != nil {
+		return nil, err
+	}
+	route, err := s.section("route map", routeOff, routeLen, binary.LittleEndian.Uint32(hdr[120:]))
+	if err != nil {
+		return nil, err
+	}
+	dirBuf, err := s.section("shard directory", dirOff, dirLen, binary.LittleEndian.Uint32(hdr[124:]))
+	if err != nil {
+		return nil, err
+	}
+
+	nq, na := s.meta.NumQueries, s.meta.NumAds
+	if int(routeLen) != 4*(nq+na) {
+		return nil, fmt.Errorf("serve: route map is %d bytes, want %d", routeLen, 4*(nq+na))
+	}
+	if int(dirLen) != dirEntrySize*s.meta.Shards {
+		return nil, fmt.Errorf("serve: shard directory is %d bytes, want %d", dirLen, dirEntrySize*s.meta.Shards)
+	}
+
+	s.queries = make([]string, nq)
+	s.ads = make([]string, na)
+	s.queryID = make(map[string]int, nq)
+	s.adID = make(map[string]int, na)
+	pos := 0
+	readName := func() (string, error) {
+		n, used := binary.Uvarint(strBuf[pos:])
+		if used <= 0 || pos+used+int(n) > len(strBuf) {
+			return "", fmt.Errorf("serve: string table truncated at byte %d", pos)
+		}
+		name := string(strBuf[pos+used : pos+used+int(n)])
+		pos += used + int(n)
+		return name, nil
+	}
+	for q := 0; q < nq; q++ {
+		if s.queries[q], err = readName(); err != nil {
+			return nil, err
+		}
+		s.queryID[s.queries[q]] = q
+	}
+	for a := 0; a < na; a++ {
+		if s.ads[a], err = readName(); err != nil {
+			return nil, err
+		}
+		s.adID[s.ads[a]] = a
+	}
+
+	s.qRoute = make([]uint32, nq)
+	s.aRoute = make([]uint32, na)
+	for q := 0; q < nq; q++ {
+		s.qRoute[q] = binary.LittleEndian.Uint32(route[4*q:])
+	}
+	for a := 0; a < na; a++ {
+		s.aRoute[a] = binary.LittleEndian.Uint32(route[4*(nq+a):])
+	}
+	s.dir = make([]segEntry, s.meta.Shards)
+	for i := range s.dir {
+		o := i * dirEntrySize
+		s.dir[i] = segEntry{
+			qOff:   binary.LittleEndian.Uint64(dirBuf[o:]),
+			aOff:   binary.LittleEndian.Uint64(dirBuf[o+8:]),
+			qPairs: binary.LittleEndian.Uint64(dirBuf[o+16:]),
+			aPairs: binary.LittleEndian.Uint64(dirBuf[o+24:]),
+			qCRC:   binary.LittleEndian.Uint32(dirBuf[o+32:]),
+			aCRC:   binary.LittleEndian.Uint32(dirBuf[o+36:]),
+		}
+	}
+	for si, r := range s.qRoute {
+		if int(r) >= s.meta.Shards {
+			return nil, fmt.Errorf("serve: query %d routed to shard %d of %d", si, r, s.meta.Shards)
+		}
+	}
+	for si, r := range s.aRoute {
+		if int(r) >= s.meta.Shards {
+			return nil, fmt.Errorf("serve: ad %d routed to shard %d of %d", si, r, s.meta.Shards)
+		}
+	}
+	s.shards = make([]snapShard, s.meta.Shards)
+	return s, nil
+}
+
+// section reads and checksums one eagerly-loaded region.
+func (s *Snapshot) section(name string, off, length uint64, wantCRC uint32) ([]byte, error) {
+	if off+length > uint64(s.size) {
+		return nil, fmt.Errorf("serve: %s [%d,+%d) extends past snapshot end (%d bytes)", name, off, length, s.size)
+	}
+	buf := make([]byte, length)
+	if _, err := s.r.ReadAt(buf, int64(off)); err != nil {
+		return nil, fmt.Errorf("serve: reading %s: %w", name, err)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != wantCRC {
+		return nil, fmt.Errorf("serve: %s checksum mismatch", name)
+	}
+	return buf, nil
+}
+
+// loadSegment reads, verifies and decodes one score segment.
+func (s *Snapshot) loadSegment(side string, shard int, off, pairs uint64, wantCRC uint32) (*sparse.PairTable, error) {
+	length := pairs * pairRecordSize
+	if off+length > uint64(s.size) {
+		return nil, fmt.Errorf("serve: shard %d %s segment [%d,+%d) extends past snapshot end (%d bytes): truncated snapshot",
+			shard, side, off, length, s.size)
+	}
+	buf := make([]byte, length)
+	if _, err := s.r.ReadAt(buf, int64(off)); err != nil {
+		return nil, fmt.Errorf("serve: reading shard %d %s segment: %w", shard, side, err)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != wantCRC {
+		return nil, fmt.Errorf("serve: shard %d %s segment checksum mismatch", shard, side)
+	}
+	t := sparse.NewPairTable(int(pairs))
+	for k := 0; k < int(pairs); k++ {
+		o := k * pairRecordSize
+		i := int(binary.LittleEndian.Uint32(buf[o:]))
+		j := int(binary.LittleEndian.Uint32(buf[o+4:]))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[o+8:]))
+		t.Set(i, j, v)
+	}
+	return t, nil
+}
+
+func (s *Snapshot) recordErr(err error) {
+	s.mu.Lock()
+	if s.lazyErr == nil {
+		s.lazyErr = err
+	}
+	s.mu.Unlock()
+}
+
+// queryTable returns shard si's query-side table, loading it on first use.
+func (s *Snapshot) queryTable(si int) (*sparse.PairTable, error) {
+	sh := &s.shards[si]
+	sh.qOnce.Do(func() {
+		sh.qTab, sh.qErr = s.loadSegment("query", si, s.dir[si].qOff, s.dir[si].qPairs, s.dir[si].qCRC)
+		if sh.qErr != nil {
+			s.recordErr(sh.qErr)
+		} else {
+			s.loaded.Add(1)
+		}
+	})
+	return sh.qTab, sh.qErr
+}
+
+// adTable is queryTable for the ad side.
+func (s *Snapshot) adTable(si int) (*sparse.PairTable, error) {
+	sh := &s.shards[si]
+	sh.aOnce.Do(func() {
+		sh.aTab, sh.aErr = s.loadSegment("ad", si, s.dir[si].aOff, s.dir[si].aPairs, s.dir[si].aCRC)
+		if sh.aErr != nil {
+			s.recordErr(sh.aErr)
+		} else {
+			s.loaded.Add(1)
+		}
+	})
+	return sh.aTab, sh.aErr
+}
+
+// Meta returns the snapshot's run metadata.
+func (s *Snapshot) Meta() SnapshotMeta { return s.meta }
+
+// Err returns the first score-segment load failure, if any. Lookup methods
+// on a shard whose segment is unreadable return empty results; servers
+// surface this through /stats.
+func (s *Snapshot) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lazyErr
+}
+
+// LoadedSegments counts the score segments currently materialized — the
+// observable face of lazy loading (0 right after opening). Safe to call
+// concurrently with lazy loads (stats endpoint vs cold queries).
+func (s *Snapshot) LoadedSegments() int { return int(s.loaded.Load()) }
+
+// PreloadAll materializes and verifies every score segment, returning the
+// first failure. Use it to validate a snapshot end to end.
+func (s *Snapshot) PreloadAll() error {
+	for i := range s.shards {
+		if _, err := s.queryTable(i); err != nil {
+			return err
+		}
+		if _, err := s.adTable(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the underlying file, when file-backed.
+func (s *Snapshot) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// NumQueries implements ScoreIndex.
+func (s *Snapshot) NumQueries() int { return s.meta.NumQueries }
+
+// NumAds implements ScoreIndex.
+func (s *Snapshot) NumAds() int { return s.meta.NumAds }
+
+// Query implements ScoreIndex.
+func (s *Snapshot) Query(id int) string { return s.queries[id] }
+
+// Ad implements ScoreIndex.
+func (s *Snapshot) Ad(id int) string { return s.ads[id] }
+
+// QueryID implements ScoreIndex.
+func (s *Snapshot) QueryID(name string) (int, bool) {
+	id, ok := s.queryID[name]
+	return id, ok
+}
+
+// AdID implements ScoreIndex.
+func (s *Snapshot) AdID(name string) (int, bool) {
+	id, ok := s.adID[name]
+	return id, ok
+}
+
+// QuerySim implements ScoreIndex: 1 on the diagonal, 0 across shards
+// (sharded runs never score cross-shard pairs), the stored score within
+// one.
+func (s *Snapshot) QuerySim(q1, q2 int) float64 {
+	if q1 == q2 {
+		return 1
+	}
+	if s.qRoute[q1] != s.qRoute[q2] {
+		return 0
+	}
+	t, err := s.queryTable(int(s.qRoute[q1]))
+	if err != nil {
+		return 0
+	}
+	v, _ := t.Get(q1, q2)
+	return v
+}
+
+// AdSim implements ScoreIndex.
+func (s *Snapshot) AdSim(a1, a2 int) float64 {
+	if a1 == a2 {
+		return 1
+	}
+	if s.aRoute[a1] != s.aRoute[a2] {
+		return 0
+	}
+	t, err := s.adTable(int(s.aRoute[a1]))
+	if err != nil {
+		return 0
+	}
+	v, _ := t.Get(a1, a2)
+	return v
+}
+
+// TopRewrites implements ScoreIndex: it routes q to its shard's query
+// segment and answers from that segment's partner index alone.
+func (s *Snapshot) TopRewrites(q, k int) []sparse.Scored {
+	t, err := s.queryTable(int(s.qRoute[q]))
+	if err != nil {
+		return nil
+	}
+	t.EnsureIndex()
+	return t.TopKFor(q, k)
+}
+
+// TopSimilarAds implements ScoreIndex.
+func (s *Snapshot) TopSimilarAds(a, k int) []sparse.Scored {
+	t, err := s.adTable(int(s.aRoute[a]))
+	if err != nil {
+		return nil
+	}
+	t.EnsureIndex()
+	return t.TopKFor(a, k)
+}
+
+// VariantName implements ScoreIndex.
+func (s *Snapshot) VariantName() string { return s.meta.Variant.String() }

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/sparse"
+)
+
+// testGraph builds a deterministic multi-component click graph big enough
+// that a component plan yields several shards.
+func testGraph(t *testing.T) *clickgraph.Graph {
+	t.Helper()
+	b := clickgraph.NewBuilder()
+	for c := 0; c < 4; c++ {
+		for q := 0; q < 12; q++ {
+			for a := 0; a < 8; a++ {
+				if (q*7+a*3+c)%4 == 0 {
+					err := b.AddEdge(fmt.Sprintf("c%d-q%d", c, q), fmt.Sprintf("c%d-a%d", c, a),
+						clickgraph.EdgeWeights{
+							Impressions:       int64(3 * (q + a + 1)),
+							Clicks:            int64(q + a + 1),
+							ExpectedClickRate: float64((q*5+a*11+c)%100) / 100,
+						})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func mustSnapshot(t *testing.T, res *core.Result) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, res); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	snap, err := NewSnapshot(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	return snap
+}
+
+func scoredEqual(a, b []sparse.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRoundTrip pins the tentpole acceptance: a snapshot answers
+// TopRewrites (and point lookups) bit-identically to the in-memory Result
+// it was written from, across variants × strict evidence × monolithic and
+// sharded runs.
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	plan := partition.ComponentPlan(g)
+	if len(plan.Shards) < 2 {
+		t.Fatalf("fixture produced %d shards; want >= 2", len(plan.Shards))
+	}
+	for _, variant := range []core.Variant{core.Simple, core.Evidence, core.Weighted} {
+		for _, strict := range []bool{false, true} {
+			for _, sharded := range []bool{false, true} {
+				name := fmt.Sprintf("%v/strict=%v/sharded=%v", variant, strict, sharded)
+				t.Run(name, func(t *testing.T) {
+					cfg := core.DefaultConfig().WithVariant(variant)
+					cfg.StrictEvidence = strict
+					cfg.PruneEpsilon = 1e-6
+					var res *core.Result
+					var err error
+					if sharded {
+						res, err = core.RunSharded(g, cfg, plan, core.ShardOptions{Workers: 3, RetainShardScores: true})
+					} else {
+						res, err = core.Run(g, cfg)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					snap := mustSnapshot(t, res)
+					meta := snap.Meta()
+					wantShards := 1
+					if sharded {
+						wantShards = len(plan.Shards)
+					}
+					if meta.Shards != wantShards {
+						t.Errorf("snapshot has %d shards, want %d", meta.Shards, wantShards)
+					}
+					if meta.Variant != variant || meta.Iterations != res.Iterations {
+						t.Errorf("meta = %+v, want variant %v iterations %d", meta, variant, res.Iterations)
+					}
+					if int64(res.QueryScores.Len()) != meta.QueryPairs || int64(res.AdScores.Len()) != meta.AdPairs {
+						t.Errorf("meta pairs %d/%d, want %d/%d",
+							meta.QueryPairs, meta.AdPairs, res.QueryScores.Len(), res.AdScores.Len())
+					}
+					for q := 0; q < g.NumQueries(); q++ {
+						if got, want := snap.TopRewrites(q, -1), res.TopRewrites(q, -1); !scoredEqual(got, want) {
+							t.Fatalf("TopRewrites(%d): snapshot %v, live %v", q, got, want)
+						}
+						if got, want := snap.TopRewrites(q, 3), res.TopRewrites(q, 3); !scoredEqual(got, want) {
+							t.Fatalf("TopRewrites(%d, 3): snapshot %v, live %v", q, got, want)
+						}
+						if snap.Query(q) != g.Query(q) {
+							t.Fatalf("query name %d = %q, want %q", q, snap.Query(q), g.Query(q))
+						}
+						if id, ok := snap.QueryID(g.Query(q)); !ok || id != q {
+							t.Fatalf("QueryID(%q) = %d,%v", g.Query(q), id, ok)
+						}
+					}
+					for a := 0; a < g.NumAds(); a++ {
+						if got, want := snap.TopSimilarAds(a, -1), res.TopSimilarAds(a, -1); !scoredEqual(got, want) {
+							t.Fatalf("TopSimilarAds(%d): snapshot %v, live %v", a, got, want)
+						}
+					}
+					// Point lookups over the full pair space, including
+					// cross-shard zeros and the implicit diagonal.
+					for q1 := 0; q1 < g.NumQueries(); q1++ {
+						for q2 := q1; q2 < g.NumQueries(); q2++ {
+							if got, want := snap.QuerySim(q1, q2), res.QuerySim(q1, q2); got != want {
+								t.Fatalf("QuerySim(%d,%d) = %v, want %v", q1, q2, got, want)
+							}
+						}
+					}
+					for a1 := 0; a1 < g.NumAds(); a1++ {
+						for a2 := a1; a2 < g.NumAds(); a2++ {
+							if got, want := snap.AdSim(a1, a2), res.AdSim(a1, a2); got != want {
+								t.Fatalf("AdSim(%d,%d) = %v, want %v", a1, a2, got, want)
+							}
+						}
+					}
+					if err := snap.Err(); err != nil {
+						t.Fatalf("snapshot error after full read: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotLazySegmentAccess pins the open-cost acceptance: opening
+// materializes no score segment, a query loads only its own shard's
+// segment, and a corrupt segment of another shard is never touched.
+func TestSnapshotLazySegmentAccess(t *testing.T) {
+	g := testGraph(t)
+	plan := partition.ComponentPlan(g)
+	cfg := core.DefaultConfig().WithVariant(core.Weighted)
+	cfg.PruneEpsilon = 1e-6
+	res, err := core.RunSharded(g, cfg, plan, core.ShardOptions{RetainShardScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the last shard's query segment in place: flip bytes in the
+	// middle of its record stream.
+	probe, err := NewSnapshot(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(probe.dir) - 1
+	if probe.dir[last].qPairs == 0 {
+		t.Fatalf("last shard has no query pairs; pick a better fixture")
+	}
+	raw := buf.Bytes()
+	off := int(probe.dir[last].qOff)
+	for i := 0; i < pairRecordSize; i++ {
+		raw[off+i] ^= 0xff
+	}
+
+	snap, err := NewSnapshot(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("open after segment corruption failed — open is not lazy: %v", err)
+	}
+	if n := snap.LoadedSegments(); n != 0 {
+		t.Fatalf("%d segments loaded right after open, want 0", n)
+	}
+	// A query routed to shard 0 must work and load exactly one segment.
+	var q0 int = -1
+	for q := 0; q < g.NumQueries(); q++ {
+		if snap.qRoute[q] == 0 {
+			q0 = q
+			break
+		}
+	}
+	if q0 < 0 {
+		t.Fatal("no query routed to shard 0")
+	}
+	if got, want := snap.TopRewrites(q0, -1), res.TopRewrites(q0, -1); !scoredEqual(got, want) {
+		t.Fatalf("TopRewrites(%d) = %v, want %v", q0, got, want)
+	}
+	if n := snap.LoadedSegments(); n != 1 {
+		t.Fatalf("%d segments loaded after one query, want 1", n)
+	}
+	if err := snap.Err(); err != nil {
+		t.Fatalf("healthy-shard query surfaced an error: %v", err)
+	}
+	// Touching the corrupt shard must fail its load, yield empty results,
+	// and surface through Err and PreloadAll.
+	var qBad int = -1
+	for q := 0; q < g.NumQueries(); q++ {
+		if int(snap.qRoute[q]) == last {
+			qBad = q
+			break
+		}
+	}
+	if qBad < 0 {
+		t.Fatal("no query routed to the corrupted shard")
+	}
+	if got := snap.TopRewrites(qBad, -1); got != nil {
+		t.Fatalf("corrupt shard answered %v, want nil", got)
+	}
+	if err := snap.Err(); err == nil {
+		t.Fatal("corrupt segment load did not surface through Err")
+	}
+	if err := snap.PreloadAll(); err == nil {
+		t.Fatal("PreloadAll accepted a corrupt segment")
+	}
+}
+
+// TestSnapshotConcurrentReaders exercises the lazy segment loads and
+// index builds from many goroutines at once — the shape of concurrent
+// HTTP handlers hitting a cold snapshot (meaningful under -race).
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	g := testGraph(t)
+	plan := partition.ComponentPlan(g)
+	cfg := core.DefaultConfig()
+	cfg.PruneEpsilon = 1e-6
+	res, err := core.RunSharded(g, cfg, plan, core.ShardOptions{RetainShardScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mustSnapshot(t, res)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < g.NumQueries(); q++ {
+				if got, want := snap.TopRewrites(q, 5), res.TopRewrites(q, 5); !scoredEqual(got, want) {
+					t.Errorf("worker %d: TopRewrites(%d) = %v, want %v", w, q, got, want)
+					return
+				}
+				if got, want := snap.QuerySim(q, (q+1)%g.NumQueries()), res.QuerySim(q, (q+1)%g.NumQueries()); got != want {
+					t.Errorf("worker %d: QuerySim(%d,·) = %v, want %v", w, q, got, want)
+					return
+				}
+			}
+			for a := 0; a < g.NumAds(); a++ {
+				if got, want := snap.TopSimilarAds(a, 5), res.TopSimilarAds(a, 5); !scoredEqual(got, want) {
+					t.Errorf("worker %d: TopSimilarAds(%d) = %v, want %v", w, a, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := snap.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRejectsCorruption pins the header/truncation error paths.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	g := clickgraph.Fig3()
+	res, err := core.Run(g, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	open := func(b []byte) error {
+		_, err := NewSnapshot(bytes.NewReader(b), int64(len(b)))
+		return err
+	}
+	mutate := func(off int, val byte) []byte {
+		b := append([]byte(nil), good...)
+		b[off] ^= val
+		return b
+	}
+
+	if err := open(good); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	if err := open(mutate(0, 0xff)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := open(mutate(8, 0xff)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if err := open(mutate(45, 0xff)); err == nil {
+		t.Error("corrupt header (flipped dimension byte) accepted")
+	}
+	if err := open(good[:headerSize+4]); err == nil {
+		t.Error("string-table truncation accepted")
+	}
+	if err := open(good[:60]); err == nil {
+		t.Error("sub-header truncation accepted")
+	}
+
+	// Truncated segment: keep all eager sections, cut the score records.
+	probe, err := NewSnapshot(bytes.NewReader(good), int64(len(good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int(probe.dir[0].qOff) + pairRecordSize/2
+	snap, err := NewSnapshot(bytes.NewReader(good[:cut]), int64(cut))
+	if err != nil {
+		t.Fatalf("truncated-segment snapshot must still open (lazy): %v", err)
+	}
+	if err := snap.PreloadAll(); err == nil {
+		t.Error("PreloadAll accepted a truncated segment")
+	}
+}
