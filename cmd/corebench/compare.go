@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+)
+
+// Benchstat-style regression gating: `corebench -compare old.json` diffs
+// the freshly-measured report against a previous record over their shared
+// keys and exits nonzero when any metric regressed past the threshold.
+//
+// Two metric classes keep the comparison honest across machines and
+// workload sizes:
+//
+//   - dimensionless ratios (speedup-vs-baseline, shard speedup, SPA
+//     ratio, refresh speedups) are always compared — a smoke-sized CI run
+//     still has to beat its own baselines by roughly the recorded margin;
+//   - absolute ns/op rows are compared only when both reports measured
+//     the identical workload, since 500-query and 120-query graphs are
+//     not the same experiment.
+
+// compareRow is one metric's old/new pairing.
+type compareRow struct {
+	name     string
+	old, new float64
+	// higherBetter: speedups regress downward; ns/op regress upward.
+	higherBetter bool
+}
+
+// worseFactor returns how many times worse new is than old (> 1 = worse).
+func (r compareRow) worseFactor() float64 {
+	if r.old <= 0 || r.new <= 0 {
+		return 1
+	}
+	if r.higherBetter {
+		return r.old / r.new
+	}
+	return r.new / r.old
+}
+
+// compareReports prints the table and returns the rows past threshold.
+func compareReports(w io.Writer, old, cur *report, threshold float64) []compareRow {
+	var rows []compareRow
+	sameWorkload := reflect.DeepEqual(old.Workload, cur.Workload)
+	if sameWorkload {
+		oldNs := map[string]float64{}
+		for _, r := range old.Results {
+			oldNs[r.Name] = r.NsPerOp
+		}
+		for _, r := range cur.Results {
+			if o, ok := oldNs[r.Name]; ok {
+				rows = append(rows, compareRow{name: r.Name + " ns/op", old: o, new: r.NsPerOp})
+			}
+		}
+	} else {
+		fmt.Fprintf(w, "corebench: workloads differ (old %+v); comparing dimensionless ratios only\n", old.Workload)
+	}
+	for name, v := range cur.SpeedupVsBaseline {
+		if o, ok := old.SpeedupVsBaseline[name]; ok {
+			rows = append(rows, compareRow{name: "speedup:" + name, old: o, new: v, higherBetter: true})
+		}
+	}
+	if old.ShardWorkload != nil && cur.ShardWorkload != nil {
+		rows = append(rows,
+			compareRow{name: "shard_workload.speedup", old: old.ShardWorkload.Speedup, new: cur.ShardWorkload.Speedup, higherBetter: true},
+			compareRow{name: "shard_workload.spa_ratio", old: old.ShardWorkload.SPARatio, new: cur.ShardWorkload.SPARatio, higherBetter: true})
+	}
+	if old.Refresh != nil && cur.Refresh != nil {
+		rows = append(rows,
+			compareRow{name: "refresh.min_speedup", old: old.Refresh.MinSpeedup, new: cur.Refresh.MinSpeedup, higherBetter: true},
+			compareRow{name: "refresh.mean_speedup", old: old.Refresh.MeanSpeedup, new: cur.Refresh.MeanSpeedup, higherBetter: true})
+	}
+
+	fmt.Fprintf(w, "corebench: comparison (threshold %.2fx)\n", threshold)
+	fmt.Fprintf(w, "  %-44s %14s %14s %9s\n", "metric", "old", "new", "factor")
+	var regressions []compareRow
+	for _, r := range rows {
+		worse := r.worseFactor()
+		mark := ""
+		if worse > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions, r)
+		}
+		fmt.Fprintf(w, "  %-44s %14.1f %14.1f %8.2fx%s\n", r.name, r.old, r.new, worse, mark)
+	}
+	return regressions
+}
+
+// loadReport reads a previous BENCH_core.json.
+func loadReport(path string) (*report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -78,6 +78,11 @@ type report struct {
 	// the sharded result, opening the snapshot (header + string table
 	// only), and warm per-query lookups. See PERF.md's serving section.
 	Snapshot *serve.SnapshotBenchResult `json:"snapshot,omitempty"`
+	// Refresh records the incremental-refresh trajectory on the evolving
+	// multi-cluster workload: per churn step, full rebuild vs incremental
+	// (diff + warm dirty-only run + segment-reusing rewrite) wall clock
+	// and the re-encoded/copied byte split. See PERF.md's refresh section.
+	Refresh *serve.RefreshBenchResult `json:"refresh,omitempty"`
 }
 
 // baselineVariant names the variant each benchmark group's speedups are
@@ -94,6 +99,9 @@ func main() {
 	out := flag.String("o", "BENCH_core.json", "output path")
 	smoke := flag.Bool("smoke", false, "seconds-scale CI workloads (reduced graphs and trajectories)")
 	shardReps := flag.Int("shard-reps", 3, "repetitions of the shard workload comparison (best kept)")
+	refreshSteps := flag.Int("refresh-steps", 4, "churn steps of the incremental-refresh workload")
+	comparePath := flag.String("compare", "", "previous BENCH_core.json to diff against (exit 1 on regression)")
+	compareThreshold := flag.Float64("compare-threshold", 1.5, "regression factor that fails -compare")
 	flag.Uint64Var(&bc.Seed, "seed", bc.Seed, "workload seed")
 	flag.IntVar(&bc.Queries, "queries", bc.Queries, "graph queries")
 	flag.IntVar(&bc.Ads, "ads", bc.Ads, "graph ads")
@@ -109,6 +117,9 @@ func main() {
 		sbc = core.SmokeShardBenchConfig()
 		if *shardReps > 1 {
 			*shardReps = 1
+		}
+		if *refreshSteps > 2 {
+			*refreshSteps = 2
 		}
 	}
 
@@ -187,6 +198,28 @@ func main() {
 		float64(snapRes.OpenNs)/1e3, float64(snapRes.FirstLookupNs)/1e3,
 		float64(snapRes.LookupNs), snapRes.Lookups)
 
+	// The refresh comparison is a ratio of two one-shot wall times, so it
+	// needs at least two repetitions even in smoke mode (where the shard
+	// bench drops to one) or a single scheduling hiccup on a busy CI
+	// runner skews the recorded speedup.
+	refreshReps := *shardReps
+	if refreshReps < 2 {
+		refreshReps = 2
+	}
+	fmt.Fprintf(os.Stderr, "corebench: refresh workload: %d churn steps (~%d%% of edges each)\n",
+		*refreshSteps, 100*sbc.ClusterEdges/(sbc.Clusters*sbc.ClusterEdges+sbc.GiantEdges))
+	refreshRes, err := serve.RunRefreshBench(sbc, *refreshSteps, refreshReps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+	for _, st := range refreshRes.Steps {
+		fmt.Fprintf(os.Stderr, "  Refresh/step%d: full %.0f ms (%d iters)  incremental %.1f ms (%d iters, %d/%d shards dirty)  %.1fx  re-encoded %.0f KiB / copied %.0f KiB\n",
+			st.Step, float64(st.FullNs)/1e6, st.FullIters, float64(st.IncNs)/1e6, st.IncIters,
+			st.DirtyShards, st.Shards, st.Speedup,
+			float64(st.BytesReencoded)/1024, float64(st.BytesCopied)/1024)
+	}
+
 	rep := report{
 		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:            runtime.Version(),
@@ -198,6 +231,7 @@ func main() {
 		WeightedIterations:   trajectories,
 		ShardWorkload:        shard,
 		Snapshot:             &snapRes,
+		Refresh:              &refreshRes,
 	}
 	base := map[string]passResult{}
 	for _, r := range results {
@@ -234,4 +268,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "corebench: wrote %s\n", *out)
+
+	if *comparePath != "" {
+		old, err := loadReport(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corebench:", err)
+			os.Exit(1)
+		}
+		if regs := compareReports(os.Stderr, old, &rep, *compareThreshold); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "corebench: %d metric(s) regressed more than %.2fx vs %s\n",
+				len(regs), *compareThreshold, *comparePath)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "corebench: no regression past %.2fx vs %s\n", *compareThreshold, *comparePath)
+	}
 }

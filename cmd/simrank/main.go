@@ -7,7 +7,10 @@
 //	        [-query Q | -all] [-top K] [-c 0.8] [-iterations 7]
 //	        [-bids FILE] [-strict-evidence]
 //	        [-sharded] [-shard-max-nodes 4096] [-shard-workers 0]
+//	        [-plan FILE] [-save-plan FILE]
 //	        [-save SNAPSHOT]
+//	simrank -graph FILE -refresh PREV [-save NEXT] [-save-plan FILE]
+//	        [-shard-workers 0]
 //	simrank -load SNAPSHOT [-query Q | -all] [-top K] [-bids FILE]
 //
 // With -query it prints rewrites for one query; with -all it prints the
@@ -19,11 +22,22 @@
 // engine runs per shard on a bounded worker pool; the plan summary goes
 // to stderr before the run. Component-exact plans reproduce the
 // monolithic scores bit for bit; carved plans drop cross-shard evidence.
+// -save-plan persists the decomposition and -plan loads one instead of
+// re-running BuildPlan (the ACL clustering is the O(graph) part of
+// planning, and a stable graph keeps the same plan run after run).
 //
 // With -save, the computed scores are also written as a binary snapshot
 // (per-shard segments under -sharded) that cmd/simrankd serves online;
 // with -load, rewrites are answered straight from such a snapshot — no
 // graph file and no engine run, the batch/online split of Figure 2.
+//
+// With -refresh, the new graph is diffed against the previous snapshot
+// (shard fingerprints in its directory; no BuildPlan runs), only the
+// changed shards are recomputed — warm-started from the previous scores,
+// under the engine settings recorded in the snapshot header — and the
+// next snapshot is written by byte-copying every clean shard's segments
+// from the previous file. -save defaults to overwriting PREV in place
+// (atomic rename), which a running simrankd picks up on SIGHUP.
 package main
 
 import (
@@ -31,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/core"
@@ -54,18 +69,52 @@ func main() {
 		sharded   = flag.Bool("sharded", false, "decompose the graph and run one engine per shard")
 		shardMax  = flag.Int("shard-max-nodes", 4096, "sharded: shard node budget (components above it are ACL-cut)")
 		shardWork = flag.Int("shard-workers", 0, "sharded: concurrent shard engines (0 = GOMAXPROCS)")
+		planPath  = flag.String("plan", "", "sharded: load this partition plan instead of running BuildPlan")
+		planSave  = flag.String("save-plan", "", "write the partition plan (built, loaded, or refresh-projected) to this file")
 		savePath  = flag.String("save", "", "write the computed scores as a serving snapshot")
 		loadPath  = flag.String("load", "", "answer from a snapshot instead of running an engine (-graph not needed)")
+		refresh   = flag.String("refresh", "", "incrementally refresh this snapshot against -graph (recompute dirty shards only)")
 	)
 	flag.Parse()
 	if *loadPath != "" && *savePath != "" {
 		fatal(fmt.Errorf("-save makes no sense with -load: the snapshot already exists"))
 	}
+	if *refresh != "" {
+		if *graphPath == "" {
+			fatal(fmt.Errorf("-refresh needs -graph (the new click log)"))
+		}
+		if *loadPath != "" {
+			fatal(fmt.Errorf("-refresh and -load are mutually exclusive"))
+		}
+		if *query != "" || *all {
+			fatal(fmt.Errorf("-refresh only writes the next snapshot; serve queries with -load afterwards"))
+		}
+		// A refresh runs under the engine settings recorded in the
+		// previous snapshot — clean shards' scores were computed with
+		// them, so dirty shards must be too. Engine flags on this path
+		// would be silently ignored; reject them instead.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "method", "c", "iterations", "prune", "strict-evidence",
+				"sharded", "shard-max-nodes", "plan":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fatal(fmt.Errorf("-refresh reuses the engine settings recorded in the snapshot; drop %s (start a fresh -save to change them)",
+				strings.Join(conflicting, ", ")))
+		}
+		if err := runRefresh(*graphPath, *refresh, *savePath, *planSave, *shardWork); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *loadPath == "" && *graphPath == "" {
 		fatal(fmt.Errorf("-graph is required (or -load a snapshot)"))
 	}
-	if !*all && *query == "" && *savePath == "" {
-		fatal(fmt.Errorf("give -query or -all (or just -save)"))
+	if !*all && *query == "" && *savePath == "" && *planSave == "" {
+		fatal(fmt.Errorf("give -query or -all (or just -save / -save-plan)"))
 	}
 
 	var bidTerms map[string]bool
@@ -104,7 +153,23 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		src, err = buildSource(g, *method, *c, *iters, *prune, *strict, *sharded, *shardMax, *shardWork, *savePath)
+		if *planSave != "" && *savePath == "" && !*all && *query == "" {
+			// Plan-only mode: decompose (or validate a loaded plan) and
+			// persist it without running any engine.
+			plan, err := obtainPlan(g, *sharded, *shardMax, *planPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := plan.WriteSummary(os.Stderr); err != nil {
+				fatal(err)
+			}
+			if err := partition.WritePlanFile(*planSave, plan); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "simrank: wrote plan %s (%d shards)\n", *planSave, len(plan.Shards))
+			return
+		}
+		src, err = buildSource(g, *method, *c, *iters, *prune, *strict, *sharded, *shardMax, *shardWork, *savePath, *planPath, *planSave)
 		if err != nil {
 			fatal(err)
 		}
@@ -147,7 +212,94 @@ func main() {
 	}
 }
 
-func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict, sharded bool, shardMax, shardWorkers int, savePath string) (rewrite.Source, error) {
+// obtainPlan loads a saved plan (validating it against g) or builds one.
+func obtainPlan(g *clickgraph.Graph, sharded bool, shardMax int, planPath string) (*partition.Plan, error) {
+	if planPath != "" {
+		plan, err := partition.ReadPlanFile(planPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := plan.Validate(g); err != nil {
+			return nil, fmt.Errorf("%s does not cover this graph (stale plan? use -refresh for churned graphs): %w", planPath, err)
+		}
+		// Validate only checks node coverage — the graph's edges and
+		// weights may have drifted since the plan was built. Re-derive
+		// the edge-dependent bookkeeping (cut edges, exactness, and
+		// above all the shard fingerprints a -save snapshot persists)
+		// from the graph the engines will actually run on, so a later
+		// -refresh never diffs against another generation's fingerprints.
+		plan.Reannotate(g)
+		return plan, nil
+	}
+	if !sharded {
+		return nil, fmt.Errorf("plans only exist for -sharded runs")
+	}
+	pcfg := partition.DefaultPlanConfig()
+	pcfg.MaxShardNodes = shardMax
+	return partition.BuildPlan(g, pcfg)
+}
+
+// runRefresh is the -refresh path: diff the new graph against the
+// previous snapshot, recompute only dirty shards (warm-started), and
+// write the next generation reusing clean segments.
+func runRefresh(graphPath, prevPath, savePath, planSave string, workers int) error {
+	if savePath == "" {
+		savePath = prevPath // atomic in-place generation swap
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	g, err := clickgraph.Read(f)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	prev, err := serve.OpenSnapshot(prevPath)
+	if err != nil {
+		return err
+	}
+	defer prev.Close()
+	res, diff, err := serve.RunRefresh(g, prev, workers)
+	if err != nil {
+		return err
+	}
+	// The projected plan inherits the previous decomposition and only
+	// grows (new nodes adopt a neighbor's shard, nothing is ever split),
+	// so surface the largest shard: when it drifts well past the budget
+	// the plan was built with, it is time to re-plan with a fresh -save.
+	largest := 0
+	for i := range diff.Plan.Shards {
+		if n := diff.Plan.Shards[i].Nodes(); n > largest {
+			largest = n
+		}
+	}
+	fmt.Fprintf(os.Stderr, "simrank: refresh diff: %d clean, %d dirty of %d shards (largest %d nodes); %d new, %d moved nodes\n",
+		diff.CleanShards, diff.DirtyShards, len(diff.Plan.Shards), largest,
+		diff.NewQueries+diff.NewAds, diff.MovedQueries+diff.MovedAds)
+	st, err := serve.RefreshSnapshotFile(savePath, prev, res, diff.Dirty)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "simrank: wrote snapshot %s (re-encoded %d KiB over %d dirty shards, byte-copied %d KiB over %d clean)\n",
+		savePath, st.BytesReencoded/1024, st.DirtyShards, st.BytesCopied/1024, st.CleanShards)
+	if planSave != "" {
+		if err := partition.WritePlanFile(planSave, diff.Plan); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simrank: wrote plan %s (%d shards)\n", planSave, len(diff.Plan.Shards))
+	}
+	return nil
+}
+
+func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict, sharded bool, shardMax, shardWorkers int, savePath, planPath, planSave string) (rewrite.Source, error) {
+	if planSave != "" && !sharded && planPath == "" {
+		// Fail loudly rather than printing rewrites and silently writing
+		// no plan file.
+		return nil, fmt.Errorf("-save-plan needs -sharded (or -plan): plans only exist for sharded runs")
+	}
 	if method == "pearson" {
 		if savePath != "" {
 			return nil, fmt.Errorf("-save needs a SimRank method: pearson has no score table to snapshot")
@@ -171,15 +323,19 @@ func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune
 	}
 	var res *core.Result
 	var err error
-	if sharded {
-		pcfg := partition.DefaultPlanConfig()
-		pcfg.MaxShardNodes = shardMax
-		plan, perr := partition.BuildPlan(g, pcfg)
+	if sharded || planPath != "" {
+		plan, perr := obtainPlan(g, sharded, shardMax, planPath)
 		if perr != nil {
 			return nil, perr
 		}
 		if werr := plan.WriteSummary(os.Stderr); werr != nil {
 			return nil, werr
+		}
+		if planSave != "" {
+			if werr := partition.WritePlanFile(planSave, plan); werr != nil {
+				return nil, werr
+			}
+			fmt.Fprintf(os.Stderr, "simrank: wrote plan %s (%d shards)\n", planSave, len(plan.Shards))
 		}
 		// Retaining the per-shard tables lets -save emit one snapshot
 		// segment per shard straight from the engines' local outputs.

@@ -28,8 +28,12 @@
 // # Reload
 //
 // On SIGHUP the daemon re-opens -snapshot (typically after the batch side
-// atomically replaced the file) and swaps it in without dropping in-flight
-// requests; a failed reload keeps the old snapshot serving.
+// atomically replaced the file — a full `simrank -save` or an incremental
+// `simrank -refresh`) and swaps it in without dropping in-flight
+// requests; a failed reload keeps the old snapshot serving. /stats
+// reports the loaded generation (generated_at, fingerprint, and the
+// dirty-shard count of the refresh that produced it), so an operator can
+// verify a SIGHUP actually swapped generations.
 package main
 
 import (
@@ -93,9 +97,14 @@ func main() {
 	}
 	snap := idx.(*serve.Snapshot)
 	meta := snap.Meta()
-	log.Printf("simrankd: %s: %d queries, %d ads, %d shards, %d+%d pairs (%s, %d iterations)",
+	gen := "full build"
+	if meta.LastRefreshDirty >= 0 {
+		gen = fmt.Sprintf("refresh, %d dirty shards", meta.LastRefreshDirty)
+	}
+	log.Printf("simrankd: %s: %d queries, %d ads, %d shards, %d+%d pairs (%s, %d iterations; generation %s, %s, fingerprint %s)",
 		*snapPath, meta.NumQueries, meta.NumAds, meta.Shards,
-		meta.QueryPairs, meta.AdPairs, meta.Variant, meta.Iterations)
+		meta.QueryPairs, meta.AdPairs, meta.Variant, meta.Iterations,
+		meta.GeneratedAt.Format(time.RFC3339), gen, meta.Fingerprint)
 
 	srv := serve.NewServer(idx, cfg)
 	srv.ReloadOnSIGHUP(open, func(old serve.ScoreIndex) {

@@ -83,6 +83,50 @@ func addBenchCluster(b *clickgraph.Builder, prefix string, seed uint64, nq, na, 
 	}
 }
 
+// addBenchClusterStable is addBenchCluster with every node — queries AND
+// ads — interned before any edge is sampled. Node ids then depend only on
+// the cluster layout, never on the edge seed, which is the property the
+// evolving (refresh) workload needs: re-sampling one cluster's edges must
+// not shift any other cluster's global ids, or every shard would read as
+// moved. (addBenchCluster itself is left alone so the recorded pass/shard
+// workloads keep their historical shape.)
+func addBenchClusterStable(b *clickgraph.Builder, prefix string, seed uint64, nq, na, edges int) {
+	for i := 0; i < na; i++ {
+		b.AddAd(fmt.Sprintf("%sad%d", prefix, i))
+	}
+	addBenchCluster(b, prefix, seed, nq, na, edges)
+}
+
+// RefreshWorkloadGraph builds step s of the evolving multi-cluster
+// workload: the same cluster layout as MultiClusterGraph (stable node
+// interning), where step s ≥ 1 re-samples the edges of cluster
+// (s-1) mod Clusters with a step-dependent seed — one cluster's worth of
+// churn, ≈ ClusterEdges / total edges of the graph (≈ 5% on the default
+// workload). Steps are cumulative: a cluster churned at step s keeps its
+// step-s edges until a later step hits it again, so chaining refreshes
+// from step to step models successive daily click logs. The giant
+// component never churns. Step 0 is the base graph.
+func RefreshWorkloadGraph(bc ShardBenchConfig, step int) *clickgraph.Graph {
+	b := clickgraph.NewBuilder()
+	for c := 0; c < bc.Clusters; c++ {
+		seed := bc.Seed + uint64(c)*1000003
+		// The latest step ≤ step that churned cluster c, if any.
+		if step >= c+1 {
+			last := c + 1 + bc.Clusters*((step-1-c)/bc.Clusters)
+			seed += uint64(last) * 7777779
+		}
+		addBenchClusterStable(b, fmt.Sprintf("c%d-", c), seed, bc.ClusterQueries, bc.ClusterAds, bc.ClusterEdges)
+	}
+	addBenchClusterStable(b, "g-", bc.Seed+999999937, bc.GiantQueries, bc.GiantAds, bc.GiantEdges)
+	return b.Build()
+}
+
+// ShardBenchRunConfig exposes the workload's engine configuration
+// (PERF.md's production mode plus the convergence tolerance) so the
+// refresh benchmark runs its full rebuilds and its refreshes under
+// exactly the recorded settings.
+func ShardBenchRunConfig(bc ShardBenchConfig) Config { return shardBenchRunConfig(bc) }
+
 // benchGraph builds a deterministic pseudo-random bipartite click graph.
 func benchGraph(seed uint64, nq, na, edges int) *clickgraph.Graph {
 	b := clickgraph.NewBuilder()

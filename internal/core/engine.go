@@ -26,7 +26,7 @@ import (
 // of the hash probe the map-based engine paid, and the frontiers ping-pong
 // across iterations so steady-state passes barely allocate.
 func Run(g *clickgraph.Graph, cfg Config) (*Result, error) {
-	return runEngine(g, cfg, 1, nil)
+	return runEngine(g, cfg, 1, nil, nil)
 }
 
 // passInputs holds the per-run immutable inputs of the iteration passes:
@@ -148,7 +148,8 @@ func (ar *engineArena) ensureSPAs(workers, n int) []*spa {
 // opposite side's prev (expanded to a symmetric adjacency once per
 // iteration), and swapped in; prev's buckets become the next iteration's
 // scratch. ar supplies reusable allocation state (nil for a standalone
-// run).
+// run); warm, when non-nil, seeds the starting frontiers from a previous
+// generation's scores instead of the identity start (see warmstart.go).
 //
 // Iteration is change-tracked: the convergence merge-walk also marks which
 // nodes' scores moved (MaxAbsDiffChanged), and an output row whose
@@ -157,7 +158,7 @@ func (ar *engineArena) ensureSPAs(workers, n int) []*spa {
 // is bit-identical to recomputation — SimRank converges row by row, so
 // late iterations approach the cost of only their still-moving rows. See
 // Config.DeltaSkipTolerance / Config.DisableDeltaSkip.
-func runEngine(g *clickgraph.Graph, cfg Config, workers int, ar *engineArena) (*Result, error) {
+func runEngine(g *clickgraph.Graph, cfg Config, workers int, ar *engineArena, warm warmSeed) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -169,7 +170,20 @@ func runEngine(g *clickgraph.Graph, cfg Config, workers int, ar *engineArena) (*
 
 	prevQ, curQ := arenaFrontier(&ar.prevQ, nq), arenaFrontier(&ar.curQ, nq)
 	prevA, curA := arenaFrontier(&ar.prevA, na), arenaFrontier(&ar.curA, na)
-	prevQ.Compact() // empty but read-ready: passes and MaxAbsDiff read prev
+	if warm != nil {
+		warm(prevQ, prevA)
+		if cfg.Variant == Evidence {
+			// Stored Evidence scores are iteration-space scores × evidence;
+			// map them back so the seed lives where the iteration does.
+			unapplyEvidence(prevQ, in.evQ)
+			unapplyEvidence(prevA, in.evA)
+		}
+		if cfg.PruneEpsilon > 0 {
+			prevQ.Prune(cfg.PruneEpsilon)
+			prevA.Prune(cfg.PruneEpsilon)
+		}
+	}
+	prevQ.Compact() // read-ready: passes and MaxAbsDiff read prev
 	prevA.Compact()
 	if ar.symQ == nil {
 		ar.symQ, ar.symA = &sparse.SymAdj{}, &sparse.SymAdj{}

@@ -21,5 +21,5 @@ func RunParallel(g *clickgraph.Graph, cfg Config, workers int) (*Result, error) 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return runEngine(g, cfg, workers, nil)
+	return runEngine(g, cfg, workers, nil, nil)
 }

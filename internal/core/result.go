@@ -60,6 +60,9 @@ type ShardScoreSet struct {
 	// QueryIDs maps local query id -> global query id; AdIDs likewise.
 	QueryIDs, AdIDs []int
 	// QueryScores and AdScores are the shard engine's tables, local ids.
+	// Both are nil when ShardOptions.RunShards skipped the shard — the id
+	// lists still describe it, which is all serve.RefreshSnapshot needs
+	// to reuse the previous generation's segment.
 	QueryScores, AdScores *sparse.PairTable
 }
 

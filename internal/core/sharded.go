@@ -37,6 +37,25 @@ type ShardOptions struct {
 	// repartitioning; the cost is the scores held twice until the Result
 	// is dropped.
 	RetainShardScores bool
+	// RunShards, when non-nil, must have one entry per plan shard and
+	// restricts the run to the true entries — the dirty shards of a
+	// partition.DiffPlans classification. Skipped shards burn no work at
+	// all (no subgraph extraction, no engine): their scores are absent
+	// from the stitched Result and their ShardScores entry (under
+	// RetainShardScores) carries only the id lists, the shape
+	// serve.RefreshSnapshot needs to byte-copy the previous generation's
+	// segments. A Result of a partial run is NOT a complete score index;
+	// it exists to feed a refresh.
+	RunShards []bool
+	// WarmStart, when non-nil, seeds every executed shard engine's
+	// starting frontiers from a previous generation's scores (matched by
+	// node name) instead of the identity start. With Config.Tolerance set,
+	// a lightly-churned shard then converges in a handful of iterations,
+	// and the delta-skip machinery freezes its untouched rows after the
+	// first pass. Exactness: iteration contracts to the same fixpoint
+	// regardless of start, so a warm run differs from a cold one by at
+	// most the tolerance-scale tail both were allowed to stop at.
+	WarmStart ScoreSource
 }
 
 // ShardStat records one shard engine run for the stitched Result.
@@ -56,6 +75,12 @@ type ShardStat struct {
 	// engine worker the shard was granted. The monolithic equivalent is
 	// 16·max(NumQueries, NumAds) per worker.
 	SPABytes int64
+	// Skipped reports that ShardOptions.RunShards excluded this shard: no
+	// engine ran and the run-outcome fields above are zero.
+	Skipped bool
+	// Fingerprint echoes the plan shard's subgraph fingerprint, so the
+	// snapshot writer can persist it without holding the plan.
+	Fingerprint uint64
 }
 
 // RunSharded executes the plan: one sparse engine per shard, scheduled
@@ -94,6 +119,10 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 	if err := plan.Validate(g); err != nil {
 		return nil, err
 	}
+	if opt.RunShards != nil && len(opt.RunShards) != len(plan.Shards) {
+		return nil, fmt.Errorf("core: RunShards has %d entries for a %d-shard plan",
+			len(opt.RunShards), len(plan.Shards))
+	}
 	budget := opt.Workers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
@@ -107,12 +136,20 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 	}
 
 	// Big shards first: the largest shard bounds the pool's makespan, so
-	// it must not be picked up last.
-	order := make([]int, len(plan.Shards))
+	// it must not be picked up last. Skipped (clean) shards never enter
+	// the queue — a refresh's cost is the dirty region's, not the plan's.
+	run := func(i int) bool { return opt.RunShards == nil || opt.RunShards[i] }
+	order := make([]int, 0, len(plan.Shards))
 	totalNodes := 0
-	for i := range order {
-		order[i] = i
+	for i := range plan.Shards {
+		if !run(i) {
+			continue
+		}
+		order = append(order, i)
 		totalNodes += plan.Shards[i].Nodes()
+	}
+	if workers > len(order) {
+		workers = len(order)
 	}
 	sort.Slice(order, func(a, b int) bool {
 		na, nb := plan.Shards[order[a]].Nodes(), plan.Shards[order[b]].Nodes()
@@ -166,8 +203,12 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 					fail(fmt.Errorf("core: shard %d: %w", idx, err))
 					continue
 				}
+				var warm warmSeed
+				if opt.WarmStart != nil {
+					warm = newWarmSeeder(opt.WarmStart, view.Graph)
+				}
 				ew := engineWorkers(sh.Nodes())
-				res, err := runEngine(view.Graph, cfg, ew, ar)
+				res, err := runEngine(view.Graph, cfg, ew, ar, warm)
 				if err != nil {
 					fail(fmt.Errorf("core: shard %d: %w", idx, err))
 					continue
@@ -182,9 +223,10 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 					Edges:      view.Graph.NumEdges(),
 					CutEdges:   sh.CutEdges,
 					Exact:      sh.Exact,
-					Iterations: res.Iterations,
-					Converged:  res.Converged,
-					Duration:   time.Since(start),
+					Iterations:  res.Iterations,
+					Converged:   res.Converged,
+					Duration:    time.Since(start),
+					Fingerprint: sh.Fingerprint,
 					// u + t float64 arrays per engine worker.
 					SPABytes: int64(ew) * int64(side) * 16,
 				}}
@@ -199,6 +241,17 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	for i := range plan.Shards {
+		if run(i) {
+			continue
+		}
+		sh := &plan.Shards[i]
+		outs[i].stat = ShardStat{
+			Queries: len(sh.Queries), Ads: len(sh.Ads),
+			CutEdges: sh.CutEdges, Exact: sh.Exact,
+			Skipped: true, Fingerprint: sh.Fingerprint,
+		}
+	}
 	res, err := stitch(g, cfg, outs)
 	if err != nil {
 		return nil, err
@@ -206,6 +259,15 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 	if opt.RetainShardScores {
 		res.ShardScores = make([]ShardScoreSet, len(outs))
 		for i := range outs {
+			if outs[i].res == nil {
+				// Skipped shard: the id lists alone, so a refresh can route
+				// its nodes and byte-copy its previous segment.
+				res.ShardScores[i] = ShardScoreSet{
+					QueryIDs: plan.Shards[i].Queries,
+					AdIDs:    plan.Shards[i].Ads,
+				}
+				continue
+			}
 			res.ShardScores[i] = ShardScoreSet{
 				QueryIDs:    outs[i].view.QueryIDs,
 				AdIDs:       outs[i].view.AdIDs,
@@ -225,10 +287,14 @@ type shardOut struct {
 }
 
 // stitch remaps every shard's local pair tables into the parent id space
-// and merges the run metadata.
+// and merges the run metadata. Entries with a nil res were skipped
+// (clean) shards: they contribute their stat but no scores.
 func stitch(g *clickgraph.Graph, cfg Config, outs []shardOut) (*Result, error) {
 	qPairs, aPairs, maxIters := 0, 0, 0
 	for i := range outs {
+		if outs[i].res == nil {
+			continue
+		}
 		qPairs += outs[i].res.QueryScores.Len()
 		aPairs += outs[i].res.AdScores.Len()
 		if outs[i].res.Iterations > maxIters {
@@ -241,6 +307,10 @@ func stitch(g *clickgraph.Graph, cfg Config, outs []shardOut) (*Result, error) {
 	converged := true
 	for i := range outs {
 		view, res := outs[i].view, outs[i].res
+		if res == nil {
+			shardStats[i] = outs[i].stat
+			continue
+		}
 		res.QueryScores.Range(func(a, b int, v float64) bool {
 			qTab.Set(view.GlobalQuery(a), view.GlobalQuery(b), v)
 			return true

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/sparse"
+)
+
+// Warm-started iteration: instead of the identity start s0 = I, a run can
+// seed its ping-pong frontiers from a previous generation's scores. The
+// SimRank update is a contraction, so iteration converges to the same
+// fixpoint from any start — but a start that is already near the fixpoint
+// (yesterday's scores, on a graph that churned at the margins) crosses
+// Config.Tolerance in a handful of iterations instead of the full
+// schedule, and the change-tracked delta skip compounds: rows whose
+// neighborhoods did not move freeze after the first pass. This is the
+// compute half of the incremental refresh story; partition.DiffPlans
+// decides which shards to run at all.
+
+// ScoreSource is the read surface a warm start pulls prior scores from:
+// node naming plus the ranked partner listings. It is the subset of
+// serve.ScoreIndex the seeding needs, so both a live *Result and a loaded
+// *serve.Snapshot qualify. Lookups go through names, never ids — the new
+// graph may have re-interned nodes under different ids (such nodes live
+// in dirty shards, but their *partners'* scores are still good seeds).
+type ScoreSource interface {
+	Query(id int) string
+	Ad(id int) string
+	QueryID(name string) (int, bool)
+	AdID(name string) (int, bool)
+	TopRewrites(q, k int) []sparse.Scored
+	TopSimilarAds(a, k int) []sparse.Scored
+}
+
+// Result implements ScoreSource (via the serve.ScoreIndex surface).
+var _ ScoreSource = (*Result)(nil)
+
+// warmSeed fills the engine's starting frontiers; nil means the identity
+// start. The frontiers are empty and un-compacted when it runs.
+type warmSeed func(prevQ, prevA *sparse.PairFrontier)
+
+// newWarmSeeder returns the seed that replays ws's scores onto g (a shard
+// subgraph or a whole graph): every node is matched to its previous
+// generation by name, its stored partner list is pulled once, and each
+// partner that maps into g is seeded. Pairs are stored symmetrically in
+// the source, so the j > i guard keeps exactly one copy. Partners outside
+// g (the pair straddles a shard cut, or the node vanished) are dropped —
+// the same pairs a cold per-shard run could never score.
+func newWarmSeeder(ws ScoreSource, g *clickgraph.Graph) warmSeed {
+	return func(prevQ, prevA *sparse.PairFrontier) {
+		for q := 0; q < g.NumQueries(); q++ {
+			old, ok := ws.QueryID(g.Query(q))
+			if !ok {
+				continue
+			}
+			for _, sc := range ws.TopRewrites(old, -1) {
+				if nj, ok := g.QueryID(ws.Query(sc.Node)); ok && nj > q {
+					prevQ.Add(q, nj, sc.Score)
+				}
+			}
+		}
+		for a := 0; a < g.NumAds(); a++ {
+			old, ok := ws.AdID(g.Ad(a))
+			if !ok {
+				continue
+			}
+			for _, sc := range ws.TopSimilarAds(old, -1) {
+				if nj, ok := g.AdID(ws.Ad(sc.Node)); ok && nj > a {
+					prevA.Add(a, nj, sc.Score)
+				}
+			}
+		}
+	}
+}
+
+// unapplyEvidence divides every stored pair by its evidence multiplier —
+// the inverse of applyEvidence. The Evidence variant iterates on raw
+// SimRank scores and multiplies evidence in only at the end, so a warm
+// seed drawn from stored Evidence scores must be mapped back to iteration
+// space. Pairs whose multiplier is zero (strict evidence, no common
+// neighbors) carry no information about the raw score and are dropped.
+func unapplyEvidence(f *sparse.PairFrontier, ev *evidenceTable) {
+	f.Map(func(i, j int, v float64) (float64, bool) {
+		e := ev.score(i, j)
+		if e == 0 {
+			return 0, false
+		}
+		return v / e, true
+	})
+}

@@ -30,6 +30,13 @@ type Shard struct {
 	// this shard (0 for exact shards; for the remainder of a carved
 	// component it is recomputed directly).
 	Conductance float64
+	// Fingerprint is the order-independent hash of the shard's subgraph —
+	// its nodes (ids and names) and every incident edge with all three
+	// weight channels (see fingerprint.go). Two plans assigning the same
+	// shard index the same fingerprint observed the same subgraph, which
+	// is what lets an incremental refresh skip the shard's recompute and
+	// byte-copy its snapshot segment.
+	Fingerprint uint64
 }
 
 // Nodes returns the shard's node count (queries + ads).
@@ -95,6 +102,7 @@ func ComponentPlan(g *clickgraph.Graph) *Plan {
 	for i, c := range comps {
 		p.Shards[i] = Shard{Queries: c.Queries, Ads: c.Ads, Exact: true}
 	}
+	p.annotate(g)
 	return p
 }
 
@@ -123,7 +131,7 @@ func BuildPlan(g *clickgraph.Graph, cfg PlanConfig) (*Plan, error) {
 		p.Shards = append(p.Shards, shards...)
 	}
 	p.Shards = append(p.Shards, packComponents(packable, cfg.MaxShardNodes)...)
-	p.countCutEdges(g)
+	p.annotate(g)
 	return p, nil
 }
 
@@ -248,42 +256,6 @@ func shardFromSet(g *clickgraph.Graph, set map[NodeID]bool, exact bool, phi floa
 	sort.Ints(s.Queries)
 	sort.Ints(s.Ads)
 	return s
-}
-
-// countCutEdges scans every edge once and records, per shard and in total,
-// the edges whose endpoints landed in different shards.
-func (p *Plan) countCutEdges(g *clickgraph.Graph) {
-	qShard := make([]int32, g.NumQueries())
-	aShard := make([]int32, g.NumAds())
-	for i := range qShard {
-		qShard[i] = -1
-	}
-	for i := range aShard {
-		aShard[i] = -1
-	}
-	for si := range p.Shards {
-		p.Shards[si].CutEdges = 0
-		for _, q := range p.Shards[si].Queries {
-			qShard[q] = int32(si)
-		}
-		for _, a := range p.Shards[si].Ads {
-			aShard[a] = int32(si)
-		}
-	}
-	p.TotalCutEdges = 0
-	g.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
-		sq, sa := qShard[q], aShard[a]
-		if sq != sa {
-			p.TotalCutEdges++
-			if sq >= 0 {
-				p.Shards[sq].CutEdges++
-			}
-			if sa >= 0 {
-				p.Shards[sa].CutEdges++
-			}
-		}
-		return true
-	})
 }
 
 // Validate reports whether the plan covers g exactly: every query and ad

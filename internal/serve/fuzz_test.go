@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+)
+
+// FuzzOpenSnapshot throws arbitrary bytes at the snapshot reader — header,
+// string table, route map, directory, and the lazily-loaded segments the
+// refresh path byte-copies. The contract under corruption is an error, not
+// a panic and not an unbounded allocation: every length the file claims is
+// validated against the file's actual size before it drives a make().
+// The hand-picked corruption tests (snapshot_test.go) pin specific error
+// paths; the fuzzer hunts the ones nobody picked.
+func FuzzOpenSnapshot(f *testing.F) {
+	// Seed with real snapshots — monolithic and sharded — so mutations
+	// start from deep in the happy path, plus a few shallow corruptions.
+	g := clickgraph.Fig3()
+	res, err := core.Run(g, core.DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var mono bytes.Buffer
+	if err := WriteSnapshot(&mono, res); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mono.Bytes())
+
+	b := clickgraph.NewBuilder()
+	for c := 0; c < 3; c++ {
+		for q := 0; q < 4; q++ {
+			for a := 0; a < 3; a++ {
+				name := func(kind string, i int) string { return string(rune('x'+c)) + kind + string(rune('0'+i)) }
+				if err := b.AddClick(name("q", q), name("a", a), 0.5); err != nil {
+					f.Fatal(err)
+				}
+			}
+		}
+	}
+	sg := b.Build()
+	sres, err := core.RunSharded(sg, core.DefaultConfig(), partition.ComponentPlan(sg),
+		core.ShardOptions{RetainShardScores: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	if err := WriteSnapshot(&sharded, sres); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sharded.Bytes())
+
+	truncated := append([]byte(nil), mono.Bytes()...)
+	f.Add(truncated[:len(truncated)*2/3])
+	huge := append([]byte(nil), mono.Bytes()...)
+	binary.LittleEndian.PutUint64(huge[80:], ^uint64(0)) // stringsLen = 2^64-1
+	f.Add(huge)
+	f.Add([]byte("SRPPSNAP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := NewSnapshot(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// An accepted snapshot must survive its whole read surface.
+		_ = snap.PreloadAll()
+		m := snap.Meta()
+		for q := 0; q < m.NumQueries; q++ {
+			snap.TopRewrites(q, 3)
+			if q+1 < m.NumQueries {
+				snap.QuerySim(q, q+1)
+			}
+			id, shard, ok := snap.PrevQuery(snap.Query(q))
+			if ok && (id != q || shard != int(snap.qRoute[q])) {
+				// Duplicate names may remap; ids must still be in range.
+				if id < 0 || id >= m.NumQueries {
+					t.Fatalf("PrevQuery returned id %d outside [0,%d)", id, m.NumQueries)
+				}
+			}
+		}
+		for a := 0; a < m.NumAds; a++ {
+			snap.TopSimilarAds(a, 3)
+		}
+		for i := 0; i < snap.NumShards(); i++ {
+			snap.ShardFingerprint(i)
+		}
+	})
+}

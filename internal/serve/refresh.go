@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/sparse"
+)
+
+// Incremental snapshot refresh: the write half of making refresh cost
+// proportional to the changed region of the graph. A refresh classifies
+// shards against the previous snapshot (partition.DiffPlans over the
+// fingerprints the directory carries), re-runs only the dirty ones —
+// warm-started from the previous scores — and writes the next generation
+// by byte-copying every clean shard's score segments out of the old file:
+// their CRCs are already in the directory, so reuse pays one read + one
+// checksum per segment instead of decode → re-sort → re-encode. A clean
+// shard's segment is guaranteed reusable because its fingerprint covers
+// node ids, names, and every incident edge with weights: identical
+// fingerprint ⇒ identical subgraph under identical global ids ⇒ the
+// deterministic per-shard engine would reproduce the identical bytes.
+
+// RefreshStats reports what a RefreshSnapshot write did.
+type RefreshStats struct {
+	// DirtyShards/CleanShards count the segment pairs encoded vs reused.
+	DirtyShards, CleanShards int
+	// BytesReencoded is the segment bytes newly encoded from dirty-shard
+	// scores; BytesCopied the segment bytes copied from the previous
+	// snapshot without decoding.
+	BytesReencoded, BytesCopied int64
+}
+
+// RefreshSnapshot writes the next snapshot generation: res must cover the
+// new graph with one ShardScoreSet per shard (core.RunSharded with
+// RetainShardScores; shards skipped via RunShards carry id lists only),
+// and dirty must be the matching classification (partition.Diff.Dirty).
+// Dirty shards' segments are encoded from their tables in parallel; clean
+// shards' segments are byte-copied from prev, verified against the
+// directory CRCs. The run configuration must match prev's — mixing
+// generations computed under different settings would serve incoherent
+// scores.
+func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool) (RefreshStats, error) {
+	var st RefreshStats
+	if len(res.ShardScores) == 0 {
+		return st, fmt.Errorf("serve: refresh needs a RunSharded result with RetainShardScores")
+	}
+	if len(res.ShardScores) != len(dirty) {
+		return st, fmt.Errorf("serve: %d dirty flags for %d shards", len(dirty), len(res.ShardScores))
+	}
+	if len(res.ShardStats) != len(res.ShardScores) {
+		return st, fmt.Errorf("serve: result is missing per-shard stats")
+	}
+	if err := compatibleConfig(prev, res.Config); err != nil {
+		return st, err
+	}
+
+	payloads := make([]shardPayload, len(res.ShardScores))
+	var encodeIdx []int
+	for i := range res.ShardScores {
+		ss := &res.ShardScores[i]
+		payloads[i].qIDs, payloads[i].aIDs = ss.QueryIDs, ss.AdIDs
+		payloads[i].fp = res.ShardStats[i].Fingerprint
+		if dirty[i] {
+			if ss.QueryScores == nil || ss.AdScores == nil {
+				return st, fmt.Errorf("serve: dirty shard %d has no scores (was it in RunShards?)", i)
+			}
+			encodeIdx = append(encodeIdx, i)
+			st.DirtyShards++
+			continue
+		}
+		// Clean shard: reuse segment i of the previous generation.
+		if i >= prev.meta.Shards {
+			return st, fmt.Errorf("serve: shard %d marked clean but the previous snapshot has only %d shards",
+				i, prev.meta.Shards)
+		}
+		if payloads[i].fp != prev.dir[i].fp {
+			return st, fmt.Errorf("serve: shard %d marked clean but its fingerprint differs from the previous generation's", i)
+		}
+		var err error
+		e := &prev.dir[i]
+		if payloads[i].qSeg, err = prev.segmentBytes("query", i, e.qOff, e.qPairs, e.qCRC); err != nil {
+			return st, err
+		}
+		if payloads[i].aSeg, err = prev.segmentBytes("ad", i, e.aOff, e.aPairs, e.aCRC); err != nil {
+			return st, err
+		}
+		payloads[i].qCRC, payloads[i].aCRC = e.qCRC, e.aCRC
+		st.CleanShards++
+		st.BytesCopied += int64(len(payloads[i].qSeg) + len(payloads[i].aSeg))
+	}
+
+	encodePayloads(payloads, encodeIdx, func(i int) (*sparse.PairTable, *sparse.PairTable) {
+		return res.ShardScores[i].QueryScores, res.ShardScores[i].AdScores
+	})
+	for _, i := range encodeIdx {
+		st.BytesReencoded += int64(len(payloads[i].qSeg) + len(payloads[i].aSeg))
+	}
+
+	// Iterations: a refresh ran only its dirty shards, so the horizon the
+	// snapshot advertises is the deeper of the two generations'.
+	iters := res.Iterations
+	if prev.meta.Iterations > iters {
+		iters = prev.meta.Iterations
+	}
+	err := writeAssembled(w, res, payloads, genInfo{
+		iterations:  iters,
+		converged:   res.Converged && prev.meta.Converged,
+		generatedAt: time.Now(),
+		dirtyShards: uint32(st.DirtyShards),
+	})
+	return st, err
+}
+
+// compatibleConfig rejects a refresh whose engine configuration differs
+// from the one the previous generation was computed with, as far as the
+// header records it.
+func compatibleConfig(prev *Snapshot, cfg core.Config) error {
+	m := prev.Meta()
+	switch {
+	case cfg.Variant != m.Variant:
+		return fmt.Errorf("serve: refresh variant %v != snapshot %v", cfg.Variant, m.Variant)
+	case cfg.C1 != m.C1 || cfg.C2 != m.C2:
+		return fmt.Errorf("serve: refresh decay (%v,%v) != snapshot (%v,%v)", cfg.C1, cfg.C2, m.C1, m.C2)
+	case cfg.StrictEvidence != m.StrictEvidence,
+		cfg.DisableSpread != m.DisableSpread,
+		cfg.Channel != m.Channel,
+		cfg.EvidenceForm != m.EvidenceForm,
+		cfg.PruneEpsilon != m.PruneEpsilon:
+		return fmt.Errorf("serve: refresh run settings differ from the snapshot's (strict/spread/channel/evidence/prune)")
+	}
+	return nil
+}
+
+// RefreshSnapshotFile writes the refreshed snapshot to a temporary file
+// in path's directory and renames it into place. path may equal the file
+// prev was opened from: the copy is read before the rename replaces it.
+func RefreshSnapshotFile(path string, prev *Snapshot, res *core.Result, dirty []bool) (RefreshStats, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return RefreshStats{}, err
+	}
+	defer os.Remove(tmp.Name())
+	st, err := RefreshSnapshot(tmp, prev, res, dirty)
+	if err != nil {
+		tmp.Close()
+		return st, err
+	}
+	if err := tmp.Close(); err != nil {
+		return st, err
+	}
+	return st, os.Rename(tmp.Name(), path)
+}
+
+// RunRefresh is the compute side of one refresh step: diff the new graph
+// against the previous snapshot, run only the dirty shards, and return
+// the partial result ready for RefreshSnapshot, together with the
+// classification. workers <= 0 selects GOMAXPROCS. The engine
+// configuration is taken from the previous snapshot's header, keeping
+// generations coherent by construction.
+//
+// Dirty shards are warm-started from the previous scores only when the
+// recorded configuration converges by tolerance. Under a fixed-iteration
+// contract (Tolerance == 0) a warm start would be incoherent — a dirty
+// shard seeded with generation-k scores and iterated k more would sit at
+// an effective depth of 2k while its clean neighbors stay at k — whereas
+// a cold re-run at the same fixed count reproduces exactly what a full
+// rebuild would, bit for bit. So Tolerance > 0 buys the warm-start
+// speedup; Tolerance == 0 buys exactness. Both keep the dirty-only
+// scheduling and the segment-copy savings.
+func RunRefresh(g *clickgraph.Graph, prev *Snapshot, workers int) (*core.Result, *partition.Diff, error) {
+	diff, err := partition.DiffPlans(prev, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := prev.Config()
+	opt := core.ShardOptions{
+		Workers:           workers,
+		RetainShardScores: true,
+		RunShards:         diff.Dirty,
+	}
+	if cfg.Tolerance > 0 {
+		opt.WarmStart = prev
+	}
+	res, err := core.RunSharded(g, cfg, diff.Plan, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, diff, nil
+}

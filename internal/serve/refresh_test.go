@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+)
+
+// refreshGraph builds a deterministic 4-cluster graph with every node
+// interned up front (stable ids across rebuilds — the discipline a real
+// ingest pipeline needs for incremental refresh to bite) and per-cluster
+// edge weights derived from seeds[c], so bumping one cluster's seed
+// models a 1-cluster churn step. Edges connect q to a of equal parity, so
+// each cluster is exactly two connected components with stable structure.
+func refreshGraph(t *testing.T, seeds [4]int) *clickgraph.Graph {
+	t.Helper()
+	b := clickgraph.NewBuilder()
+	for c := 0; c < 4; c++ {
+		for q := 0; q < 10; q++ {
+			b.AddQuery(fmt.Sprintf("c%d-q%d", c, q))
+		}
+		for a := 0; a < 8; a++ {
+			b.AddAd(fmt.Sprintf("c%d-a%d", c, a))
+		}
+	}
+	for c := 0; c < 4; c++ {
+		for q := 0; q < 10; q++ {
+			for a := 0; a < 8; a++ {
+				if q%2 != a%2 {
+					continue
+				}
+				clicks := int64((q*7+a*3+seeds[c])%9 + 1)
+				err := b.AddEdge(fmt.Sprintf("c%d-q%d", c, q), fmt.Sprintf("c%d-a%d", c, a),
+					clickgraph.EdgeWeights{
+						Impressions:       clicks * 3,
+						Clicks:            clicks,
+						ExpectedClickRate: float64((q*5+a*11+seeds[c])%100) / 100,
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// refreshCfg converges tightly so warm and cold runs land on the same
+// fixpoint to well below the assertion tolerance.
+func refreshCfg() core.Config {
+	cfg := core.DefaultConfig().WithVariant(core.Weighted)
+	cfg.Channel = core.ChannelClicks
+	cfg.Iterations = 40
+	cfg.Tolerance = 1e-10
+	cfg.PruneEpsilon = 1e-8
+	return cfg
+}
+
+// buildGeneration runs g sharded (scores retained) and snapshots it.
+func buildGeneration(t *testing.T, g *clickgraph.Graph, cfg core.Config) (*core.Result, []byte, *Snapshot) {
+	t.Helper()
+	plan := partition.ComponentPlan(g)
+	res, err := core.RunSharded(g, cfg, plan, core.ShardOptions{Workers: 3, RetainShardScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes(), snap
+}
+
+// refreshBytes runs one refresh step in memory.
+func refreshBytes(t *testing.T, g *clickgraph.Graph, prev *Snapshot) (*core.Result, *partition.Diff, RefreshStats, []byte) {
+	t.Helper()
+	res, diff, err := RunRefresh(g, prev, 3)
+	if err != nil {
+		t.Fatalf("RunRefresh: %v", err)
+	}
+	var buf bytes.Buffer
+	st, err := RefreshSnapshot(&buf, prev, res, diff.Dirty)
+	if err != nil {
+		t.Fatalf("RefreshSnapshot: %v", err)
+	}
+	return res, diff, st, buf.Bytes()
+}
+
+// TestRefreshZeroDirtyByteIdentical pins the exactness contract's second
+// half: refreshing against an unchanged graph recomputes nothing,
+// re-encodes nothing, and reproduces the previous snapshot byte for byte
+// outside the header (the header differs only in generation metadata).
+func TestRefreshZeroDirtyByteIdentical(t *testing.T) {
+	cfg := refreshCfg()
+	seeds := [4]int{1, 2, 3, 4}
+	_, prevBytes, prev := buildGeneration(t, refreshGraph(t, seeds), cfg)
+
+	res, diff, st, got := refreshBytes(t, refreshGraph(t, seeds), prev)
+	if diff.DirtyShards != 0 || st.DirtyShards != 0 {
+		t.Fatalf("identical graph classified %d shards dirty", diff.DirtyShards)
+	}
+	if st.BytesReencoded != 0 || st.BytesCopied == 0 {
+		t.Fatalf("zero-dirty refresh re-encoded %d bytes, copied %d", st.BytesReencoded, st.BytesCopied)
+	}
+	for i, ss := range res.ShardScores {
+		if ss.QueryScores != nil || ss.AdScores != nil {
+			t.Fatalf("zero-dirty refresh computed scores for shard %d", i)
+		}
+	}
+	if !bytes.Equal(got[headerSize:], prevBytes[headerSize:]) {
+		t.Fatal("zero-dirty refresh payload differs from the previous snapshot")
+	}
+	snap, err := NewSnapshot(bytes.NewReader(got), int64(len(got)))
+	if err != nil {
+		t.Fatalf("refreshed snapshot does not open: %v", err)
+	}
+	if m := snap.Meta(); m.LastRefreshDirty != 0 {
+		t.Errorf("LastRefreshDirty = %d, want 0", m.LastRefreshDirty)
+	}
+	if prev.Meta().LastRefreshDirty != -1 {
+		t.Errorf("full build LastRefreshDirty = %d, want -1", prev.Meta().LastRefreshDirty)
+	}
+	if snap.Meta().Fingerprint != prev.Meta().Fingerprint {
+		t.Errorf("generation fingerprint changed on an identical graph")
+	}
+}
+
+// TestRefreshChurnedClusterSegmentReuse pins the tentpole behavior on a
+// real churn step: only the churned cluster's shards are recomputed
+// (warm-started), clean shards' segments are byte-copied from the
+// previous file, and the refreshed snapshot's scores match a full cold
+// rebuild of the new graph to within the convergence tolerance.
+func TestRefreshChurnedClusterSegmentReuse(t *testing.T) {
+	cfg := refreshCfg()
+	base := refreshGraph(t, [4]int{1, 2, 3, 4})
+	_, prevBytes, prev := buildGeneration(t, base, cfg)
+
+	churned := refreshGraph(t, [4]int{1, 2, 99, 4}) // cluster 2 rewritten
+	res, diff, st, got := refreshBytes(t, churned, prev)
+
+	// Cluster 2 is two components → two dirty shards; the other six stay
+	// clean.
+	if diff.DirtyShards != 2 || diff.CleanShards != prev.NumShards()-2 {
+		t.Fatalf("classified %d dirty / %d clean, want 2 / %d",
+			diff.DirtyShards, diff.CleanShards, prev.NumShards()-2)
+	}
+	if st.BytesCopied == 0 || st.BytesReencoded == 0 {
+		t.Fatalf("stats = %+v: expected both copied and re-encoded bytes", st)
+	}
+	snap, err := NewSnapshot(bytes.NewReader(got), int64(len(got)))
+	if err != nil {
+		t.Fatalf("refreshed snapshot does not open: %v", err)
+	}
+	if err := snap.PreloadAll(); err != nil {
+		t.Fatalf("refreshed snapshot fails verification: %v", err)
+	}
+	if m := snap.Meta(); m.LastRefreshDirty != 2 {
+		t.Errorf("LastRefreshDirty = %d, want 2", m.LastRefreshDirty)
+	}
+
+	// Clean shards: no recompute happened (pinning byte-copy, not a
+	// lucky re-encode) and the stored segment bytes equal the previous
+	// generation's exactly.
+	for i := range diff.Dirty {
+		if diff.Dirty[i] {
+			continue
+		}
+		if res.ShardScores[i].QueryScores != nil {
+			t.Fatalf("clean shard %d was recomputed", i)
+		}
+		pe, ne := prev.dir[i], snap.dir[i]
+		if pe.qPairs != ne.qPairs || pe.qCRC != ne.qCRC || pe.aCRC != ne.aCRC || pe.fp != ne.fp {
+			t.Fatalf("clean shard %d directory entry drifted: %+v vs %+v", i, pe, ne)
+		}
+		prevSeg := prevBytes[pe.qOff : pe.qOff+pe.qPairs*pairRecordSize]
+		newSeg := got[ne.qOff : ne.qOff+ne.qPairs*pairRecordSize]
+		if !bytes.Equal(prevSeg, newSeg) {
+			t.Fatalf("clean shard %d query segment bytes differ", i)
+		}
+	}
+
+	// The refreshed snapshot must agree with a cold full rebuild of the
+	// churned graph to within the fixpoint tolerance, for every pair.
+	fullRes, _, _ := buildGeneration(t, churned, cfg)
+	const tol = 1e-6
+	for q1 := 0; q1 < churned.NumQueries(); q1++ {
+		for q2 := q1; q2 < churned.NumQueries(); q2++ {
+			gotV, wantV := snap.QuerySim(q1, q2), fullRes.QuerySim(q1, q2)
+			if d := gotV - wantV; d > tol || d < -tol {
+				t.Fatalf("QuerySim(%d,%d) = %v, full rebuild %v", q1, q2, gotV, wantV)
+			}
+		}
+	}
+	for a1 := 0; a1 < churned.NumAds(); a1++ {
+		for a2 := a1; a2 < churned.NumAds(); a2++ {
+			gotV, wantV := snap.AdSim(a1, a2), fullRes.AdSim(a1, a2)
+			if d := gotV - wantV; d > tol || d < -tol {
+				t.Fatalf("AdSim(%d,%d) = %v, full rebuild %v", a1, a2, gotV, wantV)
+			}
+		}
+	}
+}
+
+// TestRefreshNewNodesAndChain runs two chained refreshes — new nodes
+// attach to an existing cluster, then a wholly-new island appears — so a
+// refreshed snapshot proves usable as the next refresh's base.
+func TestRefreshNewNodesAndChain(t *testing.T) {
+	cfg := refreshCfg()
+	seeds := [4]int{5, 6, 7, 8}
+	_, _, prev := buildGeneration(t, refreshGraph(t, seeds), cfg)
+
+	// Step 1: a new query hangs off cluster 1.
+	b1 := refreshGraph(t, seeds)
+	grown := func(extra func(b *clickgraph.Builder)) *clickgraph.Graph {
+		b := clickgraph.NewBuilder()
+		b1.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
+			if err := b.AddEdge(b1.Query(q), b1.Ad(a), w); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		extra(b)
+		return b.Build()
+	}
+	g1 := grown(func(b *clickgraph.Builder) {
+		if err := b.AddClick("c1-qnew", "c1-a0", 0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	res1, diff1, err := RunRefresh(g1, prev, 2)
+	if err != nil {
+		t.Fatalf("step 1 RunRefresh: %v", err)
+	}
+	if diff1.NewQueries != 1 {
+		t.Fatalf("step 1 saw %d new queries, want 1", diff1.NewQueries)
+	}
+	var buf1 bytes.Buffer
+	if _, err := RefreshSnapshot(&buf1, prev, res1, diff1.Dirty); err != nil {
+		t.Fatalf("step 1 RefreshSnapshot: %v", err)
+	}
+	snap1, err := NewSnapshot(bytes.NewReader(buf1.Bytes()), int64(buf1.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2, based on the refreshed snapshot: an island component.
+	g2 := grown(func(b *clickgraph.Builder) {
+		if err := b.AddClick("c1-qnew", "c1-a0", 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddClick("island-q", "island-a", 0.9); err != nil {
+			t.Fatal(err)
+		}
+	})
+	res2, diff2, err := RunRefresh(g2, snap1, 2)
+	if err != nil {
+		t.Fatalf("step 2 RunRefresh: %v", err)
+	}
+	if len(diff2.Plan.Shards) != snap1.NumShards()+1 {
+		t.Fatalf("island did not append a shard: %d shards from %d", len(diff2.Plan.Shards), snap1.NumShards())
+	}
+	var buf2 bytes.Buffer
+	st2, err := RefreshSnapshot(&buf2, snap1, res2, diff2.Dirty)
+	if err != nil {
+		t.Fatalf("step 2 RefreshSnapshot: %v", err)
+	}
+	if st2.DirtyShards != 1 {
+		t.Errorf("step 2 recomputed %d shards, want only the island", st2.DirtyShards)
+	}
+	snap2, err := NewSnapshot(bytes.NewReader(buf2.Bytes()), int64(buf2.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap2.PreloadAll(); err != nil {
+		t.Fatalf("chained snapshot fails verification: %v", err)
+	}
+	full, _, _ := buildGeneration(t, g2, cfg)
+	qi, _ := snap2.QueryID("island-q")
+	ai, _ := snap2.AdID("island-a")
+	fqi, _ := full.QueryID("island-q")
+	if top := snap2.TopRewrites(qi, -1); len(top) != len(full.TopRewrites(fqi, -1)) {
+		t.Errorf("island query rewrites differ from full rebuild")
+	}
+	_ = ai
+}
+
+// TestRefreshFixedIterationsBitIdentical pins the Tolerance == 0
+// contract: under a fixed-iteration configuration a refresh must not
+// warm-start (that would leave dirty shards at twice the effective
+// iteration depth of clean ones) — it re-runs dirty shards cold, so the
+// refreshed snapshot is bit-identical to a cold run of the whole
+// projected plan: clean shards via byte-copy, dirty shards via
+// deterministic recompute.
+func TestRefreshFixedIterationsBitIdentical(t *testing.T) {
+	cfg := core.DefaultConfig().WithVariant(core.Weighted)
+	cfg.Channel = core.ChannelClicks
+	cfg.PruneEpsilon = 1e-6 // Iterations 7, Tolerance 0
+	base := refreshGraph(t, [4]int{1, 2, 3, 4})
+	_, _, prev := buildGeneration(t, base, cfg)
+
+	churned := refreshGraph(t, [4]int{1, 2, 99, 4})
+	res, diff, st, got := refreshBytes(t, churned, prev)
+	if diff.DirtyShards == 0 || diff.CleanShards == 0 {
+		t.Fatalf("fixture should mix clean and dirty shards, got %d/%d", diff.CleanShards, diff.DirtyShards)
+	}
+	if st.BytesCopied == 0 {
+		t.Fatal("no clean segments were byte-copied")
+	}
+	_ = res
+	snap, err := NewSnapshot(bytes.NewReader(got), int64(len(got)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta().IterationBudget != cfg.Iterations {
+		t.Errorf("recorded iteration budget %d, want %d", snap.Meta().IterationBudget, cfg.Iterations)
+	}
+	full, err := core.RunSharded(churned, cfg, diff.Plan, core.ShardOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q1 := 0; q1 < churned.NumQueries(); q1++ {
+		for q2 := q1; q2 < churned.NumQueries(); q2++ {
+			if gotV, wantV := snap.QuerySim(q1, q2), full.QuerySim(q1, q2); gotV != wantV {
+				t.Fatalf("QuerySim(%d,%d) = %v, want %v (bit-identical)", q1, q2, gotV, wantV)
+			}
+		}
+	}
+	for a1 := 0; a1 < churned.NumAds(); a1++ {
+		for a2 := a1; a2 < churned.NumAds(); a2++ {
+			if gotV, wantV := snap.AdSim(a1, a2), full.AdSim(a1, a2); gotV != wantV {
+				t.Fatalf("AdSim(%d,%d) = %v, want %v (bit-identical)", a1, a2, gotV, wantV)
+			}
+		}
+	}
+}
+
+// TestRefreshRejectsConfigMismatch pins the coherence guard.
+func TestRefreshRejectsConfigMismatch(t *testing.T) {
+	cfg := refreshCfg()
+	g := refreshGraph(t, [4]int{1, 2, 3, 4})
+	_, _, prev := buildGeneration(t, g, cfg)
+
+	bad := cfg
+	bad.C1 = 0.6
+	plan := partition.ComponentPlan(g)
+	res, err := core.RunSharded(g, bad, plan, core.ShardOptions{RetainShardScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := make([]bool, len(plan.Shards))
+	var buf bytes.Buffer
+	if _, err := RefreshSnapshot(&buf, prev, res, dirty); err == nil {
+		t.Fatal("refresh under a different decay factor was accepted")
+	}
+}

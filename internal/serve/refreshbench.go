@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+)
+
+// The refresh benchmark: N edge-churn steps over the evolving
+// multi-cluster workload (core.RefreshWorkloadGraph), measuring at every
+// step a full rebuild (BuildPlan + cold RunSharded + WriteSnapshot — what
+// a deployment paid before incremental refresh) against the incremental
+// path (open previous snapshot + DiffPlans + warm dirty-only RunSharded +
+// RefreshSnapshot). BENCH_core.json records the trajectory; the headline
+// is the per-step speedup and the re-encoded-vs-copied byte split.
+
+// RefreshStepBench is one churn step's measurement.
+type RefreshStepBench struct {
+	Step int `json:"step"`
+	// Shard classification of the step's diff.
+	Shards      int `json:"shards"`
+	DirtyShards int `json:"dirty_shards"`
+	// FullNs is plan + cold sharded run + snapshot write; IncNs is open +
+	// diff + warm dirty-only run + segment-reusing refresh write. Best of
+	// the harness's repetitions.
+	FullNs  int64   `json:"full_ns"`
+	IncNs   int64   `json:"inc_ns"`
+	Speedup float64 `json:"speedup"`
+	// BytesReencoded/BytesCopied split the refreshed snapshot's segment
+	// bytes by how they were produced; their sum is the score payload.
+	BytesReencoded int64 `json:"bytes_reencoded"`
+	BytesCopied    int64 `json:"bytes_copied"`
+	// FullIters/IncIters compare convergence horizons: the cold run's
+	// slowest shard vs the warm run's slowest dirty shard.
+	FullIters int `json:"full_iters"`
+	IncIters  int `json:"inc_iters"`
+}
+
+// RefreshBenchResult is the recorded refresh trajectory.
+type RefreshBenchResult struct {
+	Steps []RefreshStepBench `json:"steps"`
+	// ChurnEdgeFraction is one churned cluster's share of the graph's
+	// edges — the nominal churn rate per step.
+	ChurnEdgeFraction float64 `json:"churn_edge_fraction"`
+	// MinSpeedup/MeanSpeedup summarize the per-step speedups.
+	MinSpeedup  float64 `json:"min_speedup"`
+	MeanSpeedup float64 `json:"mean_speedup"`
+}
+
+// RunRefreshBench measures steps churn steps of the evolving workload
+// with reps repetitions each (best wall time kept). The incremental chain
+// is real: step s refreshes the snapshot step s-1 produced.
+func RunRefreshBench(bc core.ShardBenchConfig, steps, reps int) (RefreshBenchResult, error) {
+	var out RefreshBenchResult
+	if reps < 1 {
+		reps = 1
+	}
+	dir, err := os.MkdirTemp("", "simrank-refresh-bench")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+	prevPath := filepath.Join(dir, "prev.snap")
+	fullPath := filepath.Join(dir, "full.snap")
+	nextPath := filepath.Join(dir, "next.snap")
+
+	cfg := core.ShardBenchRunConfig(bc)
+	pcfg := partition.DefaultPlanConfig()
+	pcfg.MaxShardNodes = bc.MaxShardNodes
+	pcfg.MinCutNodes = bc.MaxShardNodes / 4
+
+	// Generation 0: the base snapshot the first refresh diffs against.
+	base := core.RefreshWorkloadGraph(bc, 0)
+	basePlan, err := partition.BuildPlan(base, pcfg)
+	if err != nil {
+		return out, err
+	}
+	baseRes, err := core.RunSharded(base, cfg, basePlan, core.ShardOptions{Workers: bc.Workers, RetainShardScores: true})
+	if err != nil {
+		return out, err
+	}
+	if err := WriteSnapshotFile(prevPath, baseRes); err != nil {
+		return out, err
+	}
+	if totalEdges := base.NumEdges(); totalEdges > 0 {
+		out.ChurnEdgeFraction = float64(bc.ClusterEdges) / float64(totalEdges)
+	}
+
+	for s := 1; s <= steps; s++ {
+		g := core.RefreshWorkloadGraph(bc, s)
+		step := RefreshStepBench{Step: s}
+
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			plan, err := partition.BuildPlan(g, pcfg)
+			if err != nil {
+				return out, err
+			}
+			res, err := core.RunSharded(g, cfg, plan, core.ShardOptions{Workers: bc.Workers, RetainShardScores: true})
+			if err != nil {
+				return out, err
+			}
+			if err := WriteSnapshotFile(fullPath, res); err != nil {
+				return out, err
+			}
+			if ns := time.Since(t0).Nanoseconds(); r == 0 || ns < step.FullNs {
+				step.FullNs = ns
+				step.FullIters = res.Iterations
+			}
+		}
+
+		// Incremental path, timed end to end against the same previous
+		// generation every repetition; the refreshed snapshot is promoted
+		// to be the next step's base only after timing.
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			prev, err := OpenSnapshot(prevPath)
+			if err != nil {
+				return out, err
+			}
+			res, diff, err := RunRefresh(g, prev, bc.Workers)
+			if err != nil {
+				prev.Close()
+				return out, err
+			}
+			st, err := RefreshSnapshotFile(nextPath, prev, res, diff.Dirty)
+			if err != nil {
+				prev.Close()
+				return out, err
+			}
+			prev.Close()
+			if ns := time.Since(t0).Nanoseconds(); r == 0 || ns < step.IncNs {
+				step.IncNs = ns
+				step.IncIters = res.Iterations
+				step.Shards = len(diff.Plan.Shards)
+				step.DirtyShards = diff.DirtyShards
+				step.BytesReencoded = st.BytesReencoded
+				step.BytesCopied = st.BytesCopied
+			}
+		}
+		if err := os.Rename(nextPath, prevPath); err != nil {
+			return out, err
+		}
+		if step.IncNs > 0 {
+			step.Speedup = float64(step.FullNs) / float64(step.IncNs)
+		}
+		out.Steps = append(out.Steps, step)
+	}
+
+	sum := 0.0
+	for i, st := range out.Steps {
+		sum += st.Speedup
+		if i == 0 || st.Speedup < out.MinSpeedup {
+			out.MinSpeedup = st.Speedup
+		}
+	}
+	if len(out.Steps) > 0 {
+		out.MeanSpeedup = sum / float64(len(out.Steps))
+	}
+	return out, nil
+}

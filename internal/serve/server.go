@@ -110,7 +110,13 @@ func (s *Server) ReloadOnSIGHUP(load func() (ScoreIndex, error), retire func(Sco
 				continue
 			}
 			old := s.Swap(idx)
-			logf("serve: reloaded index (%d queries, %d ads)", idx.NumQueries(), idx.NumAds())
+			if snap, ok := idx.(*Snapshot); ok {
+				m := snap.Meta()
+				logf("serve: reloaded index (%d queries, %d ads; generation %s, %d shards, fingerprint %s)",
+					idx.NumQueries(), idx.NumAds(), m.GeneratedAt.Format(time.RFC3339), m.Shards, m.Fingerprint)
+			} else {
+				logf("serve: reloaded index (%d queries, %d ads)", idx.NumQueries(), idx.NumAds())
+			}
 			if retire != nil && old != nil {
 				retire(old)
 			}

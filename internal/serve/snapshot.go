@@ -12,8 +12,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
 	"simrankpp/internal/sparse"
 )
 
@@ -24,10 +26,15 @@ import (
 //
 // Layout (all integers little-endian):
 //
-//	header    fixed 132 bytes: magic, version, run metadata (variant,
-//	          iterations, C1/C2, converged), graph dimensions, shard
-//	          count, section offsets/lengths, per-section CRC32s, and a
-//	          trailing CRC32 over the header itself.
+//	header    fixed 180 bytes: magic, version, run metadata (variant,
+//	          iterations executed and budgeted, C1/C2, converged,
+//	          strict-evidence/spread flags, weight channel, evidence
+//	          form, prune epsilon, convergence and delta-skip
+//	          tolerances), graph
+//	          dimensions, shard count, generation info (creation time,
+//	          dirty-shard count of the refresh that produced it), section
+//	          offsets/lengths, per-section CRC32s, and a trailing CRC32
+//	          over the header itself.
 //	strings   NumQueries then NumAds names, each uvarint length + raw
 //	          bytes. Length-prefixed, so names may contain tabs or
 //	          newlines that would corrupt the line-oriented text format.
@@ -36,7 +43,11 @@ import (
 //	          never cross shards (cut pairs score 0), so one lookup
 //	          routes a query to the only segment that can score it.
 //	dir       one fixed 48-byte entry per shard: offset, pair count and
-//	          CRC32 of its query segment and of its ad segment.
+//	          CRC32 of its query segment and of its ad segment, plus the
+//	          shard's subgraph fingerprint — which is what lets the next
+//	          refresh diff a new graph against this snapshot alone
+//	          (partition.DiffPlans) and byte-copy unchanged segments
+//	          (RefreshSnapshot).
 //	segments  per shard, per side: pair records (uint32 i, uint32 j,
 //	          float64 score) with i < j in global ids, sorted ascending —
 //	          written in parallel, one encoder per shard, and loaded
@@ -44,30 +55,58 @@ import (
 
 const (
 	snapshotMagic   = "SRPPSNAP"
-	snapshotVersion = 1
-	headerSize      = 132
+	snapshotVersion = 2
+	headerSize      = 180
 	dirEntrySize    = 48
 	pairRecordSize  = 16
 
-	flagConverged = 1 << 0
+	flagConverged      = 1 << 0
+	flagStrictEvidence = 1 << 1
+	flagDisableSpread  = 1 << 2
+
+	// fullBuildSentinel in the header's dirty-shard field marks a snapshot
+	// written whole (WriteSnapshot) rather than by a refresh.
+	fullBuildSentinel = ^uint32(0)
 )
 
 // SnapshotMeta is the run metadata a snapshot carries, available from the
 // header alone.
 type SnapshotMeta struct {
-	Variant    core.Variant `json:"variant"`
-	Iterations int          `json:"iterations"`
-	C1         float64      `json:"c1"`
-	C2         float64      `json:"c2"`
-	Converged  bool         `json:"converged"`
-	NumQueries int          `json:"queries"`
-	NumAds     int          `json:"ads"`
+	Variant core.Variant `json:"variant"`
+	// Iterations is how many iterations the producing run actually
+	// executed (a tolerance can stop it early); IterationBudget is the
+	// configured ceiling, which is what a refresh must run dirty shards
+	// under — a heavily-churned shard may legitimately need more
+	// iterations than the converged previous generation used.
+	Iterations      int `json:"iterations"`
+	IterationBudget int `json:"iteration_budget"`
+	C1             float64            `json:"c1"`
+	C2             float64            `json:"c2"`
+	Converged      bool               `json:"converged"`
+	StrictEvidence bool               `json:"strict_evidence,omitempty"`
+	DisableSpread  bool               `json:"disable_spread,omitempty"`
+	Channel        core.WeightChannel `json:"channel"`
+	EvidenceForm   core.EvidenceForm  `json:"evidence_form"`
+	PruneEpsilon   float64            `json:"prune_epsilon"`
+	Tolerance      float64            `json:"tolerance"`
+	DeltaSkipTol   float64            `json:"delta_skip_tolerance"`
+	NumQueries     int                `json:"queries"`
+	NumAds         int                `json:"ads"`
 	// Shards is the number of score segments; 1 for a monolithic run.
 	Shards int `json:"shards"`
 	// QueryPairs and AdPairs are the total stored pair counts across all
 	// shards (recorded in the header, so stats never force a segment load).
 	QueryPairs int64 `json:"query_pairs"`
 	AdPairs    int64 `json:"ad_pairs"`
+	// GeneratedAt is when the snapshot was written — the generation marker
+	// an operator checks after a SIGHUP reload.
+	GeneratedAt time.Time `json:"generated_at"`
+	// LastRefreshDirty is how many shards the refresh that wrote this
+	// snapshot recomputed, or -1 for a full (non-incremental) build.
+	LastRefreshDirty int `json:"last_refresh_dirty_shards"`
+	// Fingerprint is the XOR of every shard's subgraph fingerprint — a
+	// whole-generation identity, printed hex for /stats.
+	Fingerprint string `json:"fingerprint"`
 }
 
 // shardSource is one shard's tables awaiting encoding: ids remap local →
@@ -123,41 +162,122 @@ func encodeSegment(t *sparse.PairTable, ids []int) []byte {
 	return buf
 }
 
+// shardPayload is one shard's encoded segments plus its directory
+// metadata, ready for assembly. RefreshSnapshot fills it by byte-copying
+// a previous snapshot; WriteSnapshot by encoding tables.
+type shardPayload struct {
+	qSeg, aSeg []byte
+	qCRC, aCRC uint32
+	fp         uint64
+	// qIDs/aIDs are the shard's global node ids for the route section
+	// (nil means identity — the single-shard monolithic case).
+	qIDs, aIDs []int
+}
+
+// genInfo is the generation metadata stamped into the header.
+type genInfo struct {
+	iterations  int
+	converged   bool
+	generatedAt time.Time
+	// dirtyShards is how many shards the producing refresh recomputed;
+	// fullBuildSentinel for a from-scratch write.
+	dirtyShards uint32
+}
+
+// shardFingerprints extracts per-shard fingerprints from a sharded run's
+// stats (plan order, matching ShardScores), or computes the whole-graph
+// fingerprint for a monolithic result.
+func shardFingerprints(res *core.Result, shards int) ([]uint64, error) {
+	if shards == 1 && len(res.ShardScores) == 0 {
+		return []uint64{partition.GraphFingerprint(res.Graph)}, nil
+	}
+	if len(res.ShardStats) != shards {
+		return nil, fmt.Errorf("serve: result has %d shard stats for %d segments; snapshots need RunSharded results (or a monolithic run)",
+			len(res.ShardStats), shards)
+	}
+	fps := make([]uint64, shards)
+	for i := range fps {
+		fps[i] = res.ShardStats[i].Fingerprint
+	}
+	return fps, nil
+}
+
 // WriteSnapshot serializes res in the snapshot format. A result carrying
 // retained shard scores (core.ShardOptions.RetainShardScores) writes one
 // segment pair per shard, encoded in parallel directly from the shard
 // engines' local tables; any other result writes a single segment pair.
+// Results of a partial (ShardOptions.RunShards) run are rejected — their
+// missing shards can only be completed by RefreshSnapshot.
 func WriteSnapshot(w io.Writer, res *core.Result) error {
 	srcs := snapshotSources(res)
-	nq, na := res.NumQueries(), res.NumAds()
-	if len(srcs) > 1<<30 || uint64(nq) > math.MaxUint32 || uint64(na) > math.MaxUint32 {
-		return fmt.Errorf("serve: snapshot dimensions overflow uint32")
+	fps, err := shardFingerprints(res, len(srcs))
+	if err != nil {
+		return err
+	}
+	payloads := make([]shardPayload, len(srcs))
+	for i := range srcs {
+		if srcs[i].q == nil || srcs[i].a == nil {
+			return fmt.Errorf("serve: shard %d has no scores (partial refresh run?); use RefreshSnapshot", i)
+		}
+		payloads[i].qIDs, payloads[i].aIDs = srcs[i].qIDs, srcs[i].aIDs
+		payloads[i].fp = fps[i]
 	}
 
-	// Per-shard segments, one encoder per shard on a bounded pool.
-	qSegs := make([][]byte, len(srcs))
-	aSegs := make([][]byte, len(srcs))
+	all := make([]int, len(srcs))
+	for i := range all {
+		all[i] = i
+	}
+	encodePayloads(payloads, all, func(i int) (*sparse.PairTable, *sparse.PairTable) {
+		return srcs[i].q, srcs[i].a
+	})
+
+	return writeAssembled(w, res, payloads, genInfo{
+		iterations:  res.Iterations,
+		converged:   res.Converged,
+		generatedAt: time.Now(),
+		dirtyShards: fullBuildSentinel,
+	})
+}
+
+// encodePayloads fills the given payload indices' segments and CRCs from
+// their score tables, one encoder per shard on a bounded pool — the
+// parallel encode both WriteSnapshot (every shard) and RefreshSnapshot
+// (dirty shards only) run.
+func encodePayloads(payloads []shardPayload, idx []int, tables func(i int) (q, a *sparse.PairTable)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(srcs) {
-		workers = len(srcs)
+	if workers > len(idx) {
+		workers = len(idx)
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				qSegs[i] = encodeSegment(srcs[i].q, srcs[i].qIDs)
-				aSegs[i] = encodeSegment(srcs[i].a, srcs[i].aIDs)
+				q, a := tables(i)
+				payloads[i].qSeg = encodeSegment(q, payloads[i].qIDs)
+				payloads[i].aSeg = encodeSegment(a, payloads[i].aIDs)
+				payloads[i].qCRC = crc32.ChecksumIEEE(payloads[i].qSeg)
+				payloads[i].aCRC = crc32.ChecksumIEEE(payloads[i].aSeg)
 			}
 		}()
 	}
-	for i := range srcs {
+	for _, i := range idx {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// writeAssembled lays out and writes a complete snapshot from per-shard
+// payloads: string table and route map from res's graph, directory and
+// header from the payloads and gen.
+func writeAssembled(w io.Writer, res *core.Result, payloads []shardPayload, gen genInfo) error {
+	nq, na := res.NumQueries(), res.NumAds()
+	if len(payloads) > 1<<30 || uint64(nq) > math.MaxUint32 || uint64(na) > math.MaxUint32 {
+		return fmt.Errorf("serve: snapshot dimensions overflow uint32")
+	}
 
 	// String table: length-prefixed names, queries then ads.
 	var strBuf []byte
@@ -174,13 +294,13 @@ func WriteSnapshot(w io.Writer, res *core.Result) error {
 		appendName(res.Ad(a))
 	}
 
-	// Route section: node → shard, from the retained shard id lists.
+	// Route section: node → shard, from the shard id lists.
 	route := make([]byte, 4*(nq+na))
-	for si, src := range srcs {
-		for _, q := range src.qIDs {
+	for si := range payloads {
+		for _, q := range payloads[si].qIDs {
 			binary.LittleEndian.PutUint32(route[4*q:], uint32(si))
 		}
-		for _, a := range src.aIDs {
+		for _, a := range payloads[si].aIDs {
 			binary.LittleEndian.PutUint32(route[4*(nq+a):], uint32(si))
 		}
 	}
@@ -189,21 +309,22 @@ func WriteSnapshot(w io.Writer, res *core.Result) error {
 	stringsOff := uint64(headerSize)
 	routeOff := stringsOff + uint64(len(strBuf))
 	dirOff := routeOff + uint64(len(route))
-	segOff := dirOff + uint64(dirEntrySize*len(srcs))
-	dir := make([]byte, dirEntrySize*len(srcs))
+	segOff := dirOff + uint64(dirEntrySize*len(payloads))
+	dir := make([]byte, dirEntrySize*len(payloads))
 	var totalQ, totalA uint64
-	for i := range srcs {
+	for i := range payloads {
 		o := i * dirEntrySize
-		qPairs := uint64(len(qSegs[i]) / pairRecordSize)
-		aPairs := uint64(len(aSegs[i]) / pairRecordSize)
+		qPairs := uint64(len(payloads[i].qSeg) / pairRecordSize)
+		aPairs := uint64(len(payloads[i].aSeg) / pairRecordSize)
 		binary.LittleEndian.PutUint64(dir[o:], segOff)
-		segOff += uint64(len(qSegs[i]))
+		segOff += uint64(len(payloads[i].qSeg))
 		binary.LittleEndian.PutUint64(dir[o+8:], segOff)
-		segOff += uint64(len(aSegs[i]))
+		segOff += uint64(len(payloads[i].aSeg))
 		binary.LittleEndian.PutUint64(dir[o+16:], qPairs)
 		binary.LittleEndian.PutUint64(dir[o+24:], aPairs)
-		binary.LittleEndian.PutUint32(dir[o+32:], crc32.ChecksumIEEE(qSegs[i]))
-		binary.LittleEndian.PutUint32(dir[o+36:], crc32.ChecksumIEEE(aSegs[i]))
+		binary.LittleEndian.PutUint32(dir[o+32:], payloads[i].qCRC)
+		binary.LittleEndian.PutUint32(dir[o+36:], payloads[i].aCRC)
+		binary.LittleEndian.PutUint64(dir[o+40:], payloads[i].fp)
 		totalQ += qPairs
 		totalA += aPairs
 	}
@@ -212,17 +333,23 @@ func WriteSnapshot(w io.Writer, res *core.Result) error {
 	copy(hdr, snapshotMagic)
 	binary.LittleEndian.PutUint32(hdr[8:], snapshotVersion)
 	var flags uint32
-	if res.Converged {
+	if gen.converged {
 		flags |= flagConverged
+	}
+	if res.Config.StrictEvidence {
+		flags |= flagStrictEvidence
+	}
+	if res.Config.DisableSpread {
+		flags |= flagDisableSpread
 	}
 	binary.LittleEndian.PutUint32(hdr[12:], flags)
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(res.Config.Variant))
-	binary.LittleEndian.PutUint32(hdr[20:], uint32(res.Iterations))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(gen.iterations))
 	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(res.Config.C1))
 	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(res.Config.C2))
 	binary.LittleEndian.PutUint32(hdr[40:], uint32(nq))
 	binary.LittleEndian.PutUint32(hdr[44:], uint32(na))
-	binary.LittleEndian.PutUint32(hdr[48:], uint32(len(srcs)))
+	binary.LittleEndian.PutUint32(hdr[48:], uint32(len(payloads)))
 	binary.LittleEndian.PutUint32(hdr[52:], crc32.ChecksumIEEE(strBuf))
 	binary.LittleEndian.PutUint64(hdr[56:], totalQ)
 	binary.LittleEndian.PutUint64(hdr[64:], totalA)
@@ -234,18 +361,26 @@ func WriteSnapshot(w io.Writer, res *core.Result) error {
 	binary.LittleEndian.PutUint64(hdr[112:], uint64(len(dir)))
 	binary.LittleEndian.PutUint32(hdr[120:], crc32.ChecksumIEEE(route))
 	binary.LittleEndian.PutUint32(hdr[124:], crc32.ChecksumIEEE(dir))
-	binary.LittleEndian.PutUint32(hdr[128:], crc32.ChecksumIEEE(hdr[:128]))
+	binary.LittleEndian.PutUint64(hdr[128:], uint64(gen.generatedAt.Unix()))
+	binary.LittleEndian.PutUint32(hdr[136:], gen.dirtyShards)
+	binary.LittleEndian.PutUint32(hdr[140:], uint32(res.Config.Channel))
+	binary.LittleEndian.PutUint32(hdr[144:], uint32(res.Config.EvidenceForm))
+	binary.LittleEndian.PutUint64(hdr[148:], math.Float64bits(res.Config.PruneEpsilon))
+	binary.LittleEndian.PutUint64(hdr[156:], math.Float64bits(res.Config.Tolerance))
+	binary.LittleEndian.PutUint64(hdr[164:], math.Float64bits(res.Config.DeltaSkipTolerance))
+	binary.LittleEndian.PutUint32(hdr[172:], uint32(res.Config.Iterations))
+	binary.LittleEndian.PutUint32(hdr[176:], crc32.ChecksumIEEE(hdr[:176]))
 
 	for _, b := range [][]byte{hdr, strBuf, route, dir} {
 		if _, err := w.Write(b); err != nil {
 			return err
 		}
 	}
-	for i := range srcs {
-		if _, err := w.Write(qSegs[i]); err != nil {
+	for i := range payloads {
+		if _, err := w.Write(payloads[i].qSeg); err != nil {
 			return err
 		}
-		if _, err := w.Write(aSegs[i]); err != nil {
+		if _, err := w.Write(payloads[i].aSeg); err != nil {
 			return err
 		}
 	}
@@ -277,6 +412,7 @@ type segEntry struct {
 	qOff, aOff     uint64
 	qPairs, aPairs uint64
 	qCRC, aCRC     uint32
+	fp             uint64
 }
 
 // snapShard is one shard's lazily-loaded tables. The sync.Onces make
@@ -349,23 +485,37 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	if v := binary.LittleEndian.Uint32(hdr[8:]); v != snapshotVersion {
 		return nil, fmt.Errorf("serve: unsupported snapshot version %d (want %d)", v, snapshotVersion)
 	}
-	if got, want := crc32.ChecksumIEEE(hdr[:128]), binary.LittleEndian.Uint32(hdr[128:]); got != want {
+	if got, want := crc32.ChecksumIEEE(hdr[:176]), binary.LittleEndian.Uint32(hdr[176:]); got != want {
 		return nil, fmt.Errorf("serve: snapshot header checksum mismatch (corrupt header)")
 	}
 
 	flags := binary.LittleEndian.Uint32(hdr[12:])
 	s := &Snapshot{r: r, size: size}
 	s.meta = SnapshotMeta{
-		Variant:    core.Variant(binary.LittleEndian.Uint32(hdr[16:])),
-		Iterations: int(binary.LittleEndian.Uint32(hdr[20:])),
-		C1:         math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
-		C2:         math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:])),
-		Converged:  flags&flagConverged != 0,
-		NumQueries: int(binary.LittleEndian.Uint32(hdr[40:])),
-		NumAds:     int(binary.LittleEndian.Uint32(hdr[44:])),
-		Shards:     int(binary.LittleEndian.Uint32(hdr[48:])),
-		QueryPairs: int64(binary.LittleEndian.Uint64(hdr[56:])),
-		AdPairs:    int64(binary.LittleEndian.Uint64(hdr[64:])),
+		Variant:         core.Variant(binary.LittleEndian.Uint32(hdr[16:])),
+		Iterations:      int(binary.LittleEndian.Uint32(hdr[20:])),
+		IterationBudget: int(binary.LittleEndian.Uint32(hdr[172:])),
+		C1:             math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
+		C2:             math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:])),
+		Converged:      flags&flagConverged != 0,
+		StrictEvidence: flags&flagStrictEvidence != 0,
+		DisableSpread:  flags&flagDisableSpread != 0,
+		Channel:        core.WeightChannel(binary.LittleEndian.Uint32(hdr[140:])),
+		EvidenceForm:   core.EvidenceForm(binary.LittleEndian.Uint32(hdr[144:])),
+		PruneEpsilon:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[148:])),
+		Tolerance:      math.Float64frombits(binary.LittleEndian.Uint64(hdr[156:])),
+		DeltaSkipTol:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[164:])),
+		NumQueries:     int(binary.LittleEndian.Uint32(hdr[40:])),
+		NumAds:         int(binary.LittleEndian.Uint32(hdr[44:])),
+		Shards:         int(binary.LittleEndian.Uint32(hdr[48:])),
+		QueryPairs:     int64(binary.LittleEndian.Uint64(hdr[56:])),
+		AdPairs:        int64(binary.LittleEndian.Uint64(hdr[64:])),
+		GeneratedAt:    time.Unix(int64(binary.LittleEndian.Uint64(hdr[128:])), 0).UTC(),
+	}
+	if d := binary.LittleEndian.Uint32(hdr[136:]); d == fullBuildSentinel {
+		s.meta.LastRefreshDirty = -1
+	} else {
+		s.meta.LastRefreshDirty = int(d)
 	}
 	stringsOff := binary.LittleEndian.Uint64(hdr[72:])
 	stringsLen := binary.LittleEndian.Uint64(hdr[80:])
@@ -373,6 +523,21 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	routeLen := binary.LittleEndian.Uint64(hdr[96:])
 	dirOff := binary.LittleEndian.Uint64(hdr[104:])
 	dirLen := binary.LittleEndian.Uint64(hdr[112:])
+
+	// Structural sanity before any size-driven allocation: the section
+	// lengths must agree with the header's dimensions, and the names
+	// cannot outnumber the string-table bytes (each name costs ≥ 1 byte).
+	// Everything allocated below is thereby bounded by the input size.
+	nq, na := s.meta.NumQueries, s.meta.NumAds
+	if routeLen != uint64(4*(nq+na)) {
+		return nil, fmt.Errorf("serve: route map is %d bytes, want %d", routeLen, 4*(nq+na))
+	}
+	if dirLen != uint64(dirEntrySize*s.meta.Shards) {
+		return nil, fmt.Errorf("serve: shard directory is %d bytes, want %d", dirLen, dirEntrySize*s.meta.Shards)
+	}
+	if stringsLen < uint64(nq)+uint64(na) {
+		return nil, fmt.Errorf("serve: string table of %d bytes cannot hold %d names", stringsLen, nq+na)
+	}
 
 	strBuf, err := s.section("string table", stringsOff, stringsLen, binary.LittleEndian.Uint32(hdr[52:]))
 	if err != nil {
@@ -387,14 +552,6 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 		return nil, err
 	}
 
-	nq, na := s.meta.NumQueries, s.meta.NumAds
-	if int(routeLen) != 4*(nq+na) {
-		return nil, fmt.Errorf("serve: route map is %d bytes, want %d", routeLen, 4*(nq+na))
-	}
-	if int(dirLen) != dirEntrySize*s.meta.Shards {
-		return nil, fmt.Errorf("serve: shard directory is %d bytes, want %d", dirLen, dirEntrySize*s.meta.Shards)
-	}
-
 	s.queries = make([]string, nq)
 	s.ads = make([]string, na)
 	s.queryID = make(map[string]int, nq)
@@ -402,7 +559,7 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	pos := 0
 	readName := func() (string, error) {
 		n, used := binary.Uvarint(strBuf[pos:])
-		if used <= 0 || pos+used+int(n) > len(strBuf) {
+		if used <= 0 || n > uint64(len(strBuf)) || pos+used+int(n) > len(strBuf) {
 			return "", fmt.Errorf("serve: string table truncated at byte %d", pos)
 		}
 		name := string(strBuf[pos+used : pos+used+int(n)])
@@ -431,6 +588,7 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 		s.aRoute[a] = binary.LittleEndian.Uint32(route[4*(nq+a):])
 	}
 	s.dir = make([]segEntry, s.meta.Shards)
+	var genFP uint64
 	for i := range s.dir {
 		o := i * dirEntrySize
 		s.dir[i] = segEntry{
@@ -440,8 +598,11 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 			aPairs: binary.LittleEndian.Uint64(dirBuf[o+24:]),
 			qCRC:   binary.LittleEndian.Uint32(dirBuf[o+32:]),
 			aCRC:   binary.LittleEndian.Uint32(dirBuf[o+36:]),
+			fp:     binary.LittleEndian.Uint64(dirBuf[o+40:]),
 		}
+		genFP ^= s.dir[i].fp
 	}
+	s.meta.Fingerprint = fmt.Sprintf("%016x", genFP)
 	for si, r := range s.qRoute {
 		if int(r) >= s.meta.Shards {
 			return nil, fmt.Errorf("serve: query %d routed to shard %d of %d", si, r, s.meta.Shards)
@@ -456,9 +617,11 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	return s, nil
 }
 
-// section reads and checksums one eagerly-loaded region.
+// section reads and checksums one eagerly-loaded region. The bounds check
+// is overflow-safe: length is checked against the file size before the
+// offset is, so off+length cannot wrap.
 func (s *Snapshot) section(name string, off, length uint64, wantCRC uint32) ([]byte, error) {
-	if off+length > uint64(s.size) {
+	if length > uint64(s.size) || off > uint64(s.size)-length {
 		return nil, fmt.Errorf("serve: %s [%d,+%d) extends past snapshot end (%d bytes)", name, off, length, s.size)
 	}
 	buf := make([]byte, length)
@@ -471,12 +634,27 @@ func (s *Snapshot) section(name string, off, length uint64, wantCRC uint32) ([]b
 	return buf, nil
 }
 
-// loadSegment reads, verifies and decodes one score segment.
-func (s *Snapshot) loadSegment(side string, shard int, off, pairs uint64, wantCRC uint32) (*sparse.PairTable, error) {
+// segmentBytes reads and checksums one score segment's raw bytes without
+// decoding them — the byte-copy path RefreshSnapshot reuses for clean
+// shards. Bounds checks are overflow-safe (pairs is bounded before the
+// byte length is computed).
+func (s *Snapshot) segmentBytes(side string, shard int, off, pairs uint64, wantCRC uint32) ([]byte, error) {
+	if pairs > uint64(s.size)/pairRecordSize {
+		return nil, fmt.Errorf("serve: shard %d %s segment claims %d pairs, more than the snapshot holds (%d bytes)",
+			shard, side, pairs, s.size)
+	}
 	length := pairs * pairRecordSize
-	if off+length > uint64(s.size) {
+	if off > uint64(s.size)-length {
 		return nil, fmt.Errorf("serve: shard %d %s segment [%d,+%d) extends past snapshot end (%d bytes): truncated snapshot",
 			shard, side, off, length, s.size)
+	}
+	if length == 0 {
+		// An empty segment may sit exactly at end of file, where some
+		// ReaderAt implementations return EOF even for zero-length reads.
+		if wantCRC != crc32.ChecksumIEEE(nil) {
+			return nil, fmt.Errorf("serve: shard %d %s segment checksum mismatch", shard, side)
+		}
+		return nil, nil
 	}
 	buf := make([]byte, length)
 	if _, err := s.r.ReadAt(buf, int64(off)); err != nil {
@@ -484,6 +662,15 @@ func (s *Snapshot) loadSegment(side string, shard int, off, pairs uint64, wantCR
 	}
 	if got := crc32.ChecksumIEEE(buf); got != wantCRC {
 		return nil, fmt.Errorf("serve: shard %d %s segment checksum mismatch", shard, side)
+	}
+	return buf, nil
+}
+
+// loadSegment reads, verifies and decodes one score segment.
+func (s *Snapshot) loadSegment(side string, shard int, off, pairs uint64, wantCRC uint32) (*sparse.PairTable, error) {
+	buf, err := s.segmentBytes(side, shard, off, pairs, wantCRC)
+	if err != nil {
+		return nil, err
 	}
 	t := sparse.NewPairTable(int(pairs))
 	for k := 0; k < int(pairs); k++ {
@@ -652,3 +839,53 @@ func (s *Snapshot) TopSimilarAds(a, k int) []sparse.Scored {
 
 // VariantName implements ScoreIndex.
 func (s *Snapshot) VariantName() string { return s.meta.Variant.String() }
+
+// The methods below implement partition.PrevAssignment, so a previous
+// snapshot alone — names from the string table, shards from the route
+// map, fingerprints from the directory — is enough for partition.DiffPlans
+// to classify a new graph's shards as clean or dirty.
+
+// NumShards implements partition.PrevAssignment.
+func (s *Snapshot) NumShards() int { return s.meta.Shards }
+
+// ShardFingerprint implements partition.PrevAssignment.
+func (s *Snapshot) ShardFingerprint(i int) uint64 { return s.dir[i].fp }
+
+// PrevQuery implements partition.PrevAssignment.
+func (s *Snapshot) PrevQuery(name string) (id, shard int, ok bool) {
+	id, ok = s.queryID[name]
+	if !ok {
+		return 0, 0, false
+	}
+	return id, int(s.qRoute[id]), true
+}
+
+// PrevAd implements partition.PrevAssignment.
+func (s *Snapshot) PrevAd(name string) (id, shard int, ok bool) {
+	id, ok = s.adID[name]
+	if !ok {
+		return 0, 0, false
+	}
+	return id, int(s.aRoute[id]), true
+}
+
+var _ partition.PrevAssignment = (*Snapshot)(nil)
+
+// Config reconstructs the engine configuration recorded in the header —
+// what a refresh must run dirty shards with for clean-shard reuse to be
+// coherent.
+func (s *Snapshot) Config() core.Config {
+	return core.Config{
+		C1:                 s.meta.C1,
+		C2:                 s.meta.C2,
+		Iterations:         max(1, s.meta.IterationBudget),
+		Tolerance:          s.meta.Tolerance,
+		Variant:            s.meta.Variant,
+		EvidenceForm:       s.meta.EvidenceForm,
+		Channel:            s.meta.Channel,
+		DisableSpread:      s.meta.DisableSpread,
+		StrictEvidence:     s.meta.StrictEvidence,
+		PruneEpsilon:       s.meta.PruneEpsilon,
+		DeltaSkipTolerance: s.meta.DeltaSkipTol,
+	}
+}
