@@ -10,7 +10,8 @@
 //	        [-plan FILE] [-save-plan FILE]
 //	        [-save SNAPSHOT]
 //	simrank -graph FILE -refresh PREV [-save NEXT] [-save-plan FILE]
-//	        [-shard-workers 0]
+//	        [-shard-workers 0] [-generations 3]
+//	simrank -rollback SNAPSHOT
 //	simrank -load SNAPSHOT [-query Q | -all] [-top K] [-bids FILE]
 //
 // With -query it prints rewrites for one query; with -all it prints the
@@ -38,12 +39,24 @@
 // next snapshot is written by byte-copying every clean shard's segments
 // from the previous file. -save defaults to overwriting PREV in place
 // (atomic rename), which a running simrankd picks up on SIGHUP.
+//
+// Every refresh is journaled as a numbered generation beside the output
+// snapshot (NEXT.gens/: snapshot bytes + CRC'd manifest recording the
+// generation id, source-graph fingerprint and whole-file hash), the
+// last -generations of them retained. A refresh that fails — or a
+// process killed at any instant — leaves the previous generation intact
+// and the serving file untouched or restored; stale temp files are
+// swept at the next refresh. -rollback re-points a serving snapshot at
+// the last good generation before the current one (the operator's
+// escape hatch after a bad refresh); a SIGHUP to simrankd then serves
+// it. See OPERATIONS.md for the full procedures.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -74,8 +87,19 @@ func main() {
 		savePath  = flag.String("save", "", "write the computed scores as a serving snapshot")
 		loadPath  = flag.String("load", "", "answer from a snapshot instead of running an engine (-graph not needed)")
 		refresh   = flag.String("refresh", "", "incrementally refresh this snapshot against -graph (recompute dirty shards only)")
+		rollback  = flag.String("rollback", "", "re-point this serving snapshot at the last good journaled generation")
+		keepGens  = flag.Int("generations", serve.DefaultKeepGenerations, "refresh: journaled generations retained beside the snapshot")
 	)
 	flag.Parse()
+	if *rollback != "" {
+		if *graphPath != "" || *loadPath != "" || *refresh != "" || *query != "" || *all || *savePath != "" {
+			fatal(fmt.Errorf("-rollback stands alone: it only re-points %s at its last good generation", *rollback))
+		}
+		if err := runRollback(*rollback, *keepGens); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *loadPath != "" && *savePath != "" {
 		fatal(fmt.Errorf("-save makes no sense with -load: the snapshot already exists"))
 	}
@@ -105,7 +129,7 @@ func main() {
 			fatal(fmt.Errorf("-refresh reuses the engine settings recorded in the snapshot; drop %s (start a fresh -save to change them)",
 				strings.Join(conflicting, ", ")))
 		}
-		if err := runRefresh(*graphPath, *refresh, *savePath, *planSave, *shardWork); err != nil {
+		if err := runRefresh(*graphPath, *refresh, *savePath, *planSave, *shardWork, *keepGens); err != nil {
 			fatal(err)
 		}
 		return
@@ -241,10 +265,23 @@ func obtainPlan(g *clickgraph.Graph, sharded bool, shardMax int, planPath string
 
 // runRefresh is the -refresh path: diff the new graph against the
 // previous snapshot, recompute only dirty shards (warm-started), and
-// write the next generation reusing clean segments.
-func runRefresh(graphPath, prevPath, savePath, planSave string, workers int) error {
+// write the next generation reusing clean segments. The write is
+// journaled through the generation store: the pre-refresh serving file
+// is adopted as a rollback target, the new snapshot lands in the
+// journal first, and only a fully-written, manifest-covered generation
+// is atomically published to the serving path — so a refresh that
+// fails (or dies) at any instant leaves the previous generation
+// loadable, and the failure path re-points serving at the last good
+// generation when the serving file itself turns out damaged.
+func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGens int) error {
 	if savePath == "" {
 		savePath = prevPath // atomic in-place generation swap
+	}
+	gs := serve.NewGenerationStore(savePath, keepGens)
+	if swept, err := gs.SweepTemp(); err != nil {
+		return err
+	} else if swept > 0 {
+		fmt.Fprintf(os.Stderr, "simrank: swept %d stale temp file(s) from an interrupted refresh\n", swept)
 	}
 	f, err := os.Open(graphPath)
 	if err != nil {
@@ -262,35 +299,89 @@ func runRefresh(graphPath, prevPath, savePath, planSave string, workers int) err
 		return err
 	}
 	defer prev.Close()
-	res, diff, err := serve.RunRefresh(g, prev, workers)
-	if err != nil {
+	// Journal the pre-refresh serving state so even the first managed
+	// refresh has a rollback target.
+	if _, err := gs.Adopt(); err != nil {
 		return err
 	}
-	// The projected plan inherits the previous decomposition and only
-	// grows (new nodes adopt a neighbor's shard, nothing is ever split),
-	// so surface the largest shard: when it drifts well past the budget
-	// the plan was built with, it is time to re-plan with a fresh -save.
-	largest := 0
-	for i := range diff.Plan.Shards {
-		if n := diff.Plan.Shards[i].Nodes(); n > largest {
-			largest = n
-		}
-	}
-	fmt.Fprintf(os.Stderr, "simrank: refresh diff: %d clean, %d dirty of %d shards (largest %d nodes); %d new, %d moved nodes\n",
-		diff.CleanShards, diff.DirtyShards, len(diff.Plan.Shards), largest,
-		diff.NewQueries+diff.NewAds, diff.MovedQueries+diff.MovedAds)
-	st, err := serve.RefreshSnapshotFile(savePath, prev, res, diff.Dirty)
+
+	st, diff, err := refreshGeneration(gs, g, prev, workers)
 	if err != nil {
+		// The journal protects the serving file by construction, but a
+		// bad disk can damage it independently; verify and restore.
+		if gen, rerr := gs.RestoreServing(); rerr == nil && gen != nil {
+			fmt.Fprintf(os.Stderr, "simrank: serving snapshot was damaged; restored generation %d\n", gen.ID)
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "simrank: wrote snapshot %s (re-encoded %d KiB over %d dirty shards, byte-copied %d KiB over %d clean)\n",
 		savePath, st.BytesReencoded/1024, st.DirtyShards, st.BytesCopied/1024, st.CleanShards)
+	if pruned, err := gs.Prune(); err != nil {
+		return err
+	} else if pruned > 0 {
+		fmt.Fprintf(os.Stderr, "simrank: pruned %d old generation(s), keeping %d\n", pruned, keepGens)
+	}
 	if planSave != "" {
 		if err := partition.WritePlanFile(planSave, diff.Plan); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "simrank: wrote plan %s (%d shards)\n", planSave, len(diff.Plan.Shards))
 	}
+	return nil
+}
+
+// refreshGeneration runs the dirty-shard recompute and commits +
+// publishes the result as the next journaled generation.
+func refreshGeneration(gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot, workers int) (serve.RefreshStats, *partition.Diff, error) {
+	var st serve.RefreshStats
+	res, diff, err := serve.RunRefresh(g, prev, workers)
+	if err != nil {
+		return st, nil, err
+	}
+	// The projected plan inherits the previous decomposition and only
+	// grows (new nodes adopt a neighbor's shard, nothing is ever split),
+	// so surface the largest shard: when it drifts well past the budget
+	// the plan was built with, it is time to re-plan with a fresh -save.
+	largest := 0
+	var fingerprint uint64
+	for i := range diff.Plan.Shards {
+		if n := diff.Plan.Shards[i].Nodes(); n > largest {
+			largest = n
+		}
+		fingerprint ^= res.ShardStats[i].Fingerprint
+	}
+	fmt.Fprintf(os.Stderr, "simrank: refresh diff: %d clean, %d dirty of %d shards (largest %d nodes); %d new, %d moved nodes\n",
+		diff.CleanShards, diff.DirtyShards, len(diff.Plan.Shards), largest,
+		diff.NewQueries+diff.NewAds, diff.MovedQueries+diff.MovedAds)
+	gen, err := gs.Commit(diff.DirtyShards, fingerprint, func(w io.Writer) error {
+		var werr error
+		st, werr = serve.RefreshSnapshot(w, prev, res, diff.Dirty)
+		return werr
+	})
+	if err != nil {
+		return st, nil, err
+	}
+	if err := gs.Publish(gen); err != nil {
+		return st, nil, err
+	}
+	return st, diff, nil
+}
+
+// runRollback is the -rollback path: re-point the serving snapshot at
+// the last good journaled generation before the current one.
+func runRollback(path string, keepGens int) error {
+	gs := serve.NewGenerationStore(path, keepGens)
+	if swept, err := gs.SweepTemp(); err != nil {
+		return err
+	} else if swept > 0 {
+		fmt.Fprintf(os.Stderr, "simrank: swept %d stale temp file(s)\n", swept)
+	}
+	gen, err := gs.Rollback()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "simrank: rolled %s back to generation %d (created %s, fingerprint %016x); SIGHUP simrankd to serve it\n",
+		path, gen.ID, gen.CreatedAt.Format("2006-01-02T15:04:05Z"), gen.Fingerprint)
 	return nil
 }
 

@@ -9,6 +9,7 @@
 //
 //	simrankd -snapshot FILE [-addr :8080] [-top 5] [-max-top 100]
 //	         [-cache 4096] [-bids FILE] [-preload]
+//	         [-inflight 256] [-timeout 5s]
 //
 // # Endpoints
 //
@@ -17,7 +18,9 @@
 //	GET /similar?q=QUERY[&top=K]   raw ranked similar queries
 //	GET /similar?ad=AD[&top=K]     raw ranked similar ads
 //	GET /stats                     serving counters + snapshot metadata
-//	GET /healthz                   liveness probe
+//	GET /healthz                   liveness probe (process up)
+//	GET /readyz                    readiness: ok/degraded/unready with
+//	                               quarantined-shard detail
 //
 // # Example
 //
@@ -30,10 +33,26 @@
 // On SIGHUP the daemon re-opens -snapshot (typically after the batch side
 // atomically replaced the file — a full `simrank -save` or an incremental
 // `simrank -refresh`) and swaps it in without dropping in-flight
-// requests; a failed reload keeps the old snapshot serving. /stats
-// reports the loaded generation (generated_at, fingerprint, and the
-// dirty-shard count of the refresh that produced it), so an operator can
-// verify a SIGHUP actually swapped generations.
+// requests. A failed reload keeps the old snapshot serving; when a
+// generation journal exists beside the snapshot (simrank -refresh writes
+// one), the daemon additionally falls back to the last good journaled
+// generation, so a corrupt new file rolls the fleet back instead of
+// freezing it on a stale index. /stats reports the loaded generation
+// (generated_at, fingerprint, and the dirty-shard count of the refresh
+// that produced it), so an operator can verify a SIGHUP actually swapped
+// generations.
+//
+// # Fault tolerance
+//
+// A score segment that fails its CRC on lazy load is quarantined with
+// capped exponential backoff while every other shard keeps answering;
+// /readyz turns "degraded" (HTTP 200, with the quarantined shards
+// listed) and recovers once the fault clears. Scoring requests beyond
+// -inflight are shed with 503 + Retry-After rather than queued, each
+// admitted request carries the -timeout deadline through the rewrite
+// path, and a handler panic costs one 500, not the daemon. Operational
+// procedures — generation layout, rollback, tuning — are in
+// OPERATIONS.md at the repository root.
 package main
 
 import (
@@ -60,6 +79,8 @@ func main() {
 		cache    = flag.Int("cache", 4096, "hot-query LRU entries (0 disables)")
 		bidsPath = flag.String("bids", "", "bid-term list file enabling bid filtering on /rewrite")
 		preload  = flag.Bool("preload", false, "verify and load every score segment at startup")
+		inflight = flag.Int("inflight", 256, "max concurrent scoring requests before shedding 503 (0 disables)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline on scoring endpoints (0 disables)")
 	)
 	flag.Parse()
 	if *snapPath == "" {
@@ -70,6 +91,8 @@ func main() {
 	cfg.DefaultTop = *top
 	cfg.MaxTop = *maxTop
 	cfg.CacheSize = *cache
+	cfg.MaxInFlight = *inflight
+	cfg.RequestTimeout = *timeout
 	if *bidsPath != "" {
 		terms, err := rewrite.ReadBidTermsFile(*bidsPath)
 		if err != nil {
@@ -78,8 +101,8 @@ func main() {
 		cfg.BidTerms = terms
 	}
 
-	open := func() (serve.ScoreIndex, error) {
-		snap, err := serve.OpenSnapshot(*snapPath)
+	openPath := func(path string) (serve.ScoreIndex, error) {
+		snap, err := serve.OpenSnapshot(path)
 		if err != nil {
 			return nil, err
 		}
@@ -91,9 +114,28 @@ func main() {
 		}
 		return snap, nil
 	}
+	open := func() (serve.ScoreIndex, error) { return openPath(*snapPath) }
+	// Reload fallback: when the (just-replaced) snapshot fails to open,
+	// serve the last good journaled generation instead — the read-side
+	// half of generation rollback.
+	fallback := func() (serve.ScoreIndex, error) {
+		gen, err := serve.NewGenerationStore(*snapPath, 0).LastGood()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := openPath(gen.SnapPath)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("simrankd: serving journaled generation %d (%s)", gen.ID, gen.SnapPath)
+		return idx, nil
+	}
 	idx, err := open()
 	if err != nil {
-		fatal(err)
+		log.Printf("simrankd: %s failed to open: %v", *snapPath, err)
+		if idx, err = fallback(); err != nil {
+			fatal(err)
+		}
 	}
 	snap := idx.(*serve.Snapshot)
 	meta := snap.Meta()
@@ -107,7 +149,7 @@ func main() {
 		meta.GeneratedAt.Format(time.RFC3339), gen, meta.Fingerprint)
 
 	srv := serve.NewServer(idx, cfg)
-	srv.ReloadOnSIGHUP(open, func(old serve.ScoreIndex) {
+	srv.ReloadOnSIGHUP(open, fallback, func(old serve.ScoreIndex) {
 		if c, ok := old.(*serve.Snapshot); ok {
 			c.Close()
 		}
@@ -116,12 +158,19 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	done := make(chan os.Signal, 1)
 	drained := make(chan struct{})
+	var shutdownErr error
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-done
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			// The drain deadline expired with requests still running:
+			// say so — silently dropping them hides a latency problem.
+			log.Printf("simrankd: drain deadline (5s) expired with %d scoring requests still in flight: %v",
+				srv.InFlight(), err)
+			shutdownErr = err
+		}
 		close(drained)
 	}()
 	log.Printf("simrankd: serving on %s", *addr)
@@ -130,9 +179,13 @@ func main() {
 		fatal(err)
 	}
 	// ListenAndServe returns as soon as Shutdown starts; wait for the
-	// drain to finish so in-flight requests complete before exit.
+	// drain to finish so in-flight requests complete before exit, and
+	// propagate a failed drain as a nonzero exit.
 	if err == http.ErrServerClosed {
 		<-drained
+		if shutdownErr != nil {
+			fatal(fmt.Errorf("shutdown: %w", shutdownErr))
+		}
 	}
 }
 

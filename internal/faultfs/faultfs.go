@@ -1,0 +1,194 @@
+// Package faultfs injects programmable storage faults into the snapshot
+// read path, so the serving layer's failure behavior — shard quarantine,
+// backoff, generation rollback, load shedding — can be proven by
+// deterministic chaos tests instead of waiting for a bad disk. The
+// wrapper sits at the io.ReaderAt seam every snapshot reader already
+// uses (serve.NewSnapshot takes any ReaderAt), so no production code
+// changes to become testable: tests wrap the real reader, schedule
+// faults on the Injector, and flip them on and off while requests are
+// in flight.
+//
+// Supported faults, each independently togglable at runtime:
+//
+//   - bit flips at chosen absolute offsets (CRC corruption on the byte
+//     a segment load will read — the quarantine trigger)
+//   - short reads (a read returns fewer bytes than asked, with
+//     io.ErrUnexpectedEOF, as a truncated file would)
+//   - per-call latency (slow-disk emulation — the load-shedding and
+//     deadline trigger)
+//   - fail-after-K (the first K reads succeed, every later one returns
+//     a chosen error — a disk dying mid-serve)
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by FailAfter when the
+// caller does not choose one.
+var ErrInjected = errors.New("faultfs: injected read failure")
+
+// BitFlip names one corrupted bit: the byte at absolute offset Off has
+// bit Bit (0–7) inverted on every read that covers it.
+type BitFlip struct {
+	Off int64
+	Bit uint8
+}
+
+// Injector holds the programmable fault schedule shared by every reader
+// wrapped with it. All methods are safe for concurrent use with reads
+// in flight — tests clear a fault while a server is serving to model
+// recovery.
+type Injector struct {
+	mu       sync.Mutex
+	flips    map[int64]byte // offset -> XOR mask
+	shortLen int            // >0: cap read lengths at this many bytes
+	latency  time.Duration  // per-call sleep
+	failLeft int64          // reads remaining before failures start; -1 = never
+	failErr  error
+	calls    int64
+}
+
+// NewInjector returns an injector with no faults scheduled.
+func NewInjector() *Injector {
+	return &Injector{flips: make(map[int64]byte), failLeft: -1}
+}
+
+// FlipBit schedules a persistent bit flip: every read covering offset
+// off sees bit (0–7) of that byte inverted. Several flips may target
+// the same byte; they XOR together.
+func (in *Injector) FlipBit(off int64, bit uint8) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.flips[off] ^= 1 << (bit & 7)
+	if in.flips[off] == 0 {
+		delete(in.flips, off)
+	}
+}
+
+// ClearFlips removes every scheduled bit flip — the "fault cleared"
+// half of a transient-corruption scenario.
+func (in *Injector) ClearFlips() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.flips = make(map[int64]byte)
+}
+
+// ShortReads caps every read at n bytes; a capped read returns
+// io.ErrUnexpectedEOF alongside the truncated data, as io.ReaderAt
+// requires for partial reads. n <= 0 disables the fault.
+func (in *Injector) ShortReads(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.shortLen = n
+}
+
+// SetLatency makes every read sleep d before touching the underlying
+// reader. d <= 0 disables the fault.
+func (in *Injector) SetLatency(d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.latency = d
+}
+
+// FailAfter lets the next k reads through and fails every read after
+// them with err (ErrInjected when err is nil). k < 0 disables the
+// fault.
+func (in *Injector) FailAfter(k int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	in.failLeft, in.failErr = int64(k), err
+}
+
+// Reset clears every scheduled fault (the call counter keeps running).
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.flips = make(map[int64]byte)
+	in.shortLen = 0
+	in.latency = 0
+	in.failLeft = -1
+	in.failErr = nil
+}
+
+// Calls reports how many reads the injector has intercepted.
+func (in *Injector) Calls() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls
+}
+
+// plan snapshots the faults applying to one read. The latency sleep and
+// the underlying read happen outside the injector lock, so concurrent
+// requests serialize only on the schedule lookup, not on the injected
+// slowness itself.
+type plan struct {
+	flips    map[int64]byte
+	shortLen int
+	latency  time.Duration
+	fail     error
+}
+
+func (in *Injector) planRead() plan {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls++
+	p := plan{shortLen: in.shortLen, latency: in.latency}
+	if in.failLeft >= 0 {
+		if in.failLeft == 0 {
+			p.fail = in.failErr
+		} else {
+			in.failLeft--
+		}
+	}
+	if len(in.flips) > 0 {
+		p.flips = make(map[int64]byte, len(in.flips))
+		for o, m := range in.flips {
+			p.flips[o] = m
+		}
+	}
+	return p
+}
+
+// ReaderAt wraps an io.ReaderAt, applying inj's scheduled faults to
+// every read.
+type ReaderAt struct {
+	inner io.ReaderAt
+	inj   *Injector
+}
+
+// Wrap returns a ReaderAt serving inner's bytes through inj's faults.
+func Wrap(inner io.ReaderAt, inj *Injector) *ReaderAt {
+	return &ReaderAt{inner: inner, inj: inj}
+}
+
+// ReadAt implements io.ReaderAt with faults applied in order: latency,
+// fail-after-K, the underlying read, bit flips, short read.
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	fp := r.inj.planRead()
+	if fp.latency > 0 {
+		time.Sleep(fp.latency)
+	}
+	if fp.fail != nil {
+		return 0, fp.fail
+	}
+	n, err := r.inner.ReadAt(p, off)
+	for fo, mask := range fp.flips {
+		if fo >= off && fo < off+int64(n) {
+			p[fo-off] ^= mask
+		}
+	}
+	if fp.shortLen > 0 && n > fp.shortLen {
+		n = fp.shortLen
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,122 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func data() []byte {
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestPassThrough(t *testing.T) {
+	src := data()
+	r := Wrap(bytes.NewReader(src), NewInjector())
+	got := make([]byte, len(src))
+	n, err := r.ReadAt(got, 0)
+	if err != nil || n != len(src) || !bytes.Equal(got, src) {
+		t.Fatalf("clean read = %d, %v, equal=%v", n, err, bytes.Equal(got, src))
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	src := data()
+	inj := NewInjector()
+	inj.FlipBit(10, 3)
+	r := Wrap(bytes.NewReader(src), inj)
+
+	got := make([]byte, 16)
+	if _, err := r.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != src[10]^(1<<3) {
+		t.Errorf("byte 10 = %#x, want %#x", got[5], src[10]^(1<<3))
+	}
+	// Reads not covering the offset are untouched.
+	if _, err := r.ReadAt(got[:4], 20); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:4], src[20:24]) {
+		t.Error("read away from the flip was corrupted")
+	}
+	// A second flip of the same bit cancels; ClearFlips heals too.
+	inj.FlipBit(10, 3)
+	if _, err := r.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != src[10] {
+		t.Errorf("double-flipped byte = %#x, want original %#x", got[5], src[10])
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	src := data()
+	inj := NewInjector()
+	inj.ShortReads(4)
+	r := Wrap(bytes.NewReader(src), inj)
+	got := make([]byte, 16)
+	n, err := r.ReadAt(got, 0)
+	if n != 4 || err != io.ErrUnexpectedEOF {
+		t.Fatalf("short read = %d, %v; want 4, ErrUnexpectedEOF", n, err)
+	}
+	inj.ShortReads(0)
+	if n, err := r.ReadAt(got, 0); n != 16 || err != nil {
+		t.Fatalf("after disabling: %d, %v", n, err)
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	src := data()
+	inj := NewInjector()
+	boom := errors.New("boom")
+	inj.FailAfter(2, boom)
+	r := Wrap(bytes.NewReader(src), inj)
+	got := make([]byte, 8)
+	for i := 0; i < 2; i++ {
+		if _, err := r.ReadAt(got, 0); err != nil {
+			t.Fatalf("read %d failed early: %v", i, err)
+		}
+	}
+	if _, err := r.ReadAt(got, 0); !errors.Is(err, boom) {
+		t.Fatalf("third read err = %v, want boom", err)
+	}
+	if _, err := r.ReadAt(got, 0); !errors.Is(err, boom) {
+		t.Fatal("failure was not persistent")
+	}
+	inj.Reset()
+	if _, err := r.ReadAt(got, 0); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestFailAfterDefaultError(t *testing.T) {
+	inj := NewInjector()
+	inj.FailAfter(0, nil)
+	r := Wrap(bytes.NewReader(data()), inj)
+	if _, err := r.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestLatencyAndCalls(t *testing.T) {
+	inj := NewInjector()
+	inj.SetLatency(20 * time.Millisecond)
+	r := Wrap(bytes.NewReader(data()), inj)
+	start := time.Now()
+	if _, err := r.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("read returned after %v, want >= 20ms", d)
+	}
+	if inj.Calls() != 1 {
+		t.Errorf("calls = %d, want 1", inj.Calls())
+	}
+}

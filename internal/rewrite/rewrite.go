@@ -8,6 +8,7 @@ package rewrite
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,6 +29,16 @@ type Source interface {
 	Rewrites(q int, limit int) ([]sparse.Scored, error)
 }
 
+// ContextSource is an optional Source extension for sources whose
+// candidate fetch can honor a request deadline — the serving daemon's
+// per-request context reaches the score lookup through it. A Source not
+// implementing it is still served; the deadline is then only checked
+// between pipeline stages.
+type ContextSource interface {
+	Source
+	RewritesContext(ctx context.Context, q, limit int) ([]sparse.Scored, error)
+}
+
 // Scores is the slice of the serving layer's serve.ScoreIndex that
 // ResultSource consumes: the ranked partners of one query. Both a live
 // *core.Result and a loaded serve.Snapshot satisfy it, which is what makes
@@ -37,6 +48,13 @@ type Scores interface {
 	// TopRewrites returns the k most similar queries to q, best first;
 	// k < 0 means all.
 	TopRewrites(q, k int) []sparse.Scored
+}
+
+// ContextScores is the deadline-aware variant of Scores; a snapshot
+// implements it so a lazy segment load can be skipped when the request
+// is already out of time.
+type ContextScores interface {
+	TopRewritesContext(ctx context.Context, q, k int) ([]sparse.Scored, error)
 }
 
 // ResultSource serves rewrites from a precomputed score index (a live
@@ -61,6 +79,18 @@ func (s *ResultSource) Name() string {
 
 // Rewrites implements Source.
 func (s *ResultSource) Rewrites(q, limit int) ([]sparse.Scored, error) {
+	return s.Index.TopRewrites(q, limit), nil
+}
+
+// RewritesContext implements ContextSource, delegating to the index's
+// deadline-aware lookup when it has one.
+func (s *ResultSource) RewritesContext(ctx context.Context, q, limit int) ([]sparse.Scored, error) {
+	if cs, ok := s.Index.(ContextScores); ok {
+		return cs.TopRewritesContext(ctx, q, limit)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.Index.TopRewrites(q, limit), nil
 }
 
@@ -171,12 +201,38 @@ func ReadBidTermsFile(path string) (map[string]bool, error) {
 
 // Rewrite runs the full pipeline for query id q against src.
 func (p *Pipeline) Rewrite(src Source, q int) ([]Candidate, error) {
+	return p.RewriteContext(context.Background(), src, q)
+}
+
+// RewriteContext is Rewrite under a request deadline: the context is
+// checked before the candidate fetch, handed to the source when it can
+// honor it (ContextSource — a snapshot-backed source aborts before a
+// lazy segment load), and re-checked after, so a serving daemon's
+// per-request timeout bounds the whole rewrite path.
+func (p *Pipeline) RewriteContext(ctx context.Context, src Source, q int) ([]Candidate, error) {
 	if q < 0 || q >= p.Graph.NumQueries() {
 		return nil, fmt.Errorf("rewrite: query id %d outside [0,%d)", q, p.Graph.NumQueries())
 	}
-	raw, err := src.Rewrites(q, p.TopN)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var raw []sparse.Scored
+	var err error
+	if cs, ok := src.(ContextSource); ok {
+		raw, err = cs.RewritesContext(ctx, q, p.TopN)
+	} else {
+		raw, err = src.Rewrites(q, p.TopN)
+	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("rewrite: source %s: %w", src.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		// The fetch may have outlived the deadline on a slow segment
+		// load; do not spend more time filtering a dead request.
+		return nil, err
 	}
 	seen := map[string]bool{stem.Phrase(p.Graph.Query(q)): true}
 	var out []Candidate

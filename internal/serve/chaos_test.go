@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"simrankpp/internal/faultfs"
+	"simrankpp/internal/sparse"
+)
+
+// These are the fault-injection ("chaos") tests of the serving layer:
+// every failure mode the daemon claims to survive — a corrupt segment, a
+// slow disk, an overload burst, a panicking handler — is induced
+// deterministically through a faultfs.Injector (or a stub index) and the
+// promised degraded behavior is asserted, including recovery once the
+// fault clears.
+
+// chaosSnapshot builds a multi-shard snapshot and opens it through a
+// fault injector, so tests can corrupt, delay or fail its reads at will.
+func chaosSnapshot(t *testing.T) (*Snapshot, *faultfs.Injector) {
+	t.Helper()
+	_, data, _ := buildGeneration(t, refreshGraph(t, [4]int{1, 2, 3, 4}), refreshCfg())
+	inj := faultfs.NewInjector()
+	snap, err := NewSnapshot(faultfs.Wrap(bytes.NewReader(data), inj), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumShards() < 3 {
+		t.Fatalf("chaos fixture has %d shards; need >= 3 for isolation tests", snap.NumShards())
+	}
+	return snap, inj
+}
+
+// distinctShardQueries returns n query names routed to n distinct shards.
+func distinctShardQueries(t *testing.T, snap *Snapshot, n int) []string {
+	t.Helper()
+	seen := make(map[uint32]bool)
+	var out []string
+	for q := 0; q < snap.NumQueries() && len(out) < n; q++ {
+		if sh := snap.qRoute[q]; !seen[sh] {
+			seen[sh] = true
+			out = append(out, snap.Query(q))
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("only %d distinct shards among queries, need %d", len(out), n)
+	}
+	return out
+}
+
+func rewriteURL(q string) string { return "/rewrite?q=" + url.QueryEscape(q) }
+
+// TestChaosBitFlipQuarantinesOneShard is the headline degraded-mode
+// scenario: a bit flip corrupts one shard's query segment; that shard is
+// quarantined with escalating backoff while every other shard keeps
+// answering; /readyz reports degraded with the shard listed; and once
+// the fault clears and the backoff elapses, the shard recovers — no
+// restart, no reload.
+func TestChaosBitFlipQuarantinesOneShard(t *testing.T) {
+	snap, inj := chaosSnapshot(t)
+	cur := time.Unix(1_700_000_000, 0)
+	snap.now = func() time.Time { return cur }
+	snap.SetQuarantineBackoff(time.Second, time.Minute)
+
+	qs := distinctShardQueries(t, snap, 2)
+	victim, healthy := qs[0], qs[1]
+	vid, _ := snap.QueryID(victim)
+	vShard := int(snap.qRoute[vid])
+	if snap.dir[vShard].qPairs == 0 {
+		t.Fatalf("victim shard %d has no query pairs to corrupt", vShard)
+	}
+	// Flip one bit in the victim shard's query segment: the CRC check on
+	// lazy load must catch it.
+	inj.FlipBit(int64(snap.dir[vShard].qOff)+8, 3)
+
+	cfg := DefaultServerConfig()
+	cfg.CacheSize = 0
+	cfg.MaxInFlight = 0
+	cfg.RequestTimeout = 0
+	srv := NewServer(snap, cfg)
+	h := srv.Handler()
+
+	// First touch: the load fails, the shard is quarantined.
+	if code, body := get(t, h, rewriteURL(victim)); code != http.StatusInternalServerError {
+		t.Fatalf("corrupt-shard rewrite = %d, want 500: %s", code, body)
+	}
+	quar := snap.Quarantined()
+	if len(quar) != 1 || quar[0].Shard != vShard || quar[0].Side != "query" || quar[0].Failures != 1 {
+		t.Fatalf("after first failure Quarantined() = %+v, want shard %d query side, 1 failure", quar, vShard)
+	}
+	if want := cur.Add(time.Second); !quar[0].RetryAt.Equal(want) {
+		t.Fatalf("first-failure retryAt = %v, want %v", quar[0].RetryAt, want)
+	}
+
+	// Inside the backoff window the failure is remembered, not re-read.
+	calls := inj.Calls()
+	if code, _ := get(t, h, rewriteURL(victim)); code != http.StatusInternalServerError {
+		t.Fatalf("quarantined rewrite = %d, want 500", code)
+	}
+	if got := inj.Calls(); got != calls {
+		t.Fatalf("quarantined request touched the disk (%d reads, was %d)", got, calls)
+	}
+
+	// Past the backoff with the fault still present: one retry, failure
+	// count escalates, backoff doubles.
+	cur = cur.Add(time.Second)
+	if code, _ := get(t, h, rewriteURL(victim)); code != http.StatusInternalServerError {
+		t.Fatalf("retry under persistent fault = %d, want 500", code)
+	}
+	if got := inj.Calls(); got == calls {
+		t.Fatal("elapsed backoff did not trigger a retry read")
+	}
+	quar = snap.Quarantined()
+	if len(quar) != 1 || quar[0].Failures != 2 {
+		t.Fatalf("after second failure Quarantined() = %+v, want 2 failures", quar)
+	}
+	if want := cur.Add(2 * time.Second); !quar[0].RetryAt.Equal(want) {
+		t.Fatalf("second-failure retryAt = %v, want doubled backoff %v", quar[0].RetryAt, want)
+	}
+
+	// Every other shard answers while the victim is quarantined.
+	code, body := get(t, h, rewriteURL(healthy))
+	if code != http.StatusOK {
+		t.Fatalf("healthy-shard rewrite = %d during quarantine: %s", code, body)
+	}
+	var resp rewriteResponse
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Rewrites) == 0 {
+		t.Fatalf("healthy-shard rewrite returned no candidates during quarantine: %s", body)
+	}
+
+	// /readyz: degraded (HTTP 200 — the daemon still serves most traffic),
+	// with the quarantined shard listed.
+	code, body = get(t, h, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded /readyz = %d, want 200: %s", code, body)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "degraded" || len(ready.Quarantined) != 1 || ready.Quarantined[0].Shard != vShard {
+		t.Fatalf("/readyz = %+v, want degraded with shard %d listed", ready, vShard)
+	}
+
+	// /stats mirrors the degraded detail.
+	_, body = get(t, h, "/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.QuarantinedShards != 1 || stats.IndexError == "" {
+		t.Fatalf("/stats quarantined_shards = %d (index_error %q), want 1 with an error recorded",
+			stats.QuarantinedShards, stats.IndexError)
+	}
+
+	// Fault clears, but the backoff has not elapsed: still quarantined,
+	// still no disk touch.
+	inj.ClearFlips()
+	calls = inj.Calls()
+	if code, _ := get(t, h, rewriteURL(victim)); code != http.StatusInternalServerError {
+		t.Fatalf("pre-backoff rewrite after fault cleared = %d, want 500 (still quarantined)", code)
+	}
+	if got := inj.Calls(); got != calls {
+		t.Fatal("pre-backoff request touched the disk")
+	}
+
+	// Backoff elapses: the next touch reloads, the shard recovers.
+	cur = cur.Add(2 * time.Second)
+	code, body = get(t, h, rewriteURL(victim))
+	if code != http.StatusOK {
+		t.Fatalf("recovered-shard rewrite = %d, want 200: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Rewrites) == 0 {
+		t.Fatalf("recovered shard returned no candidates: %s", body)
+	}
+	if quar := snap.Quarantined(); len(quar) != 0 {
+		t.Fatalf("Quarantined() = %+v after recovery, want empty", quar)
+	}
+	code, body = get(t, h, "/readyz")
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || ready.Status != "ok" {
+		t.Fatalf("/readyz after recovery = %d %+v, want 200 ok", code, ready)
+	}
+}
+
+// TestChaosReadyzUnreadyWhenAllShardsDead pins the degraded/unready
+// boundary: quarantining every segment of every shard turns /readyz into
+// a 503, because nothing can be answered anymore.
+func TestChaosReadyzUnreadyWhenAllShardsDead(t *testing.T) {
+	snap, inj := chaosSnapshot(t)
+	inj.FailAfter(0, nil) // every read fails from now on
+	if err := snap.PreloadAll(); err == nil {
+		t.Fatal("PreloadAll succeeded with all reads failing")
+	}
+	// PreloadAll stops at the first failure; touch the rest explicitly.
+	for i := 0; i < snap.NumShards(); i++ {
+		snap.queryTable(i)
+		snap.adTable(i)
+	}
+	srv := NewServer(snap, DefaultServerConfig())
+	code, body := get(t, srv.Handler(), "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("all-dead /readyz = %d, want 503: %s", code, body)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "unready" || len(ready.Quarantined) != 2*snap.NumShards() {
+		t.Fatalf("/readyz = %q with %d quarantined, want unready with %d",
+			ready.Status, len(ready.Quarantined), 2*snap.NumShards())
+	}
+}
+
+// TestChaosOverloadSheds503 saturates the in-flight limit with
+// slow-disk requests and asserts the excess is rejected immediately —
+// 503 with a Retry-After hint, not queued behind the slow ones — and
+// that the shed counter matches exactly.
+func TestChaosOverloadSheds503(t *testing.T) {
+	snap, inj := chaosSnapshot(t)
+	qs := distinctShardQueries(t, snap, 3)
+
+	cfg := DefaultServerConfig()
+	cfg.CacheSize = 0
+	cfg.MaxInFlight = 2
+	cfg.RequestTimeout = 30 * time.Second
+	srv := NewServer(snap, cfg)
+	h := srv.Handler()
+
+	// Every segment load from here on sleeps a second: the two admitted
+	// requests park inside their (cold) shard loads, holding both slots.
+	const slow = time.Second
+	inj.SetLatency(slow)
+	var wg sync.WaitGroup
+	slowCodes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slowCodes[i], _ = get(t, h, rewriteURL(qs[i]))
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow requests were never both admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With both slots held, every further scoring request sheds now.
+	const burst = 5
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		req := httptest.NewRequest("GET", rewriteURL(qs[2]), nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("shed request %d = %d, want 503: %s", i, rec.Code, rec.Body.Bytes())
+		}
+		if got := rec.Header().Get("Retry-After"); got != "1" {
+			t.Fatalf("shed request %d Retry-After = %q, want %q", i, got, "1")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > slow/2 {
+		t.Fatalf("shedding %d requests took %v — they queued behind the slow requests instead of failing fast", burst, elapsed)
+	}
+
+	// Health endpoints are never shed: an operator can still see what is
+	// happening while the daemon is saturated.
+	if code, _ := get(t, h, "/stats"); code != http.StatusOK {
+		t.Fatalf("/stats shed under overload (= %d)", code)
+	}
+	if code, _ := get(t, h, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz shed under overload (= %d)", code)
+	}
+
+	wg.Wait()
+	for i, code := range slowCodes {
+		if code != http.StatusOK {
+			t.Fatalf("admitted slow request %d = %d, want 200", i, code)
+		}
+	}
+	_, body := get(t, h, "/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed != burst {
+		t.Fatalf("stats shed = %d, want %d", stats.Shed, burst)
+	}
+	if ep := stats.Endpoints["rewrite"]; ep.Requests != burst+2 || ep.Errors5xx != burst {
+		t.Fatalf("rewrite endpoint stats = %+v, want %d requests with %d 5xx", ep, burst+2, burst)
+	}
+	if stats.InFlight != 0 {
+		t.Fatalf("in_flight = %d after drain, want 0", stats.InFlight)
+	}
+}
+
+// TestChaosDeadlineAnswers504 pins the per-request deadline: a request
+// stuck behind a slow segment load answers 504 once its deadline
+// passes, and the next request — segment now warm — succeeds.
+func TestChaosDeadlineAnswers504(t *testing.T) {
+	snap, inj := chaosSnapshot(t)
+	q := distinctShardQueries(t, snap, 1)[0]
+
+	cfg := DefaultServerConfig()
+	cfg.CacheSize = 0
+	cfg.MaxInFlight = 0
+	cfg.RequestTimeout = 30 * time.Millisecond
+	srv := NewServer(snap, cfg)
+	h := srv.Handler()
+
+	inj.SetLatency(300 * time.Millisecond)
+	if code, body := get(t, h, rewriteURL(q)); code != http.StatusGatewayTimeout {
+		t.Fatalf("slow-load rewrite = %d, want 504: %s", code, body)
+	}
+	// The deadline killed the request, not the segment: it loaded behind
+	// the dead request, so the retry is instant and inside its deadline.
+	inj.SetLatency(0)
+	if code, body := get(t, h, rewriteURL(q)); code != http.StatusOK {
+		t.Fatalf("warm retry after deadline = %d, want 200: %s", code, body)
+	}
+}
+
+// panicIndex wraps a ScoreIndex with a TopRewrites that panics — the
+// stand-in for any handler bug reaching a panic in production.
+type panicIndex struct{ ScoreIndex }
+
+func (p panicIndex) TopRewrites(q, k int) []sparse.Scored { panic("injected panic") }
+
+// TestChaosPanicIsOne500NotADeadDaemon asserts the panic middleware:
+// a panicking handler answers 500 and bumps the panic counter; the
+// daemon keeps serving everything else.
+func TestChaosPanicIsOne500NotADeadDaemon(t *testing.T) {
+	snap, _ := chaosSnapshot(t)
+	q := distinctShardQueries(t, snap, 1)[0]
+	cfg := DefaultServerConfig()
+	cfg.CacheSize = 0
+	srv := NewServer(panicIndex{snap}, cfg)
+	h := srv.Handler()
+
+	code, body := get(t, h, "/similar?q="+url.QueryEscape(q))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking /similar = %d, want 500: %s", code, body)
+	}
+	// The daemon survived: liveness, stats and the untouched ad side all
+	// still answer.
+	if code, _ := get(t, h, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d after a handler panic", code)
+	}
+	adName := snap.Ad(0)
+	if code, body := get(t, h, "/similar?ad="+url.QueryEscape(adName)); code != http.StatusOK {
+		t.Fatalf("/similar?ad after panic = %d: %s", code, body)
+	}
+	_, body = get(t, h, "/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Panics != 1 {
+		t.Fatalf("stats panics = %d, want 1", stats.Panics)
+	}
+	if ep := stats.Endpoints["similar"]; ep.Errors5xx != 1 {
+		t.Fatalf("similar endpoint 5xx = %d, want 1", ep.Errors5xx)
+	}
+}
+
+// TestChaosShortReadQuarantines covers the truncated-file flavor of
+// segment corruption: a short read quarantines the shard exactly like a
+// CRC mismatch does, and recovery works the same way.
+func TestChaosShortReadQuarantines(t *testing.T) {
+	snap, inj := chaosSnapshot(t)
+	cur := time.Unix(1_700_000_000, 0)
+	snap.now = func() time.Time { return cur }
+	snap.SetQuarantineBackoff(time.Second, time.Minute)
+	q := distinctShardQueries(t, snap, 1)[0]
+
+	inj.ShortReads(4)
+	if _, err := snap.TopRewritesContext(context.TODO(), mustQueryID(t, snap, q), 5); err == nil {
+		t.Fatal("short read did not fail the segment load")
+	}
+	if quar := snap.Quarantined(); len(quar) != 1 {
+		t.Fatalf("Quarantined() = %+v after short read, want one entry", quar)
+	}
+	inj.ShortReads(0)
+	cur = cur.Add(2 * time.Second)
+	if _, err := snap.TopRewritesContext(context.TODO(), mustQueryID(t, snap, q), 5); err != nil {
+		t.Fatalf("recovery after short read cleared: %v", err)
+	}
+	if quar := snap.Quarantined(); len(quar) != 0 {
+		t.Fatalf("Quarantined() = %+v after recovery, want empty", quar)
+	}
+}
+
+func mustQueryID(t *testing.T, snap *Snapshot, name string) int {
+	t.Helper()
+	id, ok := snap.QueryID(name)
+	if !ok {
+		t.Fatalf("query %q not in snapshot", name)
+	}
+	return id
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+	"time"
 
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/core"
@@ -53,6 +54,23 @@ func FuzzOpenSnapshot(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(sharded.Bytes())
+
+	// Generation manifests live beside snapshots on disk; a confused
+	// operator (or a buggy rollback script) pointing the daemon at one
+	// must get a clean rejection. Seed the raw manifest, a padded one
+	// (past the header-size gate, into the magic check), and a hybrid
+	// with snapshot magic spliced over manifest bytes.
+	mf := encodeManifest(&Generation{
+		ID: 7, Fingerprint: 0xdeadbeef, CRC: 0x1234, Size: 4096,
+		CreatedAt: time.Unix(1700000000, 0), DirtyShards: 2,
+	})
+	f.Add(append([]byte(nil), mf...))
+	f.Add(append(append([]byte(nil), mf...), make([]byte, headerSize)...))
+	hybrid := append([]byte(nil), mf...)
+	hybrid = append(hybrid, mf...)
+	hybrid = append(hybrid, make([]byte, headerSize)...)
+	copy(hybrid, snapshotMagic)
+	f.Add(hybrid)
 
 	truncated := append([]byte(nil), mono.Bytes()...)
 	f.Add(truncated[:len(truncated)*2/3])

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -21,6 +23,13 @@ import (
 // a snapshot the batch side wrote — with the §9.3 filtering pipeline on
 // the /rewrite path, a bounded LRU for hot queries, and a lock-guarded
 // index swap so SIGHUP reloads never disturb in-flight requests.
+//
+// The serving path is built to fail partially, not totally (see
+// OPERATIONS.md): a quarantined shard degrades /readyz while every other
+// shard keeps answering, overload is shed with 503 + Retry-After at a
+// bounded in-flight limit instead of queueing unboundedly, every scoring
+// request carries a deadline plumbed through the rewrite pipeline, and a
+// handler panic becomes a 500 plus a counter rather than a dead daemon.
 
 // Config parameterizes a Server.
 type Config struct {
@@ -33,12 +42,46 @@ type Config struct {
 	CacheSize int
 	// BidTerms, when non-nil, enables bid-term filtering on /rewrite.
 	BidTerms map[string]bool
+	// MaxInFlight bounds concurrently-served scoring requests (/rewrite
+	// and /similar). Excess requests are shed immediately with 503 +
+	// Retry-After instead of queueing: under overload, fast rejection
+	// keeps tail latency bounded for the requests that are admitted.
+	// <= 0 disables shedding.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline on scoring endpoints,
+	// plumbed as a context through the rewrite path; an exceeded
+	// deadline answers 504. <= 0 disables deadlines.
+	RequestTimeout time.Duration
+	// RetryAfterSeconds is the Retry-After hint on shed responses;
+	// defaults to 1.
+	RetryAfterSeconds int
 }
 
 // DefaultServerConfig returns the paper's depth-5 serving settings with a
-// 4096-entry cache.
+// 4096-entry cache, a 256-request in-flight bound, and a 5s deadline.
 func DefaultServerConfig() Config {
-	return Config{DefaultTop: 5, MaxTop: 100, CacheSize: 4096}
+	return Config{DefaultTop: 5, MaxTop: 100, CacheSize: 4096,
+		MaxInFlight: 256, RequestTimeout: 5 * time.Second, RetryAfterSeconds: 1}
+}
+
+// EndpointStats is one endpoint's request/error counters in /stats.
+type EndpointStats struct {
+	Requests  int64 `json:"requests"`
+	Errors4xx int64 `json:"errors_4xx"`
+	Errors5xx int64 `json:"errors_5xx"`
+}
+
+// endpointCounters is the live (atomic) form of EndpointStats.
+type endpointCounters struct {
+	requests, errors4xx, errors5xx atomic.Int64
+}
+
+func (c *endpointCounters) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:  c.requests.Load(),
+		Errors4xx: c.errors4xx.Load(),
+		Errors5xx: c.errors5xx.Load(),
+	}
 }
 
 // Server answers rewrite queries over HTTP from a ScoreIndex.
@@ -50,11 +93,17 @@ func DefaultServerConfig() Config {
 //	GET /similar?q=QUERY[&top=K]  raw ranked similar queries, unfiltered
 //	GET /similar?ad=AD[&top=K]    raw ranked similar ads
 //	GET /stats                    serving counters + index metadata
-//	GET /healthz                  liveness probe
+//	GET /healthz                  liveness probe (process up)
+//	GET /readyz                   readiness: ok / degraded / unready,
+//	                              with quarantined-shard detail
 type Server struct {
 	cfg   Config
 	cache *lruCache
 	start time.Time
+
+	// inflight is the scoring-request admission semaphore; nil when
+	// shedding is disabled.
+	inflight chan struct{}
 
 	// mu guards idx: handlers hold the read side for the whole request,
 	// so Swap (write side) returns only once no request uses the old
@@ -62,9 +111,13 @@ type Server struct {
 	mu  sync.RWMutex
 	idx ScoreIndex
 
-	requests  atomic.Int64
-	cacheHits atomic.Int64
-	reloads   atomic.Int64
+	endpoints      map[string]*endpointCounters
+	requests       atomic.Int64
+	cacheHits      atomic.Int64
+	reloads        atomic.Int64
+	reloadFailures atomic.Int64
+	shed           atomic.Int64
+	panics         atomic.Int64
 }
 
 // NewServer returns a server answering from idx.
@@ -75,8 +128,32 @@ func NewServer(idx ScoreIndex, cfg Config) *Server {
 	if cfg.MaxTop <= 0 {
 		cfg.MaxTop = 100
 	}
-	return &Server{cfg: cfg, cache: newLRU(cfg.CacheSize), idx: idx, start: time.Now()}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	s := &Server{cfg: cfg, cache: newLRU(cfg.CacheSize), idx: idx, start: time.Now()}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.endpoints = make(map[string]*endpointCounters)
+	for _, name := range []string{"rewrite", "similar", "stats", "healthz", "readyz"} {
+		s.endpoints[name] = &endpointCounters{}
+	}
+	return s
 }
+
+// InFlight reports how many scoring requests are currently admitted —
+// what a shutdown with an expired drain deadline is still waiting on.
+func (s *Server) InFlight() int {
+	if s.inflight == nil {
+		return 0
+	}
+	return len(s.inflight)
+}
+
+// ReloadFailures reports how many reload attempts failed to load a new
+// index (the old one kept serving).
+func (s *Server) ReloadFailures() int64 { return s.reloadFailures.Load() }
 
 // Swap atomically replaces the served index and clears the response cache,
 // returning the previous index once no in-flight request still reads it —
@@ -91,47 +168,147 @@ func (s *Server) Swap(idx ScoreIndex) ScoreIndex {
 	return old
 }
 
-// ReloadOnSIGHUP installs a handler that, on each SIGHUP, builds a fresh
-// index via load and swaps it in; a failed load keeps the old index
-// serving. The returned previous index is passed to retire (which may
-// close it); logf receives one line per attempt. Both callbacks may be
+// Reload builds a fresh index via load and swaps it in. A failed load
+// increments the reload-failure counter and — when fallback is non-nil —
+// tries fallback (simrankd wires it to the last good journaled
+// generation, so a corrupt new snapshot rolls the daemon back instead of
+// wedging it); when both fail, the old index keeps serving and the load
+// error is returned. The swapped-out index is passed to retire (which
+// may close it); logf receives one line per attempt. Callbacks may be
 // nil.
-func (s *Server) ReloadOnSIGHUP(load func() (ScoreIndex, error), retire func(ScoreIndex), logf func(format string, args ...any)) {
+func (s *Server) Reload(load, fallback func() (ScoreIndex, error), retire func(ScoreIndex), logf func(format string, args ...any)) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	idx, err := load()
+	if err != nil {
+		s.reloadFailures.Add(1)
+		if fallback == nil {
+			logf("serve: reload failed, keeping current index: %v", err)
+			return err
+		}
+		logf("serve: reload failed: %v", err)
+		fidx, ferr := fallback()
+		if ferr != nil {
+			logf("serve: generation fallback failed too, keeping current index: %v", ferr)
+			return err
+		}
+		logf("serve: fell back to previous good generation")
+		idx = fidx
+	}
+	old := s.Swap(idx)
+	if snap, ok := idx.(*Snapshot); ok {
+		m := snap.Meta()
+		logf("serve: reloaded index (%d queries, %d ads; generation %s, %d shards, fingerprint %s)",
+			idx.NumQueries(), idx.NumAds(), m.GeneratedAt.Format(time.RFC3339), m.Shards, m.Fingerprint)
+	} else {
+		logf("serve: reloaded index (%d queries, %d ads)", idx.NumQueries(), idx.NumAds())
+	}
+	if retire != nil && old != nil {
+		retire(old)
+	}
+	return nil
+}
+
+// ReloadOnSIGHUP installs a handler that, on each SIGHUP, reloads via
+// Reload(load, fallback, retire, logf): a failed load falls back to
+// fallback (may be nil), and a doubly-failed reload keeps the old index
+// serving.
+func (s *Server) ReloadOnSIGHUP(load, fallback func() (ScoreIndex, error), retire func(ScoreIndex), logf func(format string, args ...any)) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGHUP)
 	go func() {
 		for range ch {
-			idx, err := load()
-			if err != nil {
-				logf("serve: reload failed, keeping current index: %v", err)
-				continue
-			}
-			old := s.Swap(idx)
-			if snap, ok := idx.(*Snapshot); ok {
-				m := snap.Meta()
-				logf("serve: reloaded index (%d queries, %d ads; generation %s, %d shards, fingerprint %s)",
-					idx.NumQueries(), idx.NumAds(), m.GeneratedAt.Format(time.RFC3339), m.Shards, m.Fingerprint)
-			} else {
-				logf("serve: reloaded index (%d queries, %d ads)", idx.NumQueries(), idx.NumAds())
-			}
-			if retire != nil && old != nil {
-				retire(old)
-			}
+			s.Reload(load, fallback, retire, logf)
 		}
 	}()
 }
 
-// Handler returns the server's route multiplexer.
+// Handler returns the server's route multiplexer with the resilience
+// middleware applied: request/error accounting on every endpoint, panic
+// recovery, and — on the scoring endpoints only, so health probes keep
+// answering under overload — load shedding and per-request deadlines.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/rewrite", s.handleRewrite)
-	mux.HandleFunc("/similar", s.handleSimilar)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/rewrite", s.instrument("rewrite", true, s.handleRewrite))
+	mux.Handle("/similar", s.instrument("similar", true, s.handleSimilar))
+	mux.Handle("/stats", s.instrument("stats", false, s.handleStats))
+	mux.Handle("/healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("/readyz", s.instrument("readyz", false, s.handleReadyz))
 	return mux
+}
+
+// statusWriter records the response status for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps one endpoint with the middleware chain. scoring marks
+// the endpoints doing index work, which are the ones that shed load and
+// carry deadlines; /stats, /healthz and /readyz always answer — an
+// operator diagnosing an overloaded daemon must not be shed by it.
+func (s *Server) instrument(name string, scoring bool, h http.HandlerFunc) http.Handler {
+	c := s.endpoints[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		c.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				// A panicking handler must cost one 500, not the daemon.
+				s.panics.Add(1)
+				c.errors5xx.Add(1)
+				if !sw.wrote {
+					http.Error(sw.ResponseWriter, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+				}
+				return
+			}
+			switch {
+			case sw.status >= 500:
+				c.errors5xx.Add(1)
+			case sw.status >= 400:
+				c.errors4xx.Add(1)
+			}
+		}()
+		if scoring {
+			if s.inflight != nil {
+				select {
+				case s.inflight <- struct{}{}:
+					defer func() { <-s.inflight }()
+				default:
+					// Shed: reject now, cheaply, rather than queue into a
+					// latency spiral. Retry-After tells well-behaved
+					// clients when to come back.
+					s.shed.Add(1)
+					sw.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+					http.Error(sw, "overloaded: in-flight request limit reached", http.StatusServiceUnavailable)
+					return
+				}
+			}
+			if s.cfg.RequestTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		h(sw, r)
+	})
 }
 
 // RewriteAnswer is one served rewrite.
@@ -162,8 +339,18 @@ func (s *Server) topParam(r *http.Request) (int, error) {
 	return top, nil
 }
 
+// scoreError maps a scoring-path failure to a status: an exceeded
+// deadline is 504 (the request, not the server, ran out of time);
+// anything else is a 500.
+func scoreError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
 func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
@@ -197,9 +384,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		pipe.TopN = top
 	}
 	src := &rewrite.ResultSource{Index: s.idx}
-	cands, err := pipe.Rewrite(src, qid)
+	cands, err := pipe.RewriteContext(r.Context(), src, qid)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		scoreError(w, err)
 		return
 	}
 	resp := rewriteResponse{Query: q, Method: src.Name(), Rewrites: make([]RewriteAnswer, 0, len(cands))}
@@ -217,7 +404,6 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	q, ad := r.URL.Query().Get("q"), r.URL.Query().Get("ad")
 	if (q == "") == (ad == "") {
 		http.Error(w, "give exactly one of q or ad", http.StatusBadRequest)
@@ -252,6 +438,12 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		name = s.idx.Ad
 		subject = ad
 	}
+	// The ranked lookup above may have sat on a slow (or fault-injected)
+	// segment load; honor the request deadline before serializing.
+	if err := r.Context().Err(); err != nil {
+		scoreError(w, err)
+		return
+	}
 	resp := rewriteResponse{Query: subject, Method: s.idx.VariantName(), Rewrites: make([]RewriteAnswer, 0, len(scored))}
 	for _, sc := range scored {
 		resp.Rewrites = append(resp.Rewrites, RewriteAnswer{Text: name(sc.Node), Score: sc.Score})
@@ -262,35 +454,58 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	Requests      int64   `json:"requests"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheEntries  int     `json:"cache_entries"`
-	CacheSize     int     `json:"cache_size"`
-	Reloads       int64   `json:"reloads"`
-	Queries       int     `json:"queries"`
-	Ads           int     `json:"ads"`
-	Method        string  `json:"method"`
+	// Requests counts every request across all endpoints — including
+	// the /stats request that reports it.
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheSize    int   `json:"cache_size"`
+	// Endpoints breaks requests and error responses down per endpoint.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Shed counts scoring requests rejected 503 at the in-flight limit;
+	// Panics counts handler panics turned into 500s; InFlight is the
+	// scoring requests currently admitted.
+	Shed     int64 `json:"shed"`
+	Panics   int64 `json:"panics"`
+	InFlight int   `json:"in_flight"`
+	// Reloads counts successful index swaps; ReloadFailures counts
+	// reload attempts whose new index failed to load (old index kept).
+	Reloads        int64  `json:"reloads"`
+	ReloadFailures int64  `json:"reload_failures"`
+	Queries        int    `json:"queries"`
+	Ads            int    `json:"ads"`
+	Method         string `json:"method"`
 	// Snapshot-backed indexes add their header metadata, how many of the
-	// per-shard score segments are materialized, and any segment-load
-	// failure.
-	Snapshot       *SnapshotMeta `json:"snapshot,omitempty"`
-	LoadedSegments int           `json:"loaded_segments,omitempty"`
-	IndexError     string        `json:"index_error,omitempty"`
+	// per-shard score segments are materialized, any segment-load
+	// failure, and the currently-quarantined segments (degraded mode).
+	Snapshot          *SnapshotMeta `json:"snapshot,omitempty"`
+	LoadedSegments    int           `json:"loaded_segments,omitempty"`
+	IndexError        string        `json:"index_error,omitempty"`
+	QuarantinedShards int           `json:"quarantined_shards"`
+	Quarantined       []ShardHealth `json:"quarantined,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	resp := StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheEntries:  s.cache.Len(),
-		CacheSize:     s.cfg.CacheSize,
-		Reloads:       s.reloads.Load(),
-		Queries:       s.idx.NumQueries(),
-		Ads:           s.idx.NumAds(),
-		Method:        s.idx.VariantName(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Requests:       s.requests.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheEntries:   s.cache.Len(),
+		CacheSize:      s.cfg.CacheSize,
+		Endpoints:      make(map[string]EndpointStats, len(s.endpoints)),
+		Shed:           s.shed.Load(),
+		Panics:         s.panics.Load(),
+		InFlight:       s.InFlight(),
+		Reloads:        s.reloads.Load(),
+		ReloadFailures: s.reloadFailures.Load(),
+		Queries:        s.idx.NumQueries(),
+		Ads:            s.idx.NumAds(),
+		Method:         s.idx.VariantName(),
+	}
+	for name, c := range s.endpoints {
+		resp.Endpoints[name] = c.snapshot()
 	}
 	if snap, ok := s.idx.(*Snapshot); ok {
 		meta := snap.Meta()
@@ -299,6 +514,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if err := snap.Err(); err != nil {
 			resp.IndexError = err.Error()
 		}
+		resp.Quarantined = snap.Quarantined()
+		resp.QuarantinedShards = len(resp.Quarantined)
 	}
 	writeJSON(w, resp)
 }
@@ -306,6 +523,47 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// ReadyResponse is the /readyz payload.
+type ReadyResponse struct {
+	// Status is "ok" (fully serving), "degraded" (some shards
+	// quarantined, the rest answering — HTTP 200, so load balancers
+	// keep routing the traffic this daemon can still serve), or
+	// "unready" (no usable index — HTTP 503).
+	Status      string        `json:"status"`
+	Quarantined []ShardHealth `json:"quarantined,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	idx := s.idx
+	s.mu.RUnlock()
+	resp := ReadyResponse{Status: "ok"}
+	code := http.StatusOK
+	if idx == nil {
+		resp.Status = "unready"
+		code = http.StatusServiceUnavailable
+	} else if snap, ok := idx.(*Snapshot); ok {
+		if quar := snap.Quarantined(); len(quar) > 0 {
+			resp.Status = "degraded"
+			resp.Quarantined = quar
+			if len(quar) >= 2*snap.NumShards() {
+				// Every segment of every shard is quarantined: nothing
+				// can be answered — that is unready, not degraded.
+				resp.Status = "unready"
+				code = http.StatusServiceUnavailable
+			}
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"sync"
 	"testing"
 
 	"simrankpp/internal/clickgraph"
@@ -119,6 +121,13 @@ func TestServerCacheAndStats(t *testing.T) {
 	if !bytes.Equal(first, second) {
 		t.Errorf("cached response differs: %q vs %q", first, second)
 	}
+	// A 404 and a 400 to exercise the per-endpoint error counters.
+	if code, _ := get(t, h, "/rewrite?q=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown query = %d", code)
+	}
+	if code, _ := get(t, h, "/similar"); code != http.StatusBadRequest {
+		t.Fatalf("bad similar = %d", code)
+	}
 	code, body := get(t, h, "/stats")
 	if code != http.StatusOK {
 		t.Fatalf("GET /stats = %d", code)
@@ -127,8 +136,18 @@ func TestServerCacheAndStats(t *testing.T) {
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats.Requests != 2 || stats.CacheHits != 1 || stats.CacheEntries != 1 {
-		t.Errorf("stats = %+v, want 2 requests / 1 hit / 1 entry", stats)
+	// /stats counts itself: 3 rewrites + 1 similar + this stats request.
+	if stats.Requests != 5 || stats.CacheHits != 1 || stats.CacheEntries != 1 {
+		t.Errorf("stats = %+v, want 5 requests / 1 hit / 1 entry", stats)
+	}
+	if ep := stats.Endpoints["rewrite"]; ep.Requests != 3 || ep.Errors4xx != 1 || ep.Errors5xx != 0 {
+		t.Errorf("rewrite endpoint stats = %+v, want 3 requests / 1 4xx", ep)
+	}
+	if ep := stats.Endpoints["similar"]; ep.Requests != 1 || ep.Errors4xx != 1 {
+		t.Errorf("similar endpoint stats = %+v, want 1 request / 1 4xx", ep)
+	}
+	if ep := stats.Endpoints["stats"]; ep.Requests != 1 {
+		t.Errorf("stats endpoint did not count itself: %+v", ep)
 	}
 	if stats.Queries != 5 || stats.Method != "simrank" {
 		t.Errorf("index stats = %+v", stats)
@@ -144,6 +163,141 @@ func TestServerHealthz(t *testing.T) {
 	if code != http.StatusOK || string(body) != "ok\n" {
 		t.Errorf("healthz = %d %q", code, body)
 	}
+}
+
+func TestServerReadyzHealthy(t *testing.T) {
+	srv, _ := fig3Server(t, DefaultServerConfig())
+	code, body := get(t, srv.Handler(), "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+	var resp ReadyResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || len(resp.Quarantined) != 0 {
+		t.Errorf("readyz = %+v, want ok with no quarantined shards", resp)
+	}
+}
+
+// TestReloadFailureKeepsServing pins the SIGHUP reload failure path: a
+// load that fails (corrupt new snapshot) leaves the old index serving,
+// increments reload_failures, and does not bump reloads.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	srv, _ := fig3Server(t, DefaultServerConfig())
+	h := srv.Handler()
+	_, before := get(t, h, "/rewrite?q=camera")
+
+	badLoad := func() (ScoreIndex, error) {
+		_, err := NewSnapshot(bytes.NewReader([]byte("SRPPSNAPgarbage")), 15)
+		return nil, err
+	}
+	if err := srv.Reload(badLoad, nil, nil, t.Logf); err == nil {
+		t.Fatal("Reload of a corrupt snapshot reported success")
+	}
+	if got := srv.ReloadFailures(); got != 1 {
+		t.Errorf("reload failures = %d, want 1", got)
+	}
+	code, after := get(t, h, "/rewrite?q=camera")
+	if code != http.StatusOK || !bytes.Equal(before, after) {
+		t.Errorf("old index stopped serving after failed reload: %d %q", code, after)
+	}
+	var stats StatsResponse
+	_, body := get(t, h, "/stats")
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReloadFailures != 1 || stats.Reloads != 0 {
+		t.Errorf("stats report %d reloads / %d failures, want 0 / 1", stats.Reloads, stats.ReloadFailures)
+	}
+}
+
+// TestReloadFallsBackToGoodIndex pins the generation-fallback half: when
+// the primary load fails but the fallback loader produces an index, the
+// server swaps to the fallback and still counts the failed load.
+func TestReloadFallsBackToGoodIndex(t *testing.T) {
+	srv, _ := fig3Server(t, DefaultServerConfig())
+	badLoad := func() (ScoreIndex, error) {
+		_, err := NewSnapshot(bytes.NewReader([]byte("short")), 5)
+		return nil, err
+	}
+	wres, err := core.Run(clickgraph.Fig3(), core.DefaultConfig().WithVariant(core.Weighted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback := func() (ScoreIndex, error) { return wres, nil }
+	if err := srv.Reload(badLoad, fallback, nil, t.Logf); err != nil {
+		t.Fatalf("Reload with working fallback failed: %v", err)
+	}
+	if srv.ReloadFailures() != 1 {
+		t.Errorf("reload failures = %d, want 1", srv.ReloadFailures())
+	}
+	code, body := get(t, srv.Handler(), "/rewrite?q=camera")
+	if code != http.StatusOK {
+		t.Fatalf("rewrite after fallback = %d", code)
+	}
+	var resp rewriteResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != "weighted simrank" {
+		t.Errorf("method after fallback = %q, want the fallback index's", resp.Method)
+	}
+}
+
+// TestConcurrentSwapAndCachePut races index swaps against in-flight
+// requests populating the response cache — the reload-under-load path.
+// Run under -race (CI's chaos job does) it proves Swap's drain and the
+// cache's locking compose; functionally it checks every response is
+// well-formed and the server survives.
+func TestConcurrentSwapAndCachePut(t *testing.T) {
+	res, err := core.Run(clickgraph.Fig3(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := core.Run(clickgraph.Fig3(), core.DefaultConfig().WithVariant(core.Weighted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(res, Config{DefaultTop: 5, MaxTop: 10, CacheSize: 4})
+	h := srv.Handler()
+
+	const loops = 50
+	var wg sync.WaitGroup
+	queries := []string{"camera", "digital camera", "pc", "tv", "flower"}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				q := queries[(w+i)%len(queries)]
+				req := httptest.NewRequest("GET", "/rewrite?q="+url.QueryEscape(q), nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("rewrite %q = %d during swaps", q, rec.Code)
+					return
+				}
+				var resp rewriteResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Errorf("torn response for %q: %v", q, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < loops; i++ {
+			if i%2 == 0 {
+				srv.Swap(wres)
+			} else {
+				srv.Swap(res)
+			}
+		}
+	}()
+	wg.Wait()
 }
 
 // TestServerSnapshotSwap pins graceful reload: the server serves a

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -78,20 +79,20 @@ type SnapshotMeta struct {
 	// configured ceiling, which is what a refresh must run dirty shards
 	// under — a heavily-churned shard may legitimately need more
 	// iterations than the converged previous generation used.
-	Iterations      int `json:"iterations"`
-	IterationBudget int `json:"iteration_budget"`
-	C1             float64            `json:"c1"`
-	C2             float64            `json:"c2"`
-	Converged      bool               `json:"converged"`
-	StrictEvidence bool               `json:"strict_evidence,omitempty"`
-	DisableSpread  bool               `json:"disable_spread,omitempty"`
-	Channel        core.WeightChannel `json:"channel"`
-	EvidenceForm   core.EvidenceForm  `json:"evidence_form"`
-	PruneEpsilon   float64            `json:"prune_epsilon"`
-	Tolerance      float64            `json:"tolerance"`
-	DeltaSkipTol   float64            `json:"delta_skip_tolerance"`
-	NumQueries     int                `json:"queries"`
-	NumAds         int                `json:"ads"`
+	Iterations      int                `json:"iterations"`
+	IterationBudget int                `json:"iteration_budget"`
+	C1              float64            `json:"c1"`
+	C2              float64            `json:"c2"`
+	Converged       bool               `json:"converged"`
+	StrictEvidence  bool               `json:"strict_evidence,omitempty"`
+	DisableSpread   bool               `json:"disable_spread,omitempty"`
+	Channel         core.WeightChannel `json:"channel"`
+	EvidenceForm    core.EvidenceForm  `json:"evidence_form"`
+	PruneEpsilon    float64            `json:"prune_epsilon"`
+	Tolerance       float64            `json:"tolerance"`
+	DeltaSkipTol    float64            `json:"delta_skip_tolerance"`
+	NumQueries      int                `json:"queries"`
+	NumAds          int                `json:"ads"`
 	// Shards is the number of score segments; 1 for a monolithic run.
 	Shards int `json:"shards"`
 	// QueryPairs and AdPairs are the total stored pair counts across all
@@ -415,13 +416,61 @@ type segEntry struct {
 	fp             uint64
 }
 
-// snapShard is one shard's lazily-loaded tables. The sync.Onces make
-// concurrent first touches race-free; after loading, the tables are
-// read-only (PairTable reads and EnsureIndex are concurrency-safe).
+// segState is one score segment's lazy-load state machine. A segment
+// that fails to load (torn write, bad disk, CRC mismatch) is
+// quarantined: lookups against it fail fast until a capped exponential
+// backoff elapses, then the next touch retries the load — so a
+// transient fault heals without a restart while a persistent one
+// cannot melt the disk with retry storms. The mutex makes concurrent
+// first touches race-free (one loader, everyone else waits, exactly
+// like the sync.Once it replaced); after a successful load the table
+// is read-only (PairTable reads and EnsureIndex are concurrency-safe).
+type segState struct {
+	mu       sync.Mutex
+	tab      *sparse.PairTable
+	loaded   bool
+	err      error     // last load failure
+	failures int       // consecutive load failures
+	retryAt  time.Time // quarantined until then
+}
+
+// snapShard is one shard's lazily-loaded tables, one state per side.
 type snapShard struct {
-	qOnce, aOnce sync.Once
-	qErr, aErr   error
-	qTab, aTab   *sparse.PairTable
+	q, a segState
+}
+
+// Quarantine backoff policy: first failure waits backoffBase, each
+// further failure doubles it up to backoffMax.
+const (
+	defaultBackoffBase = time.Second
+	defaultBackoffMax  = time.Minute
+)
+
+// errQuarantined wraps a segment's load failure while its backoff has
+// not elapsed: the fault is remembered, the disk is not re-touched.
+type errQuarantined struct {
+	shard    int
+	side     string
+	failures int
+	retryAt  time.Time
+	cause    error
+}
+
+func (e *errQuarantined) Error() string {
+	return fmt.Sprintf("serve: shard %d %s segment quarantined after %d failed loads (retry at %s): %v",
+		e.shard, e.side, e.failures, e.retryAt.UTC().Format(time.RFC3339), e.cause)
+}
+
+func (e *errQuarantined) Unwrap() error { return e.cause }
+
+// ShardHealth describes one quarantined score segment — the /readyz and
+// /stats degraded-mode detail.
+type ShardHealth struct {
+	Shard    int       `json:"shard"`
+	Side     string    `json:"side"` // "query" or "ad"
+	Failures int       `json:"failures"`
+	Error    string    `json:"error"`
+	RetryAt  time.Time `json:"retry_at"`
 }
 
 // Snapshot is a loaded snapshot file implementing ScoreIndex. Opening
@@ -442,8 +491,13 @@ type Snapshot struct {
 	dir          []segEntry
 	shards       []snapShard
 	// loaded counts successfully materialized segments; atomic because
-	// stats readers race with lazy loads inside the Onces.
+	// stats readers race with lazy loads under the per-segment locks.
 	loaded atomic.Int32
+
+	// Quarantine policy for failed segment loads; now is a clock hook so
+	// chaos tests can step through backoff windows deterministically.
+	backoffBase, backoffMax time.Duration
+	now                     func() time.Time
 
 	mu      sync.Mutex
 	lazyErr error // first segment-load failure, surfaced via Err
@@ -490,27 +544,32 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	}
 
 	flags := binary.LittleEndian.Uint32(hdr[12:])
-	s := &Snapshot{r: r, size: size}
+	s := &Snapshot{
+		r: r, size: size,
+		backoffBase: defaultBackoffBase,
+		backoffMax:  defaultBackoffMax,
+		now:         time.Now,
+	}
 	s.meta = SnapshotMeta{
 		Variant:         core.Variant(binary.LittleEndian.Uint32(hdr[16:])),
 		Iterations:      int(binary.LittleEndian.Uint32(hdr[20:])),
 		IterationBudget: int(binary.LittleEndian.Uint32(hdr[172:])),
-		C1:             math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
-		C2:             math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:])),
-		Converged:      flags&flagConverged != 0,
-		StrictEvidence: flags&flagStrictEvidence != 0,
-		DisableSpread:  flags&flagDisableSpread != 0,
-		Channel:        core.WeightChannel(binary.LittleEndian.Uint32(hdr[140:])),
-		EvidenceForm:   core.EvidenceForm(binary.LittleEndian.Uint32(hdr[144:])),
-		PruneEpsilon:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[148:])),
-		Tolerance:      math.Float64frombits(binary.LittleEndian.Uint64(hdr[156:])),
-		DeltaSkipTol:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[164:])),
-		NumQueries:     int(binary.LittleEndian.Uint32(hdr[40:])),
-		NumAds:         int(binary.LittleEndian.Uint32(hdr[44:])),
-		Shards:         int(binary.LittleEndian.Uint32(hdr[48:])),
-		QueryPairs:     int64(binary.LittleEndian.Uint64(hdr[56:])),
-		AdPairs:        int64(binary.LittleEndian.Uint64(hdr[64:])),
-		GeneratedAt:    time.Unix(int64(binary.LittleEndian.Uint64(hdr[128:])), 0).UTC(),
+		C1:              math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
+		C2:              math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:])),
+		Converged:       flags&flagConverged != 0,
+		StrictEvidence:  flags&flagStrictEvidence != 0,
+		DisableSpread:   flags&flagDisableSpread != 0,
+		Channel:         core.WeightChannel(binary.LittleEndian.Uint32(hdr[140:])),
+		EvidenceForm:    core.EvidenceForm(binary.LittleEndian.Uint32(hdr[144:])),
+		PruneEpsilon:    math.Float64frombits(binary.LittleEndian.Uint64(hdr[148:])),
+		Tolerance:       math.Float64frombits(binary.LittleEndian.Uint64(hdr[156:])),
+		DeltaSkipTol:    math.Float64frombits(binary.LittleEndian.Uint64(hdr[164:])),
+		NumQueries:      int(binary.LittleEndian.Uint32(hdr[40:])),
+		NumAds:          int(binary.LittleEndian.Uint32(hdr[44:])),
+		Shards:          int(binary.LittleEndian.Uint32(hdr[48:])),
+		QueryPairs:      int64(binary.LittleEndian.Uint64(hdr[56:])),
+		AdPairs:         int64(binary.LittleEndian.Uint64(hdr[64:])),
+		GeneratedAt:     time.Unix(int64(binary.LittleEndian.Uint64(hdr[128:])), 0).UTC(),
 	}
 	if d := binary.LittleEndian.Uint32(hdr[136:]); d == fullBuildSentinel {
 		s.meta.LastRefreshDirty = -1
@@ -691,32 +750,91 @@ func (s *Snapshot) recordErr(err error) {
 	s.mu.Unlock()
 }
 
+// segTable returns one side's table for shard si, loading it on first
+// use. A failed load quarantines the segment: until its backoff
+// elapses, callers get the remembered error without a disk touch; after
+// it elapses, the next touch retries — which is how a shard recovers
+// once a transient fault clears. All other shards are untouched by one
+// shard's quarantine: the daemon keeps answering for them.
+func (s *Snapshot) segTable(st *segState, side string, si int) (*sparse.PairTable, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.loaded {
+		return st.tab, nil
+	}
+	if st.failures > 0 && s.now().Before(st.retryAt) {
+		return nil, &errQuarantined{shard: si, side: side, failures: st.failures, retryAt: st.retryAt, cause: st.err}
+	}
+	e := &s.dir[si]
+	off, pairs, crc := e.qOff, e.qPairs, e.qCRC
+	if side == "ad" {
+		off, pairs, crc = e.aOff, e.aPairs, e.aCRC
+	}
+	tab, err := s.loadSegment(side, si, off, pairs, crc)
+	if err != nil {
+		st.failures++
+		st.err = err
+		backoff := s.backoffBase << (st.failures - 1)
+		if backoff > s.backoffMax || backoff <= 0 {
+			backoff = s.backoffMax
+		}
+		st.retryAt = s.now().Add(backoff)
+		s.recordErr(err)
+		return nil, err
+	}
+	st.tab, st.loaded = tab, true
+	st.failures, st.err = 0, nil
+	s.loaded.Add(1)
+	return tab, nil
+}
+
 // queryTable returns shard si's query-side table, loading it on first use.
 func (s *Snapshot) queryTable(si int) (*sparse.PairTable, error) {
-	sh := &s.shards[si]
-	sh.qOnce.Do(func() {
-		sh.qTab, sh.qErr = s.loadSegment("query", si, s.dir[si].qOff, s.dir[si].qPairs, s.dir[si].qCRC)
-		if sh.qErr != nil {
-			s.recordErr(sh.qErr)
-		} else {
-			s.loaded.Add(1)
-		}
-	})
-	return sh.qTab, sh.qErr
+	return s.segTable(&s.shards[si].q, "query", si)
 }
 
 // adTable is queryTable for the ad side.
 func (s *Snapshot) adTable(si int) (*sparse.PairTable, error) {
-	sh := &s.shards[si]
-	sh.aOnce.Do(func() {
-		sh.aTab, sh.aErr = s.loadSegment("ad", si, s.dir[si].aOff, s.dir[si].aPairs, s.dir[si].aCRC)
-		if sh.aErr != nil {
-			s.recordErr(sh.aErr)
-		} else {
-			s.loaded.Add(1)
+	return s.segTable(&s.shards[si].a, "ad", si)
+}
+
+// Quarantined reports every score segment currently in quarantine — a
+// past load failed and no retry has succeeded since. Empty means fully
+// healthy (or untouched: lazily-loaded segments that were never read
+// are not failures).
+func (s *Snapshot) Quarantined() []ShardHealth {
+	var out []ShardHealth
+	for i := range s.shards {
+		for _, side := range [2]struct {
+			name string
+			st   *segState
+		}{{"query", &s.shards[i].q}, {"ad", &s.shards[i].a}} {
+			side.st.mu.Lock()
+			if !side.st.loaded && side.st.failures > 0 {
+				out = append(out, ShardHealth{
+					Shard:    i,
+					Side:     side.name,
+					Failures: side.st.failures,
+					Error:    side.st.err.Error(),
+					RetryAt:  side.st.retryAt,
+				})
+			}
+			side.st.mu.Unlock()
 		}
-	})
-	return sh.aTab, sh.aErr
+	}
+	return out
+}
+
+// SetQuarantineBackoff overrides the capped exponential backoff applied
+// to failed segment loads (defaults: 1s base, 1m cap). Chaos tests also
+// use it to shrink waits.
+func (s *Snapshot) SetQuarantineBackoff(base, max time.Duration) {
+	if base > 0 {
+		s.backoffBase = base
+	}
+	if max > 0 {
+		s.backoffMax = max
+	}
 }
 
 // Meta returns the snapshot's run metadata.
@@ -825,6 +943,25 @@ func (s *Snapshot) TopRewrites(q, k int) []sparse.Scored {
 	}
 	t.EnsureIndex()
 	return t.TopKFor(q, k)
+}
+
+// TopRewritesContext is TopRewrites under a request deadline: an
+// already-expired context returns before triggering a lazy segment load
+// (the one potentially slow step on this path), and a load failure is
+// surfaced as an error instead of an indistinguishable empty ranking.
+func (s *Snapshot) TopRewritesContext(ctx context.Context, q, k int) ([]sparse.Scored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t, err := s.queryTable(int(s.qRoute[q]))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.EnsureIndex()
+	return t.TopKFor(q, k), nil
 }
 
 // TopSimilarAds implements ScoreIndex.
