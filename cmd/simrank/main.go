@@ -11,6 +11,7 @@
 //	        [-save SNAPSHOT]
 //	simrank -graph FILE -refresh PREV [-save NEXT] [-save-plan FILE]
 //	        [-shard-workers 0] [-generations 3]
+//	        [-workers host:port,host:port,...]
 //	simrank -rollback SNAPSHOT
 //	simrank -load SNAPSHOT [-query Q | -all] [-top K] [-bids FILE]
 //
@@ -40,6 +41,16 @@
 // from the previous file. -save defaults to overwriting PREV in place
 // (atomic rename), which a running simrankd picks up on SIGHUP.
 //
+// With -workers, the dirty shards are dispatched as leases to a fleet of
+// simrank-worker processes instead of recomputed in this process: each
+// lease carries the shard's subgraph, warm-start scores, and the
+// recorded engine configuration, and comes back as CRC'd segment bytes.
+// Leases that time out are re-dispatched with capped exponential
+// backoff, stragglers are hedged to a second worker, and shards the
+// fleet cannot complete fall back to local recompute — so a fleet-wide
+// outage degrades to exactly the single-machine refresh. The assembled
+// snapshot is byte-identical to what the local path writes.
+//
 // Every refresh is journaled as a numbered generation beside the output
 // snapshot (NEXT.gens/: snapshot bytes + CRC'd manifest recording the
 // generation id, source-graph fingerprint and whole-file hash), the
@@ -54,6 +65,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +74,7 @@ import (
 
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/core"
+	"simrankpp/internal/dist"
 	"simrankpp/internal/partition"
 	"simrankpp/internal/rewrite"
 	"simrankpp/internal/serve"
@@ -89,6 +102,7 @@ func main() {
 		refresh   = flag.String("refresh", "", "incrementally refresh this snapshot against -graph (recompute dirty shards only)")
 		rollback  = flag.String("rollback", "", "re-point this serving snapshot at the last good journaled generation")
 		keepGens  = flag.Int("generations", serve.DefaultKeepGenerations, "refresh: journaled generations retained beside the snapshot")
+		fleet     = flag.String("workers", "", "refresh: comma-separated simrank-worker addresses (host:port or http://host:port) to dispatch dirty shards to")
 	)
 	flag.Parse()
 	if *rollback != "" {
@@ -129,10 +143,13 @@ func main() {
 			fatal(fmt.Errorf("-refresh reuses the engine settings recorded in the snapshot; drop %s (start a fresh -save to change them)",
 				strings.Join(conflicting, ", ")))
 		}
-		if err := runRefresh(*graphPath, *refresh, *savePath, *planSave, *shardWork, *keepGens); err != nil {
+		if err := runRefresh(*graphPath, *refresh, *savePath, *planSave, *shardWork, *keepGens, fleetURLs(*fleet)); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *fleet != "" {
+		fatal(fmt.Errorf("-workers only applies to -refresh (full builds run in-process)"))
 	}
 	if *loadPath == "" && *graphPath == "" {
 		fatal(fmt.Errorf("-graph is required (or -load a snapshot)"))
@@ -273,7 +290,7 @@ func obtainPlan(g *clickgraph.Graph, sharded bool, shardMax int, planPath string
 // fails (or dies) at any instant leaves the previous generation
 // loadable, and the failure path re-points serving at the last good
 // generation when the serving file itself turns out damaged.
-func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGens int) error {
+func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGens int, fleet []string) error {
 	if savePath == "" {
 		savePath = prevPath // atomic in-place generation swap
 	}
@@ -305,7 +322,13 @@ func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGen
 		return err
 	}
 
-	st, diff, err := refreshGeneration(gs, g, prev, workers)
+	var st serve.RefreshStats
+	var diff *partition.Diff
+	if len(fleet) > 0 {
+		st, diff, err = refreshGenerationFleet(gs, g, prev, workers, fleet)
+	} else {
+		st, diff, err = refreshGeneration(gs, g, prev, workers)
+	}
 	if err != nil {
 		// The journal protects the serving file by construction, but a
 		// bad disk can damage it independently; verify and restore.
@@ -364,6 +387,45 @@ func refreshGeneration(gs *serve.GenerationStore, g *clickgraph.Graph, prev *ser
 	if err := gs.Publish(gen); err != nil {
 		return st, nil, err
 	}
+	return st, diff, nil
+}
+
+// fleetURLs normalizes the -workers list into base URLs: bare host:port
+// entries get an http scheme, trailing slashes are dropped.
+func fleetURLs(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		out = append(out, strings.TrimSuffix(w, "/"))
+	}
+	return out
+}
+
+// refreshGenerationFleet is refreshGeneration's distributed twin: dirty
+// shards go to the -workers fleet as leases (with retry, hedging, and
+// local fallback), and the assembled generation is committed and
+// published through the same journal. The bytes are identical to the
+// local path's by the determinism contract the dist tests pin.
+func refreshGenerationFleet(gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot, workers int, fleet []string) (serve.RefreshStats, *partition.Diff, error) {
+	c := dist.NewCoordinator(fleet, dist.Options{
+		LocalWorkers: workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "simrank: "+format+"\n", args...)
+		},
+	})
+	st, diff, fleetRes, err := dist.RefreshGeneration(context.Background(), c, gs, g, prev)
+	if err != nil {
+		return st, diff, err
+	}
+	s := fleetRes.Stats
+	fmt.Fprintf(os.Stderr, "simrank: fleet refresh: %d shard(s) remote, %d local fallback; %d retries, %d hedges, %d duplicate completions, %d worker(s) marked dead\n",
+		s.RemoteShards, s.LocalFallbackShards, s.Retries, s.Hedges, s.DuplicateWins, s.WorkerDeaths)
 	return st, diff, nil
 }
 

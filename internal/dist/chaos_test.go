@@ -1,0 +1,339 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/faultfs"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/serve"
+)
+
+// Chaos suite for the distributed refresh path, driven by the faultfs
+// HTTP injector (dead workers, mid-transfer cuts, corruption,
+// stragglers) and the coordinator's Checkpoint hook (crashes at every
+// refresh stage). Every scenario ends with the same assertion the
+// tentpole demands: the bytes that finally serve are exactly what a
+// single-machine refresh would have produced.
+
+// chaosLogf collects coordinator log lines; safe for the concurrent
+// dispatch goroutines.
+type chaosLogf struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (cl *chaosLogf) logf(format string, args ...any) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.lines = append(cl.lines, fmt.Sprintf(format, args...))
+}
+
+func (cl *chaosLogf) contains(substr string) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, l := range cl.lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func hostOf(t *testing.T, rawURL string) string {
+	t.Helper()
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// chaosFixture builds a previous generation, a churned next graph, its
+// diff, and the local-path refresh bytes every scenario must reproduce.
+func chaosFixture(t *testing.T) (*serve.Snapshot, []byte, *clickgraph.Graph, *partition.Diff, []byte) {
+	t.Helper()
+	cfg := refreshCfg()
+	prevBytes, prev := buildGeneration(t, refreshGraph(t, [4]int{1, 2, 3, 4}), cfg)
+	next := refreshGraph(t, [4]int{9, 2, 3, 4})
+	_, _, want := localRefreshBytes(t, next, prev)
+	diff, err := partition.DiffPlans(prev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.DirtyShards == 0 {
+		t.Fatal("fixture produced no dirty shards")
+	}
+	return prev, prevBytes, next, diff, want
+}
+
+// assembleFleet runs the fleet and assembles the refreshed snapshot.
+func assembleFleet(t *testing.T, c *Coordinator, next *clickgraph.Graph, prev *serve.Snapshot, diff *partition.Diff) (*FleetResult, []byte) {
+	t.Helper()
+	fleet, err := c.RefreshShards(context.Background(), next, prev, diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := serve.AssembleRefresh(&buf, prev, next, prev.Config(), diff.Plan, diff.Dirty,
+		fleet.Segments, fleet.Iterations, fleet.Converged); err != nil {
+		t.Fatal(err)
+	}
+	return fleet, buf.Bytes()
+}
+
+// TestChaosWorkerKilledMidShard is acceptance scenario (a): one worker's
+// responses are cut mid-transfer (a worker killed while streaming its
+// segment). The lease must be re-dispatched and the final refresh must
+// be byte-identical to the local-only path.
+func TestChaosWorkerKilledMidShard(t *testing.T) {
+	prev, _, next, diff, want := chaosFixture(t)
+	urls := startWorkers(t, 2)
+
+	inj := faultfs.NewHTTPInjector()
+	inj.TruncateBody(hostOf(t, urls[0]), 64) // every response from worker 0 dies mid-stream
+	cl := &chaosLogf{}
+	c := NewCoordinator(urls, Options{
+		Transport:   inj.Transport(nil),
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Logf:        cl.logf,
+	})
+
+	fleet, got := assembleFleet(t, c, next, prev, diff)
+	if fleet.Stats.Retries == 0 {
+		t.Fatalf("cut worker never forced a re-dispatch: %+v", fleet.Stats)
+	}
+	if fleet.Stats.RemoteShards != diff.DirtyShards || fleet.Stats.LocalFallbackShards != 0 {
+		t.Fatalf("stats %+v: want all %d dirty shards computed remotely", fleet.Stats, diff.DirtyShards)
+	}
+	if !bytes.Equal(maskVolatile(t, got), maskVolatile(t, want)) {
+		t.Fatal("refresh under a killed worker differs from the local-only refresh")
+	}
+}
+
+// TestChaosCorruptResponseRejected: a worker whose response bytes are
+// bit-flipped in flight must be treated as failed — the CRC trailer
+// rejects the payload and the lease is re-dispatched, never assembled.
+func TestChaosCorruptResponseRejected(t *testing.T) {
+	prev, _, next, diff, want := chaosFixture(t)
+	urls := startWorkers(t, 2)
+
+	inj := faultfs.NewHTTPInjector()
+	inj.FlipBodyBit(hostOf(t, urls[0]), 100, 3) // corrupt worker 0's payloads
+	cl := &chaosLogf{}
+	c := NewCoordinator(urls, Options{
+		Transport:   inj.Transport(nil),
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Logf:        cl.logf,
+	})
+
+	fleet, got := assembleFleet(t, c, next, prev, diff)
+	if fleet.Stats.Retries == 0 {
+		t.Fatalf("corrupted responses never forced a re-dispatch: %+v", fleet.Stats)
+	}
+	if !bytes.Equal(maskVolatile(t, got), maskVolatile(t, want)) {
+		t.Fatal("refresh under response corruption differs from the local-only refresh")
+	}
+}
+
+// TestChaosAllWorkersDeadLocalFallback is acceptance scenario (b): with
+// every worker unreachable the refresh must degrade to the local
+// recompute path, complete, and still produce the exact local bytes.
+func TestChaosAllWorkersDeadLocalFallback(t *testing.T) {
+	prev, _, next, diff, want := chaosFixture(t)
+	urls := startWorkers(t, 2)
+
+	inj := faultfs.NewHTTPInjector()
+	inj.Drop("", -1) // the whole fleet is unreachable
+	cl := &chaosLogf{}
+	c := NewCoordinator(urls, Options{
+		Transport:      inj.Transport(nil),
+		MaxAttempts:    2,
+		MaxWorkerFails: 2,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     2 * time.Millisecond,
+		LocalWorkers:   3,
+		Logf:           cl.logf,
+	})
+
+	fleet, got := assembleFleet(t, c, next, prev, diff)
+	if fleet.Stats.RemoteShards != 0 || fleet.Stats.LocalFallbackShards != diff.DirtyShards {
+		t.Fatalf("stats %+v: want all %d dirty shards recomputed locally", fleet.Stats, diff.DirtyShards)
+	}
+	if fleet.Stats.WorkerDeaths != len(urls) {
+		t.Errorf("WorkerDeaths = %d, want %d", fleet.Stats.WorkerDeaths, len(urls))
+	}
+	if !cl.contains("fallback-to-local") {
+		t.Error("fallback did not log its fallback-to-local line")
+	}
+	if !bytes.Equal(maskVolatile(t, got), maskVolatile(t, want)) {
+		t.Fatal("local-fallback refresh differs from the local-only refresh")
+	}
+}
+
+// TestChaosStragglerHedged: a worker that is alive but slow must get
+// its lease hedged to a second worker once the latency percentile says
+// it is straggling — and the hedge's bytes are the same bytes.
+func TestChaosStragglerHedged(t *testing.T) {
+	prev, _, next, diff, want := chaosFixture(t)
+	urls := startWorkers(t, 2)
+
+	inj := faultfs.NewHTTPInjector()
+	inj.SetLatency(hostOf(t, urls[0]), 2*time.Second) // worker 0 straggles
+	cl := &chaosLogf{}
+	c := NewCoordinator(urls, Options{
+		Transport:     inj.Transport(nil),
+		HedgeQuantile: 0.5,
+		HedgeAfter:    5 * time.Millisecond,
+		Logf:          cl.logf,
+	})
+	// Prime the latency window: hedging needs completed-lease samples
+	// before it can call anything a straggler.
+	for i := 0; i < 3; i++ {
+		c.recordLatency(2 * time.Millisecond)
+	}
+
+	start := time.Now()
+	fleet, got := assembleFleet(t, c, next, prev, diff)
+	if fleet.Stats.Hedges == 0 {
+		t.Fatalf("straggling worker was never hedged: %+v", fleet.Stats)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged refresh still waited out the straggler (%v)", elapsed)
+	}
+	if fleet.Stats.RemoteShards != diff.DirtyShards || fleet.Stats.LocalFallbackShards != 0 {
+		t.Fatalf("stats %+v: want all %d dirty shards computed remotely", fleet.Stats, diff.DirtyShards)
+	}
+	if !bytes.Equal(maskVolatile(t, got), maskVolatile(t, want)) {
+		t.Fatal("hedged refresh differs from the local-only refresh")
+	}
+}
+
+// TestChaosCoordinatorCrashRecovery is acceptance scenario (c): the
+// coordinator dies at every dispatch/assembly checkpoint in turn. After
+// each crash the previous generation must still be the serving file,
+// openable and rollback-clean, and a retried refresh must publish the
+// exact local-path bytes.
+func TestChaosCoordinatorCrashRecovery(t *testing.T) {
+	stages := []string{"pre-dispatch", "pre-commit", "commit:mid-write", "pre-publish"}
+	for _, stage := range stages {
+		t.Run(stage, func(t *testing.T) {
+			cfg := refreshCfg()
+			prevBytes, _ := buildGeneration(t, refreshGraph(t, [4]int{1, 2, 3, 4}), cfg)
+			next := refreshGraph(t, [4]int{9, 2, 3, 4})
+
+			dir := t.TempDir()
+			path := filepath.Join(dir, "scores.snap")
+			if err := os.WriteFile(path, prevBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			gs := serve.NewGenerationStore(path, 5)
+			adopted, err := gs.Adopt()
+			if err != nil || adopted == nil {
+				t.Fatalf("Adopt = (%v, %v)", adopted, err)
+			}
+			prev, err := serve.OpenSnapshot(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer prev.Close()
+			_, _, want := localRefreshBytes(t, next, prev)
+
+			urls := startWorkers(t, 2)
+			cl := &chaosLogf{}
+			crashed := NewCoordinator(urls, Options{
+				Logf: cl.logf,
+				Checkpoint: func(s string) error {
+					if s == stage {
+						return fmt.Errorf("injected coordinator crash at %s", s)
+					}
+					return nil
+				},
+			})
+			if _, _, _, err := RefreshGeneration(context.Background(), crashed, gs, next, prev); err == nil {
+				t.Fatalf("refresh survived an injected crash at %s", stage)
+			}
+
+			// The previous generation still serves, byte for byte, and the
+			// journal still verifies it as the rollback target.
+			serving, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serving, prevBytes) {
+				t.Fatalf("crash at %s disturbed the serving snapshot", stage)
+			}
+			if snap, err := serve.OpenSnapshot(path); err != nil {
+				t.Fatalf("serving snapshot no longer opens after crash at %s: %v", stage, err)
+			} else {
+				snap.Close()
+			}
+			good, err := gs.LastGood()
+			if err != nil {
+				t.Fatalf("no good generation after crash at %s: %v", stage, err)
+			}
+			if good.CRC != adopted.CRC || good.Size != adopted.Size {
+				// A crash after commit legitimately leaves the (valid, never
+				// published) next generation as the newest good one; the
+				// serving bytes above are the real invariant. But before
+				// commit the adopted generation must still be the last good.
+				if stage == "pre-dispatch" || stage == "pre-commit" || stage == "commit:mid-write" {
+					t.Fatalf("crash at %s replaced the last-good generation", stage)
+				}
+			}
+
+			// Recovery: sweep debris and rerun with a fresh coordinator.
+			if _, err := gs.SweepTemp(); err != nil {
+				t.Fatal(err)
+			}
+			retry := NewCoordinator(urls, Options{Logf: cl.logf})
+			if _, _, _, err := RefreshGeneration(context.Background(), retry, gs, next, prev); err != nil {
+				t.Fatalf("retried refresh after crash at %s: %v", stage, err)
+			}
+			published, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(maskVolatile(t, published), maskVolatile(t, want)) {
+				t.Fatalf("recovered refresh after crash at %s differs from the local-only refresh", stage)
+			}
+		})
+	}
+}
+
+// TestChaosFlappingWorker: a worker that answers 503 for a burst and
+// then recovers must be retried onto, not abandoned — the fleet heals
+// without falling back to local compute.
+func TestChaosFlappingWorker(t *testing.T) {
+	prev, _, next, diff, want := chaosFixture(t)
+	urls := startWorkers(t, 2)
+
+	inj := faultfs.NewHTTPInjector()
+	inj.Respond5xx(hostOf(t, urls[0]), 2) // two failures, then healthy
+	cl := &chaosLogf{}
+	c := NewCoordinator(urls, Options{
+		Transport:   inj.Transport(nil),
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Logf:        cl.logf,
+	})
+
+	fleet, got := assembleFleet(t, c, next, prev, diff)
+	if fleet.Stats.LocalFallbackShards != 0 {
+		t.Fatalf("flapping worker pushed shards to local fallback: %+v", fleet.Stats)
+	}
+	if !bytes.Equal(maskVolatile(t, got), maskVolatile(t, want)) {
+		t.Fatal("refresh under a flapping worker differs from the local-only refresh")
+	}
+}

@@ -1,0 +1,700 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/serve"
+)
+
+// Options tunes the coordinator's failure handling. Zero values select
+// the defaults noted on each field.
+type Options struct {
+	// LeaseTimeout bounds one dispatch round-trip (default 30s); a
+	// worker that has not answered by then is treated as failed and the
+	// lease is re-dispatched.
+	LeaseTimeout time.Duration
+	// MaxAttempts bounds dispatch rounds per shard (default 4); a round
+	// may involve two workers when hedged. Exhausting it sends the
+	// shard to the local fallback.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the capped exponential backoff
+	// between a shard's dispatch rounds (defaults 100ms / 5s); the wait
+	// is scaled by Jitter into [½, 1]× so re-dispatches don't stampede.
+	BackoffBase, BackoffMax time.Duration
+	// HedgeQuantile picks the completed-lease latency percentile after
+	// which a straggler is hedged to a second worker (default 0.95);
+	// HedgeAfter floors the hedge delay (default 250ms). Hedging starts
+	// only once 3 leases have completed — before that there is no
+	// latency signal to call a dispatch a straggler against.
+	HedgeQuantile float64
+	HedgeAfter    time.Duration
+	// MaxWorkerFails is how many consecutive failures mark a worker
+	// dead (default 3). Dead workers receive no further leases.
+	MaxWorkerFails int
+	// Concurrency bounds in-flight shards (default 2 × workers).
+	Concurrency int
+	// LocalWorkers is the engine budget for the local fallback run
+	// (<= 0: GOMAXPROCS).
+	LocalWorkers int
+	// Transport overrides the HTTP transport (the chaos suite's
+	// fault-injection seam); nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Jitter overrides the backoff jitter source, returning values in
+	// [0, 1]; nil uses math/rand. Tests pin it for determinism.
+	Jitter func() float64
+	// Checkpoint, when non-nil, is called at each refresh stage
+	// ("pre-dispatch", "pre-commit", "commit:mid-write", "pre-publish");
+	// returning an error aborts the refresh there — the crash-injection
+	// seam the chaos suite drives.
+	Checkpoint func(stage string) error
+	// Logf receives progress lines; nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.LeaseTimeout <= 0 {
+		out.LeaseTimeout = 30 * time.Second
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 4
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 100 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = 5 * time.Second
+	}
+	if out.HedgeQuantile <= 0 || out.HedgeQuantile >= 1 {
+		out.HedgeQuantile = 0.95
+	}
+	if out.HedgeAfter <= 0 {
+		out.HedgeAfter = 250 * time.Millisecond
+	}
+	if out.MaxWorkerFails <= 0 {
+		out.MaxWorkerFails = 3
+	}
+	if out.Jitter == nil {
+		out.Jitter = rand.Float64
+	}
+	return out
+}
+
+// FleetStats counts what the failure machinery did during one refresh.
+type FleetStats struct {
+	// RemoteShards/LocalFallbackShards partition the dirty shards by
+	// where their segments were computed.
+	RemoteShards, LocalFallbackShards int
+	// Retries counts re-dispatched leases (a hedge is not a retry);
+	// Hedges counts second-worker dispatches for stragglers;
+	// DuplicateWins counts completions that lost the idempotent accept
+	// race (their bytes were discarded).
+	Retries, Hedges, DuplicateWins int
+	// WorkerDeaths counts workers marked dead after consecutive
+	// failures.
+	WorkerDeaths int
+}
+
+// FleetResult is one distributed refresh's compute output, ready for
+// serve.AssembleRefresh.
+type FleetResult struct {
+	// Segments has one entry per plan shard: non-nil exactly at the
+	// dirty indices.
+	Segments []*serve.ShardSegment
+	// Iterations is the deepest dirty-shard run; Converged ANDs over
+	// every dirty shard (vacuously true with none).
+	Iterations int
+	Converged  bool
+	Stats      FleetStats
+}
+
+// workerState tracks one worker's health.
+type workerState struct {
+	url   string
+	fails int
+	dead  bool
+}
+
+// completionKey is the idempotency identity a completed lease files
+// under: duplicate completions (hedges, re-dispatched timeouts that
+// raced their retry) collapse onto one entry, first writer wins.
+type completionKey struct {
+	gen   uint64
+	shard uint32
+	fp    uint64
+}
+
+// Coordinator dispatches dirty-shard leases to a worker fleet.
+type Coordinator struct {
+	opt     Options
+	client  *http.Client
+	workers []*workerState
+
+	mu        sync.Mutex
+	rr        int
+	samples   []time.Duration // completed-lease latencies, bounded
+	completed map[completionKey]*serve.ShardSegment
+	stats     FleetStats
+}
+
+// NewCoordinator returns a coordinator over the given worker base URLs
+// (e.g. "http://host:9090").
+func NewCoordinator(workerURLs []string, opt Options) *Coordinator {
+	opt = (&opt).withDefaults()
+	c := &Coordinator{
+		opt:       opt,
+		client:    &http.Client{Transport: opt.Transport},
+		completed: make(map[completionKey]*serve.ShardSegment),
+	}
+	for _, u := range workerURLs {
+		c.workers = append(c.workers, &workerState{url: u})
+	}
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// pickWorker round-robins over live workers, skipping exclude (the
+// hedge's primary); nil when none qualify.
+func (c *Coordinator) pickWorker(exclude *workerState) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for range c.workers {
+		w := c.workers[c.rr%len(c.workers)]
+		c.rr++
+		if !w.dead && w != exclude {
+			return w
+		}
+	}
+	return nil
+}
+
+// markResult updates a worker's health after a dispatch.
+func (c *Coordinator) markResult(w *workerState, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		w.fails = 0
+		return
+	}
+	w.fails++
+	if !w.dead && w.fails >= c.opt.MaxWorkerFails {
+		w.dead = true
+		c.stats.WorkerDeaths++
+		c.logf("dist: worker %s marked dead after %d consecutive failures", w.url, w.fails)
+	}
+}
+
+// recordLatency keeps a bounded window of completed-lease round-trip
+// times — the hedging threshold's signal.
+func (c *Coordinator) recordLatency(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = append(c.samples, d)
+	if len(c.samples) > 64 {
+		c.samples = c.samples[len(c.samples)-64:]
+	}
+}
+
+// hedgeDelay returns when a dispatch becomes a straggler: the
+// configured percentile of completed-lease latencies, floored at
+// HedgeAfter. ok is false until 3 leases have completed.
+func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.samples) < 3 {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), c.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted)-1) * c.opt.HedgeQuantile)
+	d := sorted[idx]
+	if d < c.opt.HedgeAfter {
+		d = c.opt.HedgeAfter
+	}
+	return d, true
+}
+
+// accept files a completed lease idempotently: the first completion
+// under a (generation, shard, fingerprint) key wins, later ones are
+// counted and dropped. A response whose echo or CRCs disagree with the
+// lease is rejected outright — it is not a completion of this work.
+func (c *Coordinator) accept(l *Lease, resp *SegmentResponse) (first bool, err error) {
+	if resp.Generation != l.Generation || resp.Shard != l.Shard || resp.Fingerprint != l.Fingerprint {
+		return false, fmt.Errorf("dist: completion echo (gen %016x shard %d fp %016x) does not match lease (gen %016x shard %d fp %016x)",
+			resp.Generation, resp.Shard, resp.Fingerprint, l.Generation, l.Shard, l.Fingerprint)
+	}
+	seg := &serve.ShardSegment{
+		QuerySeg: resp.QuerySeg, QueryCRC: resp.QueryCRC,
+		AdSeg: resp.AdSeg, AdCRC: resp.AdCRC,
+	}
+	if err := seg.Validate(); err != nil {
+		return false, err
+	}
+	key := completionKey{gen: l.Generation, shard: l.Shard, fp: l.Fingerprint}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.completed[key]; dup {
+		c.stats.DuplicateWins++
+		return false, nil
+	}
+	c.completed[key] = seg
+	return true, nil
+}
+
+// dispatchOnce sends one lease to one worker and decodes the response.
+func (c *Coordinator) dispatchOnce(ctx context.Context, w *workerState, leaseBytes []byte) (*SegmentResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opt.LeaseTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/refresh-shard", bytes.NewReader(leaseBytes))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	httpResp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: worker %s answered %d: %s", w.url, httpResp.StatusCode, truncated(body))
+	}
+	return DecodeSegmentResponse(body)
+}
+
+func truncated(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// shardOutcome is one dispatch's result, tagged with the worker that
+// produced it.
+type shardOutcome struct {
+	resp *SegmentResponse
+	w    *workerState
+	err  error
+}
+
+// dispatchShard drives one shard through attempts, hedging, and
+// backoff. It returns the accepted response or an error when every
+// avenue failed (the caller then falls back to local recompute).
+func (c *Coordinator) dispatchShard(ctx context.Context, l *Lease) (*SegmentResponse, error) {
+	leaseBytes, err := l.Encode()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		primary := c.pickWorker(nil)
+		if primary == nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("dist: no live workers")
+			}
+			return nil, lastErr
+		}
+		resp, err := c.dispatchHedged(ctx, l, leaseBytes, primary)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		c.logf("dist: shard %d attempt %d failed: %v", l.Shard, attempt+1, err)
+	}
+	return nil, fmt.Errorf("dist: shard %d exhausted %d attempts: %w", l.Shard, c.opt.MaxAttempts, lastErr)
+}
+
+// dispatchHedged runs one dispatch round: the primary worker, plus —
+// if the round outlives the straggler threshold — one hedge to a
+// different worker. The first accepted completion wins and cancels the
+// other; a completion that loses the accept race is already counted by
+// accept.
+func (c *Coordinator) dispatchHedged(ctx context.Context, l *Lease, leaseBytes []byte, primary *workerState) (*SegmentResponse, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan shardOutcome, 2)
+	send := func(w *workerState) {
+		start := time.Now()
+		resp, err := c.dispatchOnce(rctx, w, leaseBytes)
+		if err == nil {
+			c.recordLatency(time.Since(start))
+		}
+		results <- shardOutcome{resp: resp, w: w, err: err}
+	}
+	go send(primary)
+	outstanding := 1
+
+	var hedgeCh <-chan time.Time
+	if delay, ok := c.hedgeDelay(); ok {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeCh:
+			hedgeCh = nil
+			if secondary := c.pickWorker(primary); secondary != nil {
+				c.mu.Lock()
+				c.stats.Hedges++
+				c.mu.Unlock()
+				c.logf("dist: shard %d straggling on %s, hedging to %s", l.Shard, primary.url, secondary.url)
+				go send(secondary)
+				outstanding++
+			}
+		case out := <-results:
+			outstanding--
+			if out.err != nil {
+				c.markResult(out.w, false)
+				lastErr = out.err
+				continue
+			}
+			first, err := c.accept(l, out.resp)
+			if err != nil {
+				// A decoded-but-wrong response is a worker fault too.
+				c.markResult(out.w, false)
+				lastErr = err
+				continue
+			}
+			c.markResult(out.w, true)
+			// first==false means a concurrent path (a hedge racing its
+			// primary) already filed this shard; either copy is
+			// byte-identical by the determinism contract, and the caller
+			// reads the filed segment from the registry either way.
+			_ = first
+			return out.resp, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// sleepBackoff waits the capped exponential backoff for the given
+// attempt (1-based), scaled by jitter into [½, 1]×.
+func (c *Coordinator) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.opt.BackoffBase << (attempt - 1)
+	if d > c.opt.BackoffMax || d <= 0 {
+		d = c.opt.BackoffMax
+	}
+	half := d / 2
+	d = half + time.Duration(c.opt.Jitter()*float64(d-half))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// buildLease assembles one dirty shard's dispatch payload: the induced
+// subgraph in subview-local order, and — when warm is set — the exact
+// warm-start pairs the local path's seeder would pull, precomputed
+// against the previous generation so the worker needs no access to it.
+func buildLease(g *clickgraph.Graph, prev *serve.Snapshot, plan *partition.Plan, si int, generation uint64, cfg core.Config, warm bool) (*Lease, error) {
+	sh := &plan.Shards[si]
+	view, err := clickgraph.NewSubview(g, sh.Queries, sh.Ads)
+	if err != nil {
+		return nil, fmt.Errorf("dist: shard %d subview: %w", si, err)
+	}
+	vg := view.Graph
+	l := &Lease{
+		Generation:  generation,
+		Shard:       uint32(si),
+		Fingerprint: sh.Fingerprint,
+		Config:      cfg,
+		QueryIDs:    view.QueryIDs,
+		AdIDs:       view.AdIDs,
+	}
+	l.QueryNames = make([]string, vg.NumQueries())
+	for i := range l.QueryNames {
+		l.QueryNames[i] = vg.Query(i)
+	}
+	l.AdNames = make([]string, vg.NumAds())
+	for i := range l.AdNames {
+		l.AdNames[i] = vg.Ad(i)
+	}
+	vg.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
+		l.Edges = append(l.Edges, WireEdge{
+			Q: uint32(q), A: uint32(a),
+			Impressions: w.Impressions, Clicks: w.Clicks, Rate: w.ExpectedClickRate,
+		})
+		return true
+	})
+	if warm {
+		// Mirror core's warm seeder exactly — same iteration order, same
+		// j > i guard — so the worker's seeded frontier is bit-identical
+		// to what a local warm run of this shard would build.
+		for q := 0; q < vg.NumQueries(); q++ {
+			old, ok := prev.QueryID(vg.Query(q))
+			if !ok {
+				continue
+			}
+			for _, sc := range prev.TopRewrites(old, -1) {
+				if nj, ok := vg.QueryID(prev.Query(sc.Node)); ok && nj > q {
+					l.WarmQuery = append(l.WarmQuery, WirePair{I: uint32(q), J: uint32(nj), Score: sc.Score})
+				}
+			}
+		}
+		for a := 0; a < vg.NumAds(); a++ {
+			old, ok := prev.AdID(vg.Ad(a))
+			if !ok {
+				continue
+			}
+			for _, sc := range prev.TopSimilarAds(old, -1) {
+				if nj, ok := vg.AdID(prev.Ad(sc.Node)); ok && nj > a {
+					l.WarmAd = append(l.WarmAd, WirePair{I: uint32(a), J: uint32(nj), Score: sc.Score})
+				}
+			}
+		}
+	}
+	return l, nil
+}
+
+// planGeneration derives the target generation's identity: the XOR of
+// every projected shard's new-graph fingerprint — the same value the
+// assembled snapshot's header will advertise.
+func planGeneration(plan *partition.Plan) uint64 {
+	var fp uint64
+	for i := range plan.Shards {
+		fp ^= plan.Shards[i].Fingerprint
+	}
+	return fp
+}
+
+// RefreshShards computes every dirty shard's segment — remotely where
+// the fleet allows, locally where it does not — and returns the
+// assembled compute result. The engine configuration is the previous
+// snapshot's recorded config; dirty shards are warm-started exactly
+// when it converges by tolerance (serve.RunRefresh's rule).
+func (c *Coordinator) RefreshShards(ctx context.Context, g *clickgraph.Graph, prev *serve.Snapshot, diff *partition.Diff) (*FleetResult, error) {
+	cfg := prev.Config()
+	warm := cfg.Tolerance > 0
+	generation := planGeneration(diff.Plan)
+	out := &FleetResult{
+		Segments:  make([]*serve.ShardSegment, len(diff.Plan.Shards)),
+		Converged: true,
+	}
+
+	var dirtyIdx []int
+	for si, d := range diff.Dirty {
+		if d {
+			dirtyIdx = append(dirtyIdx, si)
+		}
+	}
+	if len(dirtyIdx) == 0 {
+		return out, nil
+	}
+
+	// Dispatch phase: every dirty shard through the fleet, bounded
+	// concurrency, failures collected for the fallback phase.
+	type shardDone struct {
+		si   int
+		resp *SegmentResponse
+		err  error
+	}
+	conc := c.opt.Concurrency
+	if conc <= 0 {
+		conc = 2 * len(c.workers)
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	sem := make(chan struct{}, conc)
+	done := make(chan shardDone, len(dirtyIdx))
+	var wg sync.WaitGroup
+	for _, si := range dirtyIdx {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if len(c.workers) == 0 {
+				done <- shardDone{si: si, err: fmt.Errorf("dist: no workers configured")}
+				return
+			}
+			lease, err := buildLease(g, prev, diff.Plan, si, generation, cfg, warm)
+			if err != nil {
+				done <- shardDone{si: si, err: err}
+				return
+			}
+			resp, err := c.dispatchShard(ctx, lease)
+			done <- shardDone{si: si, resp: resp, err: err}
+		}(si)
+	}
+	wg.Wait()
+	close(done)
+
+	var failed []int
+	for d := range done {
+		if d.err != nil {
+			failed = append(failed, d.si)
+			continue
+		}
+		key := completionKey{gen: generation, shard: uint32(d.si), fp: diff.Plan.Shards[d.si].Fingerprint}
+		c.mu.Lock()
+		out.Segments[d.si] = c.completed[key]
+		c.mu.Unlock()
+		if out.Segments[d.si] == nil {
+			// Defensive: a success without a filed completion cannot
+			// happen (accept files before dispatchShard returns), but a
+			// nil segment must never reach assembly.
+			failed = append(failed, d.si)
+			continue
+		}
+		out.Stats.RemoteShards++
+		if d.resp.Iterations > out.Iterations {
+			out.Iterations = d.resp.Iterations
+		}
+		out.Converged = out.Converged && d.resp.Converged
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Fallback phase: shards the fleet could not complete degrade to
+	// the single-machine refresh path — one warm dirty-shard run.
+	if len(failed) > 0 {
+		sort.Ints(failed)
+		c.logf("dist: fallback-to-local: recomputing %d shard(s) %v locally (fleet unavailable or exhausted)", len(failed), failed)
+		mask := make([]bool, len(diff.Plan.Shards))
+		for _, si := range failed {
+			mask[si] = true
+		}
+		opt := core.ShardOptions{
+			Workers:           c.opt.LocalWorkers,
+			RetainShardScores: true,
+			RunShards:         mask,
+		}
+		if warm {
+			opt.WarmStart = prev
+		}
+		res, err := core.RunSharded(g, cfg, diff.Plan, opt)
+		if err != nil {
+			return nil, fmt.Errorf("dist: local fallback: %w", err)
+		}
+		for _, si := range failed {
+			ss := &res.ShardScores[si]
+			seg := serve.EncodeShardSegment(ss.QueryScores, ss.AdScores, ss.QueryIDs, ss.AdIDs)
+			out.Segments[si] = &seg
+			out.Stats.LocalFallbackShards++
+		}
+		if res.Iterations > out.Iterations {
+			out.Iterations = res.Iterations
+		}
+		out.Converged = out.Converged && res.Converged
+	}
+
+	c.mu.Lock()
+	out.Stats.Retries = c.stats.Retries
+	out.Stats.Hedges = c.stats.Hedges
+	out.Stats.DuplicateWins = c.stats.DuplicateWins
+	out.Stats.WorkerDeaths = c.stats.WorkerDeaths
+	c.mu.Unlock()
+	return out, nil
+}
+
+// checkpointWriter invokes the crash hook once, after the first write
+// has reached the journal's temp file — the "coordinator died with a
+// partial snapshot on disk" instant.
+type checkpointWriter struct {
+	io.Writer
+	hook  func() error
+	fired bool
+}
+
+func (cw *checkpointWriter) Write(p []byte) (int, error) {
+	n, err := cw.Writer.Write(p)
+	if err == nil && !cw.fired {
+		cw.fired = true
+		if herr := cw.hook(); herr != nil {
+			return n, herr
+		}
+	}
+	return n, err
+}
+
+// RefreshGeneration runs one complete distributed refresh against a
+// generation journal: diff, fleet dispatch (with local fallback),
+// journaled commit of the assembled snapshot, publish. Every stage
+// passes the Checkpoint hook first, so a chaos test can kill the
+// refresh at any point and assert the previous generation still
+// serves. The caller owns Adopt/SweepTemp/Prune around it, exactly as
+// with the local refreshGeneration path.
+func RefreshGeneration(ctx context.Context, c *Coordinator, gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot) (serve.RefreshStats, *partition.Diff, *FleetResult, error) {
+	var st serve.RefreshStats
+	checkpoint := c.opt.Checkpoint
+	if checkpoint == nil {
+		checkpoint = func(string) error { return nil }
+	}
+	if err := checkpoint("pre-dispatch"); err != nil {
+		return st, nil, nil, err
+	}
+	diff, err := partition.DiffPlans(prev, g)
+	if err != nil {
+		return st, nil, nil, err
+	}
+	fleet, err := c.RefreshShards(ctx, g, prev, diff)
+	if err != nil {
+		return st, diff, nil, err
+	}
+	if err := checkpoint("pre-commit"); err != nil {
+		return st, diff, fleet, err
+	}
+	cfg := prev.Config()
+	gen, err := gs.Commit(diff.DirtyShards, planGeneration(diff.Plan), func(w io.Writer) error {
+		cw := &checkpointWriter{Writer: w, hook: func() error { return checkpoint("commit:mid-write") }}
+		var werr error
+		st, werr = serve.AssembleRefresh(cw, prev, g, cfg, diff.Plan, diff.Dirty, fleet.Segments,
+			fleet.Iterations, fleet.Converged)
+		return werr
+	})
+	if err != nil {
+		return st, diff, fleet, err
+	}
+	if err := checkpoint("pre-publish"); err != nil {
+		return st, diff, fleet, err
+	}
+	if err := gs.Publish(gen); err != nil {
+		return st, diff, fleet, err
+	}
+	c.logf("dist: published generation %d (%d remote, %d local-fallback, %d retries, %d hedges)",
+		gen.ID, fleet.Stats.RemoteShards, fleet.Stats.LocalFallbackShards, fleet.Stats.Retries, fleet.Stats.Hedges)
+	return st, diff, fleet, nil
+}

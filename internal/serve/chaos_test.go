@@ -68,6 +68,9 @@ func TestChaosBitFlipQuarantinesOneShard(t *testing.T) {
 	cur := time.Unix(1_700_000_000, 0)
 	snap.now = func() time.Time { return cur }
 	snap.SetQuarantineBackoff(time.Second, time.Minute)
+	// Pin the jitter at its ceiling so the retryAt assertions below see
+	// the undithered exponential schedule.
+	snap.SetQuarantineJitter(func() float64 { return 1 })
 
 	qs := distinctShardQueries(t, snap, 2)
 	victim, healthy := qs[0], qs[1]
@@ -258,7 +261,12 @@ func TestChaosOverloadSheds503(t *testing.T) {
 	}
 
 	// With both slots held, every further scoring request sheds now.
+	// Retry-After grows with the shed streak — one extra base second per
+	// MaxInFlight (=2) consecutive rejections — so the burst sees
+	// 1,1,2,2,3: sustained overload pushes clients progressively further
+	// out instead of inviting them all back at once.
 	const burst = 5
+	wantRetry := []string{"1", "1", "2", "2", "3"}
 	start := time.Now()
 	for i := 0; i < burst; i++ {
 		req := httptest.NewRequest("GET", rewriteURL(qs[2]), nil)
@@ -267,8 +275,8 @@ func TestChaosOverloadSheds503(t *testing.T) {
 		if rec.Code != http.StatusServiceUnavailable {
 			t.Fatalf("shed request %d = %d, want 503: %s", i, rec.Code, rec.Body.Bytes())
 		}
-		if got := rec.Header().Get("Retry-After"); got != "1" {
-			t.Fatalf("shed request %d Retry-After = %q, want %q", i, got, "1")
+		if got := rec.Header().Get("Retry-After"); got != wantRetry[i] {
+			t.Fatalf("shed request %d Retry-After = %q, want %q", i, got, wantRetry[i])
 		}
 	}
 	if elapsed := time.Since(start); elapsed > slow/2 {
@@ -399,6 +407,46 @@ func TestChaosShortReadQuarantines(t *testing.T) {
 	}
 	if quar := snap.Quarantined(); len(quar) != 0 {
 		t.Fatalf("Quarantined() = %+v after recovery, want empty", quar)
+	}
+}
+
+// TestChaosQuarantineBackoffJitter pins the equal-jitter quarantine
+// schedule: the wait is backoff/2 + jitter·backoff/2, so shards
+// quarantined by the same event spread their retries across half the
+// window instead of hammering the disk in lockstep. jitter=0 exposes
+// the floor of each window.
+func TestChaosQuarantineBackoffJitter(t *testing.T) {
+	snap, inj := chaosSnapshot(t)
+	cur := time.Unix(1_700_000_000, 0)
+	snap.now = func() time.Time { return cur }
+	snap.SetQuarantineBackoff(time.Second, time.Minute)
+	snap.SetQuarantineJitter(func() float64 { return 0 })
+
+	q := distinctShardQueries(t, snap, 1)[0]
+	vid := mustQueryID(t, snap, q)
+	vShard := int(snap.qRoute[vid])
+	inj.FlipBit(int64(snap.dir[vShard].qOff)+8, 3)
+
+	if _, err := snap.TopRewritesContext(context.TODO(), vid, 5); err == nil {
+		t.Fatal("corrupt segment load did not fail")
+	}
+	quar := snap.Quarantined()
+	if len(quar) != 1 {
+		t.Fatalf("Quarantined() = %+v, want one entry", quar)
+	}
+	// First failure, jitter floor: half the 1s nominal backoff.
+	if want := cur.Add(500 * time.Millisecond); !quar[0].RetryAt.Equal(want) {
+		t.Fatalf("jitter-floor retryAt = %v, want %v", quar[0].RetryAt, want)
+	}
+
+	// Second failure: nominal backoff doubles to 2s, floor to 1s.
+	cur = cur.Add(time.Second)
+	if _, err := snap.TopRewritesContext(context.TODO(), vid, 5); err == nil {
+		t.Fatal("retry under persistent fault did not fail")
+	}
+	quar = snap.Quarantined()
+	if want := cur.Add(time.Second); len(quar) != 1 || !quar[0].RetryAt.Equal(want) {
+		t.Fatalf("second-failure jitter-floor retryAt = %+v, want %v", quar, want)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -108,9 +109,123 @@ func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool
 	if prev.meta.Iterations > iters {
 		iters = prev.meta.Iterations
 	}
-	err := writeAssembled(w, res, payloads, genInfo{
+	err := writeAssembled(w, res, res.Config, payloads, genInfo{
 		iterations:  iters,
 		converged:   res.Converged && prev.meta.Converged,
+		generatedAt: time.Now(),
+		dirtyShards: uint32(st.DirtyShards),
+	})
+	return st, err
+}
+
+// ShardSegment is one shard's encoded score segments in wire form — the
+// exact bytes a snapshot stores for that shard, with their CRCs. It is
+// the unit of exchange between a refresh coordinator and a remote worker:
+// a worker encodes one from its shard run, the coordinator validates the
+// CRCs and hands the bytes to AssembleRefresh unchanged.
+type ShardSegment struct {
+	QuerySeg, AdSeg []byte
+	QueryCRC, AdCRC uint32
+}
+
+// EncodeShardSegment encodes one shard's score tables into segment wire
+// form. qIDs/aIDs are the shard's ascending global node ids (nil for an
+// identity/monolithic shard); the tables are local-id keyed, exactly as a
+// per-shard engine produces them.
+func EncodeShardSegment(q, a *sparse.PairTable, qIDs, aIDs []int) ShardSegment {
+	var s ShardSegment
+	s.QuerySeg = encodeSegment(q, qIDs)
+	s.AdSeg = encodeSegment(a, aIDs)
+	s.QueryCRC = crc32.ChecksumIEEE(s.QuerySeg)
+	s.AdCRC = crc32.ChecksumIEEE(s.AdSeg)
+	return s
+}
+
+// Validate re-checksums the segment bytes against the recorded CRCs —
+// the integrity gate a coordinator applies to bytes that crossed a
+// network before letting them anywhere near a snapshot.
+func (s *ShardSegment) Validate() error {
+	if got := crc32.ChecksumIEEE(s.QuerySeg); got != s.QueryCRC {
+		return fmt.Errorf("serve: shard segment query CRC mismatch (got %08x want %08x)", got, s.QueryCRC)
+	}
+	if got := crc32.ChecksumIEEE(s.AdSeg); got != s.AdCRC {
+		return fmt.Errorf("serve: shard segment ad CRC mismatch (got %08x want %08x)", got, s.AdCRC)
+	}
+	if len(s.QuerySeg)%pairRecordSize != 0 || len(s.AdSeg)%pairRecordSize != 0 {
+		return fmt.Errorf("serve: shard segment length not a multiple of the pair record size")
+	}
+	return nil
+}
+
+// AssembleRefresh writes the next snapshot generation from pre-encoded
+// dirty-shard segments — the distributed counterpart of RefreshSnapshot.
+// plan must be the projected refresh plan (partition.DiffPlans) over g,
+// dirty its classification, and segs one entry per shard with non-nil
+// segments exactly at the dirty indices (a worker's response, or a local
+// fallback's EncodeShardSegment). Clean shards byte-copy from prev under
+// the same fingerprint guard as RefreshSnapshot; every provided segment
+// is CRC-validated before use. iterations/converged aggregate the
+// dirty-shard runs (max / logical-AND semantics against prev are applied
+// here, matching the local path).
+func AssembleRefresh(w io.Writer, prev *Snapshot, g *clickgraph.Graph, cfg core.Config, plan *partition.Plan, dirty []bool, segs []*ShardSegment, iterations int, converged bool) (RefreshStats, error) {
+	var st RefreshStats
+	if len(plan.Shards) != len(dirty) || len(plan.Shards) != len(segs) {
+		return st, fmt.Errorf("serve: assemble got %d shards, %d dirty flags, %d segments",
+			len(plan.Shards), len(dirty), len(segs))
+	}
+	if err := compatibleConfig(prev, cfg); err != nil {
+		return st, err
+	}
+
+	payloads := make([]shardPayload, len(plan.Shards))
+	for i := range plan.Shards {
+		sh := &plan.Shards[i]
+		payloads[i].qIDs, payloads[i].aIDs = sh.Queries, sh.Ads
+		payloads[i].fp = sh.Fingerprint
+		if dirty[i] {
+			seg := segs[i]
+			if seg == nil {
+				return st, fmt.Errorf("serve: dirty shard %d has no segment", i)
+			}
+			if err := seg.Validate(); err != nil {
+				return st, fmt.Errorf("serve: shard %d: %w", i, err)
+			}
+			payloads[i].qSeg, payloads[i].aSeg = seg.QuerySeg, seg.AdSeg
+			payloads[i].qCRC, payloads[i].aCRC = seg.QueryCRC, seg.AdCRC
+			st.DirtyShards++
+			st.BytesReencoded += int64(len(seg.QuerySeg) + len(seg.AdSeg))
+			continue
+		}
+		if segs[i] != nil {
+			return st, fmt.Errorf("serve: clean shard %d has a segment (dirty mask out of sync?)", i)
+		}
+		if i >= prev.meta.Shards {
+			return st, fmt.Errorf("serve: shard %d marked clean but the previous snapshot has only %d shards",
+				i, prev.meta.Shards)
+		}
+		if payloads[i].fp != prev.dir[i].fp {
+			return st, fmt.Errorf("serve: shard %d marked clean but its fingerprint differs from the previous generation's", i)
+		}
+		var err error
+		e := &prev.dir[i]
+		if payloads[i].qSeg, err = prev.segmentBytes("query", i, e.qOff, e.qPairs, e.qCRC); err != nil {
+			return st, err
+		}
+		if payloads[i].aSeg, err = prev.segmentBytes("ad", i, e.aOff, e.aPairs, e.aCRC); err != nil {
+			return st, err
+		}
+		payloads[i].qCRC, payloads[i].aCRC = e.qCRC, e.aCRC
+		st.CleanShards++
+		st.BytesCopied += int64(len(payloads[i].qSeg) + len(payloads[i].aSeg))
+	}
+
+	iters := iterations
+	if prev.meta.Iterations > iters {
+		iters = prev.meta.Iterations
+	}
+	err := writeAssembled(w, g, cfg, payloads, genInfo{
+		iterations:  iters,
+		converged:   converged && prev.meta.Converged,
 		generatedAt: time.Now(),
 		dirtyShards: uint32(st.DirtyShards),
 	})

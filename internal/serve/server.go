@@ -52,9 +52,16 @@ type Config struct {
 	// plumbed as a context through the rewrite path; an exceeded
 	// deadline answers 504. <= 0 disables deadlines.
 	RequestTimeout time.Duration
-	// RetryAfterSeconds is the Retry-After hint on shed responses;
-	// defaults to 1.
+	// RetryAfterSeconds is the base Retry-After hint on shed responses;
+	// defaults to 1. Under sustained overload the hint grows with the
+	// shed streak — each MaxInFlight consecutive rejections (a full
+	// window's worth of turned-away work) add another base interval —
+	// so clients back off proportionally instead of re-arriving in the
+	// same wave. The streak resets as soon as a request is admitted.
 	RetryAfterSeconds int
+	// MaxRetryAfterSeconds clamps the derived Retry-After hint;
+	// defaults to 30.
+	MaxRetryAfterSeconds int
 }
 
 // DefaultServerConfig returns the paper's depth-5 serving settings with a
@@ -118,6 +125,9 @@ type Server struct {
 	reloadFailures atomic.Int64
 	shed           atomic.Int64
 	panics         atomic.Int64
+	// shedStreak counts consecutive sheds since the last successful
+	// admit — the overload-depth signal behind the derived Retry-After.
+	shedStreak atomic.Int64
 }
 
 // NewServer returns a server answering from idx.
@@ -130,6 +140,9 @@ func NewServer(idx ScoreIndex, cfg Config) *Server {
 	}
 	if cfg.RetryAfterSeconds <= 0 {
 		cfg.RetryAfterSeconds = 1
+	}
+	if cfg.MaxRetryAfterSeconds <= 0 {
+		cfg.MaxRetryAfterSeconds = 30
 	}
 	s := &Server{cfg: cfg, cache: newLRU(cfg.CacheSize), idx: idx, start: time.Now()}
 	if cfg.MaxInFlight > 0 {
@@ -154,6 +167,14 @@ func (s *Server) InFlight() int {
 // ReloadFailures reports how many reload attempts failed to load a new
 // index (the old one kept serving).
 func (s *Server) ReloadFailures() int64 { return s.reloadFailures.Load() }
+
+// Index returns the currently-served score index — what the next
+// admitted request will answer from.
+func (s *Server) Index() ScoreIndex {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx
+}
 
 // Swap atomically replaces the served index and clears the response cache,
 // returning the previous index once no in-flight request still reads it —
@@ -290,13 +311,16 @@ func (s *Server) instrument(name string, scoring bool, h http.HandlerFunc) http.
 			if s.inflight != nil {
 				select {
 				case s.inflight <- struct{}{}:
+					s.shedStreak.Store(0)
 					defer func() { <-s.inflight }()
 				default:
 					// Shed: reject now, cheaply, rather than queue into a
 					// latency spiral. Retry-After tells well-behaved
-					// clients when to come back.
+					// clients when to come back, scaled by how deep the
+					// overload is (consecutive sheds per in-flight window)
+					// and clamped.
 					s.shed.Add(1)
-					sw.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+					sw.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 					http.Error(sw, "overloaded: in-flight request limit reached", http.StatusServiceUnavailable)
 					return
 				}
@@ -309,6 +333,25 @@ func (s *Server) instrument(name string, scoring bool, h http.HandlerFunc) http.
 		}
 		h(sw, r)
 	})
+}
+
+// retryAfter derives the Retry-After hint for one shed response: the
+// base interval, plus one more base interval per MaxInFlight consecutive
+// rejections since the last admit, clamped at the configured ceiling.
+// Every MaxInFlight sheds represent at least a full serving window of
+// work already turned away ahead of this client, so its wait scales with
+// the backlog it would re-join.
+func (s *Server) retryAfter() int {
+	streak := s.shedStreak.Add(1)
+	depth := int64(s.cfg.MaxInFlight)
+	if depth < 1 {
+		depth = 1
+	}
+	retry := s.cfg.RetryAfterSeconds * int(1+(streak-1)/depth)
+	if retry > s.cfg.MaxRetryAfterSeconds {
+		retry = s.cfg.MaxRetryAfterSeconds
+	}
+	return retry
 }
 
 // RewriteAnswer is one served rewrite.

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -232,7 +233,7 @@ func WriteSnapshot(w io.Writer, res *core.Result) error {
 		return srcs[i].q, srcs[i].a
 	})
 
-	return writeAssembled(w, res, payloads, genInfo{
+	return writeAssembled(w, res, res.Config, payloads, genInfo{
 		iterations:  res.Iterations,
 		converged:   res.Converged,
 		generatedAt: time.Now(),
@@ -271,11 +272,23 @@ func encodePayloads(payloads []shardPayload, idx []int, tables func(i int) (q, a
 	wg.Wait()
 }
 
+// nodeNames is the naming surface writeAssembled reads — the graph
+// dimensions plus id→name lookups. Both *core.Result and
+// *clickgraph.Graph satisfy it, which is what lets a distributed refresh
+// (which has a graph and pre-encoded segments, but no stitched Result)
+// assemble the same bytes the local path writes.
+type nodeNames interface {
+	NumQueries() int
+	NumAds() int
+	Query(id int) string
+	Ad(id int) string
+}
+
 // writeAssembled lays out and writes a complete snapshot from per-shard
-// payloads: string table and route map from res's graph, directory and
-// header from the payloads and gen.
-func writeAssembled(w io.Writer, res *core.Result, payloads []shardPayload, gen genInfo) error {
-	nq, na := res.NumQueries(), res.NumAds()
+// payloads: string table and route map from the names source, directory
+// and header from the payloads, cfg and gen.
+func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []shardPayload, gen genInfo) error {
+	nq, na := names.NumQueries(), names.NumAds()
 	if len(payloads) > 1<<30 || uint64(nq) > math.MaxUint32 || uint64(na) > math.MaxUint32 {
 		return fmt.Errorf("serve: snapshot dimensions overflow uint32")
 	}
@@ -289,10 +302,10 @@ func writeAssembled(w io.Writer, res *core.Result, payloads []shardPayload, gen 
 		strBuf = append(strBuf, s...)
 	}
 	for q := 0; q < nq; q++ {
-		appendName(res.Query(q))
+		appendName(names.Query(q))
 	}
 	for a := 0; a < na; a++ {
-		appendName(res.Ad(a))
+		appendName(names.Ad(a))
 	}
 
 	// Route section: node → shard, from the shard id lists.
@@ -337,17 +350,17 @@ func writeAssembled(w io.Writer, res *core.Result, payloads []shardPayload, gen 
 	if gen.converged {
 		flags |= flagConverged
 	}
-	if res.Config.StrictEvidence {
+	if cfg.StrictEvidence {
 		flags |= flagStrictEvidence
 	}
-	if res.Config.DisableSpread {
+	if cfg.DisableSpread {
 		flags |= flagDisableSpread
 	}
 	binary.LittleEndian.PutUint32(hdr[12:], flags)
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(res.Config.Variant))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(cfg.Variant))
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(gen.iterations))
-	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(res.Config.C1))
-	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(res.Config.C2))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(cfg.C1))
+	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(cfg.C2))
 	binary.LittleEndian.PutUint32(hdr[40:], uint32(nq))
 	binary.LittleEndian.PutUint32(hdr[44:], uint32(na))
 	binary.LittleEndian.PutUint32(hdr[48:], uint32(len(payloads)))
@@ -364,12 +377,12 @@ func writeAssembled(w io.Writer, res *core.Result, payloads []shardPayload, gen 
 	binary.LittleEndian.PutUint32(hdr[124:], crc32.ChecksumIEEE(dir))
 	binary.LittleEndian.PutUint64(hdr[128:], uint64(gen.generatedAt.Unix()))
 	binary.LittleEndian.PutUint32(hdr[136:], gen.dirtyShards)
-	binary.LittleEndian.PutUint32(hdr[140:], uint32(res.Config.Channel))
-	binary.LittleEndian.PutUint32(hdr[144:], uint32(res.Config.EvidenceForm))
-	binary.LittleEndian.PutUint64(hdr[148:], math.Float64bits(res.Config.PruneEpsilon))
-	binary.LittleEndian.PutUint64(hdr[156:], math.Float64bits(res.Config.Tolerance))
-	binary.LittleEndian.PutUint64(hdr[164:], math.Float64bits(res.Config.DeltaSkipTolerance))
-	binary.LittleEndian.PutUint32(hdr[172:], uint32(res.Config.Iterations))
+	binary.LittleEndian.PutUint32(hdr[140:], uint32(cfg.Channel))
+	binary.LittleEndian.PutUint32(hdr[144:], uint32(cfg.EvidenceForm))
+	binary.LittleEndian.PutUint64(hdr[148:], math.Float64bits(cfg.PruneEpsilon))
+	binary.LittleEndian.PutUint64(hdr[156:], math.Float64bits(cfg.Tolerance))
+	binary.LittleEndian.PutUint64(hdr[164:], math.Float64bits(cfg.DeltaSkipTolerance))
+	binary.LittleEndian.PutUint32(hdr[172:], uint32(cfg.Iterations))
 	binary.LittleEndian.PutUint32(hdr[176:], crc32.ChecksumIEEE(hdr[:176]))
 
 	for _, b := range [][]byte{hdr, strBuf, route, dir} {
@@ -495,9 +508,14 @@ type Snapshot struct {
 	loaded atomic.Int32
 
 	// Quarantine policy for failed segment loads; now is a clock hook so
-	// chaos tests can step through backoff windows deterministically.
+	// chaos tests can step through backoff windows deterministically, and
+	// jitter (equal-jitter: wait spread over [backoff/2, backoff]) keeps
+	// simultaneously-quarantined shards from retrying in lockstep and
+	// hammering the disk together. jitter() must return a value in [0,1];
+	// 1 reproduces the undithered exponential schedule.
 	backoffBase, backoffMax time.Duration
 	now                     func() time.Time
+	jitter                  func() float64
 
 	mu      sync.Mutex
 	lazyErr error // first segment-load failure, surfaced via Err
@@ -549,6 +567,7 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 		backoffBase: defaultBackoffBase,
 		backoffMax:  defaultBackoffMax,
 		now:         time.Now,
+		jitter:      rand.Float64,
 	}
 	s.meta = SnapshotMeta{
 		Variant:         core.Variant(binary.LittleEndian.Uint32(hdr[16:])),
@@ -778,6 +797,8 @@ func (s *Snapshot) segTable(st *segState, side string, si int) (*sparse.PairTabl
 		if backoff > s.backoffMax || backoff <= 0 {
 			backoff = s.backoffMax
 		}
+		half := backoff / 2
+		backoff = half + time.Duration(s.jitter()*float64(backoff-half))
 		st.retryAt = s.now().Add(backoff)
 		s.recordErr(err)
 		return nil, err
@@ -834,6 +855,17 @@ func (s *Snapshot) SetQuarantineBackoff(base, max time.Duration) {
 	}
 	if max > 0 {
 		s.backoffMax = max
+	}
+}
+
+// SetQuarantineJitter overrides the jitter source for quarantine backoff.
+// f must return values in [0, 1]: the wait becomes
+// backoff/2 + f()·backoff/2, so f = rand.Float64 (the default) spreads
+// retries over half the window and a constant 1 restores the exact
+// deterministic schedule (what the chaos tests pin).
+func (s *Snapshot) SetQuarantineJitter(f func() float64) {
+	if f != nil {
+		s.jitter = f
 	}
 }
 
