@@ -1,0 +1,142 @@
+// Command simrank-gateway fronts a replicated simrankd fleet: one
+// address for /rewrite, /similar and /stats, fanned across N replicas
+// with health-aware, generation-consistent routing. It is the read-side
+// counterpart of simrank-worker — together they close the loop on the
+// paper's production deployment: distributed refresh writes generations,
+// a replicated fleet serves them, and this gateway keeps the fleet
+// looking like one consistent daemon while replicas fail, straggle and
+// roll between generations.
+//
+// # Usage
+//
+//	simrank-gateway -backends URL[#SHARDS][,URL...] [-addr :8090]
+//	                [-snapshot FILE] [-quorum 0.51]
+//	                [-probe-interval 2s] [-attempts 3]
+//	                [-hedge-quantile 0.95] [-hedge-after 100ms]
+//	                [-breaker-fails 3] [-breaker-cooldown 5s]
+//	                [-timeout 5s]
+//
+// Each backend is a simrankd base URL, optionally suffixed with
+// "#0,3,7" naming the shards a partitioned replica holds (hot shards
+// may be listed on several replicas). -snapshot points at the served
+// snapshot file; the gateway reads only its route map (header +
+// directory, no scores) to route shard-affine. Without it, any replica
+// may answer any query.
+//
+// # Endpoints
+//
+//	GET /rewrite?...   proxied to the fleet (backend contract unchanged)
+//	GET /similar?...   proxied to the fleet
+//	GET /stats         gateway counters, rollout state, per-backend health
+//	GET /readyz        ok / degraded / unready (503) for the fleet as a whole
+//	GET /healthz       gateway process liveness
+//
+// # Behavior
+//
+// The gateway probes each replica's /readyz on a jittered interval and
+// routes reads only to replicas serving the pinned snapshot generation:
+// rollouts cut over once a -quorum fraction of replicas report the new
+// generation, so clients never see mixed-generation answers while a
+// SIGHUP sweep walks the fleet. Failed reads retry on another replica
+// with capped equal-jitter backoff (honoring backend Retry-After
+// hints), reads straggling past the fleet's recent latency percentile
+// are hedged to a second replica, and replicas failing consecutively
+// are circuit-broken for a cool-down. With no replica able to answer,
+// the gateway returns 503 + Retry-After. The operational runbook is the
+// "Replicated serving" section of OPERATIONS.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simrankpp/internal/route"
+	"simrankpp/internal/serve"
+)
+
+func main() {
+	var (
+		backends      = flag.String("backends", "", "comma-separated simrankd base URLs, each optionally '#shard,shard' suffixed (required)")
+		addr          = flag.String("addr", ":8090", "listen address")
+		snapPath      = flag.String("snapshot", "", "served snapshot file; enables shard-affine routing via its route map")
+		quorum        = flag.Float64("quorum", 0.51, "fraction of replicas that must report a new generation before cutover")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "backend /readyz probe cadence (jittered)")
+		attempts      = flag.Int("attempts", 3, "max dispatch rounds per read across replicas")
+		hedgeQ        = flag.Float64("hedge-quantile", 0.95, "completed-read latency quantile past which reads are hedged")
+		hedgeAfter    = flag.Duration("hedge-after", 100*time.Millisecond, "floor on the hedge delay")
+		breakerFails  = flag.Int("breaker-fails", 3, "consecutive read failures that open a replica's circuit")
+		breakerCool   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an opened circuit keeps a replica out of rotation")
+		timeout       = flag.Duration("timeout", 5*time.Second, "per-read deadline, hedges and retries included")
+	)
+	flag.Parse()
+	if *backends == "" {
+		fatal(fmt.Errorf("-backends is required"))
+	}
+	specs, err := route.ParseBackendList(*backends)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := route.Options{
+		Backends:        specs,
+		Quorum:          *quorum,
+		ProbeInterval:   *probeInterval,
+		MaxAttempts:     *attempts,
+		HedgeQuantile:   *hedgeQ,
+		HedgeAfter:      *hedgeAfter,
+		BreakerFails:    *breakerFails,
+		BreakerCooldown: *breakerCool,
+		RequestTimeout:  *timeout,
+		Logf:            log.Printf,
+	}
+	if *snapPath != "" {
+		snap, err := serve.OpenSnapshot(*snapPath)
+		if err != nil {
+			fatal(fmt.Errorf("-snapshot: %w", err))
+		}
+		defer snap.Close()
+		opt.Router = snap
+		log.Printf("simrank-gateway: shard-affine over %d shards (%s)", snap.NumShards(), *snapPath)
+	}
+	gw, err := route.New(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	gw.ProbeAll(ctx)
+	go gw.Run(ctx)
+	if pin := gw.Pinned(); pin != "" {
+		log.Printf("simrank-gateway: %d backends, pinned generation %s", len(specs), pin)
+	} else {
+		log.Printf("simrank-gateway: %d backends, no serveable replica yet (degraded until one probes healthy)", len(specs))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(sctx)
+	}()
+	log.Printf("simrank-gateway: serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrank-gateway:", err)
+	os.Exit(1)
+}

@@ -149,7 +149,43 @@ func main() {
 		meta.GeneratedAt.Format(time.RFC3339), gen, meta.Fingerprint)
 
 	srv := serve.NewServer(idx, cfg)
-	srv.ReloadOnSIGHUP(open, fallback, func(old serve.ScoreIndex) {
+	// Resolve the served snapshot's journal generation id (if a journal
+	// exists beside it) so /readyz and /stats report a full generation
+	// identity — the fleet-agreement key a gateway compares. Matching is
+	// by graph fingerprint: newest journaled generation of that graph.
+	resolveGen := func(idx serve.ScoreIndex) uint64 {
+		snap, ok := idx.(*serve.Snapshot)
+		if !ok {
+			return 0
+		}
+		gens, err := serve.NewGenerationStore(*snapPath, 0).List()
+		if err != nil {
+			return 0
+		}
+		want, id := snap.Meta().Fingerprint, uint64(0)
+		for _, g := range gens {
+			if fmt.Sprintf("%016x", g.Fingerprint) == want && g.ID > id {
+				id = g.ID
+			}
+		}
+		return id
+	}
+	srv.SetGenerationID(resolveGen(idx))
+	reopen := func() (serve.ScoreIndex, error) {
+		idx, err := open()
+		if err == nil {
+			srv.SetGenerationID(resolveGen(idx))
+		}
+		return idx, err
+	}
+	refallback := func() (serve.ScoreIndex, error) {
+		idx, err := fallback()
+		if err == nil {
+			srv.SetGenerationID(resolveGen(idx))
+		}
+		return idx, err
+	}
+	srv.ReloadOnSIGHUP(reopen, refallback, func(old serve.ScoreIndex) {
 		if c, ok := old.(*serve.Snapshot); ok {
 			c.Close()
 		}

@@ -312,6 +312,41 @@ func TestChaosCoordinatorCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestChaosRetryAfterHonored: a worker shedding 503 with a Retry-After
+// hint must not be hammered back on the coordinator's millisecond-scale
+// local schedule — the re-dispatch waits out the max of the local
+// backoff and the worker's own hint.
+func TestChaosRetryAfterHonored(t *testing.T) {
+	prev, _, next, diff, want := chaosFixture(t)
+	urls := startWorkers(t, 1)
+
+	inj := faultfs.NewHTTPInjector()
+	inj.SetRetryAfter(hostOf(t, urls[0]), 1)
+	inj.Respond5xx(hostOf(t, urls[0]), 1) // one shed with a 1s hint, then healthy
+	cl := &chaosLogf{}
+	c := NewCoordinator(urls, Options{
+		Transport:   inj.Transport(nil),
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		Logf:        cl.logf,
+	})
+
+	start := time.Now()
+	fleet, got := assembleFleet(t, c, next, prev, diff)
+	if fleet.Stats.Retries == 0 {
+		t.Fatalf("shed worker never forced a re-dispatch: %+v", fleet.Stats)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("re-dispatch after a Retry-After: 1 shed came back in %v — the hint was not honored", elapsed)
+	}
+	if fleet.Stats.LocalFallbackShards != 0 {
+		t.Fatalf("shed worker pushed shards to local fallback: %+v", fleet.Stats)
+	}
+	if !bytes.Equal(maskVolatile(t, got), maskVolatile(t, want)) {
+		t.Fatal("refresh under a shedding worker differs from the local-only refresh")
+	}
+}
+
 // TestChaosFlappingWorker: a worker that answers 503 for a burst and
 // then recovers must be retried onto, not abandoned — the fleet heals
 // without falling back to local compute.

@@ -14,6 +14,7 @@ import (
 
 	"simrankpp/internal/clickgraph"
 	"simrankpp/internal/core"
+	"simrankpp/internal/hedge"
 	"simrankpp/internal/partition"
 	"simrankpp/internal/serve"
 )
@@ -141,10 +142,11 @@ type Coordinator struct {
 	opt     Options
 	client  *http.Client
 	workers []*workerState
+	backoff hedge.Backoff
+	lat     *hedge.Tracker
 
 	mu        sync.Mutex
 	rr        int
-	samples   []time.Duration // completed-lease latencies, bounded
 	completed map[completionKey]*serve.ShardSegment
 	stats     FleetStats
 }
@@ -156,6 +158,8 @@ func NewCoordinator(workerURLs []string, opt Options) *Coordinator {
 	c := &Coordinator{
 		opt:       opt,
 		client:    &http.Client{Transport: opt.Transport},
+		backoff:   hedge.Backoff{Base: opt.BackoffBase, Max: opt.BackoffMax, Jitter: opt.Jitter},
+		lat:       &hedge.Tracker{Quantile: opt.HedgeQuantile, Floor: opt.HedgeAfter},
 		completed: make(map[completionKey]*serve.ShardSegment),
 	}
 	for _, u := range workerURLs {
@@ -203,35 +207,14 @@ func (c *Coordinator) markResult(w *workerState, ok bool) {
 	}
 }
 
-// recordLatency keeps a bounded window of completed-lease round-trip
-// times — the hedging threshold's signal.
-func (c *Coordinator) recordLatency(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.samples = append(c.samples, d)
-	if len(c.samples) > 64 {
-		c.samples = c.samples[len(c.samples)-64:]
-	}
-}
+// recordLatency files one completed-lease round-trip time with the
+// shared latency tracker — the hedging threshold's signal.
+func (c *Coordinator) recordLatency(d time.Duration) { c.lat.Record(d) }
 
 // hedgeDelay returns when a dispatch becomes a straggler: the
 // configured percentile of completed-lease latencies, floored at
 // HedgeAfter. ok is false until 3 leases have completed.
-func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.samples) < 3 {
-		return 0, false
-	}
-	sorted := append([]time.Duration(nil), c.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(float64(len(sorted)-1) * c.opt.HedgeQuantile)
-	d := sorted[idx]
-	if d < c.opt.HedgeAfter {
-		d = c.opt.HedgeAfter
-	}
-	return d, true
-}
+func (c *Coordinator) hedgeDelay() (time.Duration, bool) { return c.lat.Delay() }
 
 // accept files a completed lease idempotently: the first completion
 // under a (generation, shard, fingerprint) key wins, later ones are
@@ -279,7 +262,14 @@ func (c *Coordinator) dispatchOnce(ctx context.Context, w *workerState, leaseByt
 		return nil, err
 	}
 	if httpResp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dist: worker %s answered %d: %s", w.url, httpResp.StatusCode, truncated(body))
+		// Carry the worker's Retry-After hint (a shedding 503 sends one)
+		// up to the retry loop, which takes the max of it and the local
+		// backoff schedule.
+		return nil, fmt.Errorf("dist: worker %s %w", w.url, &hedge.StatusError{
+			Code:       httpResp.StatusCode,
+			RetryAfter: hedge.ParseRetryAfter(httpResp.Header),
+			Detail:     truncated(body),
+		})
 	}
 	return DecodeSegmentResponse(body)
 }
@@ -317,7 +307,10 @@ func (c *Coordinator) dispatchShard(ctx context.Context, l *Lease) (*SegmentResp
 			c.mu.Lock()
 			c.stats.Retries++
 			c.mu.Unlock()
-			if err := c.sleepBackoff(ctx, attempt); err != nil {
+			// Equal-jitter backoff, floored at whatever Retry-After the
+			// failed worker asked for — its overload signal outranks the
+			// local schedule.
+			if err := c.backoff.Sleep(ctx, attempt, hedge.RetryAfterHint(lastErr)); err != nil {
 				return nil, err
 			}
 		}
@@ -404,23 +397,6 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, l *Lease, leaseBytes [
 		}
 	}
 	return nil, lastErr
-}
-
-// sleepBackoff waits the capped exponential backoff for the given
-// attempt (1-based), scaled by jitter into [½, 1]×.
-func (c *Coordinator) sleepBackoff(ctx context.Context, attempt int) error {
-	d := c.opt.BackoffBase << (attempt - 1)
-	if d > c.opt.BackoffMax || d <= 0 {
-		d = c.opt.BackoffMax
-	}
-	half := d / 2
-	d = half + time.Duration(c.opt.Jitter()*float64(d-half))
-	select {
-	case <-time.After(d):
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // buildLease assembles one dirty shard's dispatch payload: the induced

@@ -33,12 +33,13 @@ var ErrDropped = fmt.Errorf("faultfs: injected connection failure")
 
 // hostFaults is one host's scheduled faults (or the any-host default).
 type hostFaults struct {
-	dropLeft int           // requests to drop; -1 = all, 0 = none
-	fiveLeft int           // requests to answer 503; -1 = all, 0 = none
-	latency  time.Duration // per-request sleep
-	truncate int           // >0: cut response bodies to this many bytes
-	flipOff  int64         // body byte offset for flipMask
-	flipMask byte          // XOR mask applied at flipOff; 0 = off
+	dropLeft   int           // requests to drop; -1 = all, 0 = none
+	fiveLeft   int           // requests to answer 503; -1 = all, 0 = none
+	retryAfter int           // Retry-After seconds stamped on injected 503s
+	latency    time.Duration // per-request sleep
+	truncate   int           // >0: cut response bodies to this many bytes
+	flipOff    int64         // body byte offset for flipMask
+	flipMask   byte          // XOR mask applied at flipOff; 0 = off
 }
 
 // HTTPInjector holds a programmable per-host fault schedule shared by
@@ -80,6 +81,16 @@ func (in *HTTPInjector) Respond5xx(host string, n int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.host(host).fiveLeft = n
+}
+
+// SetRetryAfter stamps a Retry-After header of the given seconds on
+// every injected 503 from host — an overloaded server hinting when to
+// come back, which Retry-After-aware retry loops must honor. seconds
+// <= 0 cancels the header.
+func (in *HTTPInjector) SetRetryAfter(host string, seconds int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.host(host).retryAfter = seconds
 }
 
 // SetLatency delays every request to host by d before it is sent.
@@ -132,12 +143,13 @@ func (in *HTTPInjector) Calls() int64 {
 // 5xx) are consumed inside the injector lock; latency and body faults
 // apply outside it.
 type httpPlan struct {
-	drop     bool
-	fiveXX   bool
-	latency  time.Duration
-	truncate int
-	flipOff  int64
-	flipMask byte
+	drop       bool
+	fiveXX     bool
+	retryAfter int
+	latency    time.Duration
+	truncate   int
+	flipOff    int64
+	flipMask   byte
 }
 
 func (in *HTTPInjector) planRequest(host string) httpPlan {
@@ -160,6 +172,9 @@ func (in *HTTPInjector) planRequest(host string) httpPlan {
 			if f.fiveLeft > 0 {
 				f.fiveLeft--
 			}
+		}
+		if f.retryAfter > p.retryAfter {
+			p.retryAfter = f.retryAfter
 		}
 		if f.latency > p.latency {
 			p.latency = f.latency
@@ -202,11 +217,15 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, ErrDropped
 	}
 	if p.fiveXX {
+		hdr := make(http.Header)
+		if p.retryAfter > 0 {
+			hdr.Set("Retry-After", fmt.Sprintf("%d", p.retryAfter))
+		}
 		return &http.Response{
 			StatusCode: http.StatusServiceUnavailable,
 			Status:     "503 Service Unavailable (injected)",
 			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
-			Header:        make(http.Header),
+			Header:        hdr,
 			Body:          io.NopCloser(bytes.NewReader(nil)),
 			ContentLength: 0,
 			Request:       req,

@@ -1,0 +1,201 @@
+// Package hedge holds the tail-tolerance primitives shared by the
+// write-side refresh coordinator (internal/dist) and the read-side
+// gateway (internal/route): capped exponential backoff with equal
+// jitter, a completed-request latency window that turns a percentile
+// into a straggler-hedging threshold (the tail-at-scale idiom), and a
+// status error carrying the server's Retry-After hint so retry loops
+// can honor the backend's own overload signal instead of only their
+// local schedule.
+//
+// The package is deliberately tiny and dependency-free: both callers
+// dispatch HTTP requests under very different contracts (exactly-once
+// shard leases vs idempotent replica reads), but the shape of "when do
+// I retry, when do I hedge, how long do I wait" is identical — and
+// keeping it in one place keeps the two halves of the fleet backing
+// off in the same rhythm.
+package hedge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Backoff is a capped exponential backoff with equal jitter: attempt n
+// (1-based) waits Base·2^(n-1) capped at Max, scaled into [½, 1]× by
+// the jitter source so simultaneous retriers spread out instead of
+// stampeding back in lockstep.
+type Backoff struct {
+	// Base and Max bound the exponential schedule; zero values select
+	// 100ms and 5s.
+	Base, Max time.Duration
+	// Jitter returns values in [0, 1); nil uses math/rand. Tests pin it
+	// for determinism.
+	Jitter func() float64
+}
+
+// Delay returns the jittered wait before the given 1-based attempt.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 { // <= 0: the shift overflowed
+		d = max
+	}
+	half := d / 2
+	jitter := b.Jitter
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	return half + time.Duration(jitter()*float64(d-half))
+}
+
+// Sleep waits the attempt's jittered delay — or floor, when the server
+// asked for longer via Retry-After (pass RetryAfterHint(lastErr)); the
+// larger of the two wins, so a backend's own overload signal is never
+// undercut by an eager local schedule. Returns early with the context's
+// error if it is done first.
+func (b Backoff) Sleep(ctx context.Context, attempt int, floor time.Duration) error {
+	d := b.Delay(attempt)
+	if floor > d {
+		d = floor
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Tracker keeps a bounded window of completed-request latencies and
+// turns a configured percentile of them into the delay after which an
+// outstanding request counts as a straggler worth hedging.
+type Tracker struct {
+	// Quantile picks the completed-request latency percentile (default
+	// 0.95); Floor is the minimum hedge delay (default 250ms) so a burst
+	// of fast completions cannot arm hair-trigger hedging.
+	Quantile float64
+	Floor    time.Duration
+	// MinSamples is how many completions must be recorded before Delay
+	// reports ok (default 3) — before that there is no latency signal to
+	// call anything a straggler against. Window bounds the sample buffer
+	// (default 64).
+	MinSamples int
+	Window     int
+
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record files one completed-request latency.
+func (t *Tracker) Record(d time.Duration) {
+	window := t.Window
+	if window <= 0 {
+		window = 64
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.samples = append(t.samples, d)
+	if len(t.samples) > window {
+		t.samples = t.samples[len(t.samples)-window:]
+	}
+}
+
+// Delay returns when an outstanding request becomes a straggler: the
+// configured percentile of recorded latencies, floored at Floor. ok is
+// false until MinSamples completions have been recorded.
+func (t *Tracker) Delay() (delay time.Duration, ok bool) {
+	min := t.MinSamples
+	if min <= 0 {
+		min = 3
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.samples) < min {
+		return 0, false
+	}
+	q := t.Quantile
+	if q <= 0 || q >= 1 {
+		q = 0.95
+	}
+	floor := t.Floor
+	if floor <= 0 {
+		floor = 250 * time.Millisecond
+	}
+	sorted := append([]time.Duration(nil), t.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	d := sorted[int(float64(len(sorted)-1)*q)]
+	if d < floor {
+		d = floor
+	}
+	return d, true
+}
+
+// StatusError is a non-2xx HTTP reply treated as a dispatch failure,
+// carrying the server's Retry-After hint (zero when the reply had
+// none) so the retry loop can honor it.
+type StatusError struct {
+	Code       int
+	RetryAfter time.Duration
+	Detail     string
+}
+
+func (e *StatusError) Error() string {
+	s := fmt.Sprintf("answered %d", e.Code)
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(" (Retry-After %s)", e.RetryAfter)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// RetryAfterHint extracts the Retry-After duration from an error chain
+// containing a StatusError; zero when there is none. Feed the result to
+// Backoff.Sleep's floor so the max of the local schedule and the
+// server's hint is waited.
+func RetryAfterHint(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// ParseRetryAfter reads an HTTP Retry-After header in either of its
+// forms (delta-seconds or HTTP-date); zero when absent or unparseable.
+func ParseRetryAfter(h http.Header) time.Duration {
+	v := strings.TrimSpace(h.Get("Retry-After"))
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+package hedge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fixedJitter pins the jitter source so delay math is exact.
+func fixedJitter(v float64) func() float64 { return func() float64 { return v } }
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 1 * time.Second, Jitter: fixedJitter(1)}
+	// Jitter 1 yields the full (uncapped-then-capped) exponential.
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1 * time.Second, 1 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// A huge attempt must cap at Max, not overflow the shift.
+	if got := b.Delay(500); got != b.Max {
+		t.Errorf("Delay(500) = %v, want the %v cap", got, b.Max)
+	}
+	if got := b.Delay(0); got != 100*time.Millisecond {
+		t.Errorf("Delay(0) = %v, want clamped to attempt 1", got)
+	}
+	// Jitter 0 yields the equal-jitter lower half.
+	b.Jitter = fixedJitter(0)
+	if got := b.Delay(3); got != 200*time.Millisecond {
+		t.Errorf("Delay(3) at jitter 0 = %v, want half of 400ms", got)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := Backoff{Jitter: fixedJitter(1)}
+	if got := b.Delay(1); got != 100*time.Millisecond {
+		t.Errorf("default base Delay(1) = %v, want 100ms", got)
+	}
+	if got := b.Delay(100); got != 5*time.Second {
+		t.Errorf("default cap Delay(100) = %v, want 5s", got)
+	}
+}
+
+// TestSleepHonorsRetryAfterFloor pins the satellite contract: the wait
+// is the max of the local backoff and the server's Retry-After hint —
+// neither undercuts the other.
+func TestSleepHonorsRetryAfterFloor(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: fixedJitter(1)}
+	start := time.Now()
+	if err := b.Sleep(context.Background(), 1, 60*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("slept %v, want at least the 60ms Retry-After floor", elapsed)
+	}
+	// A floor below the local schedule changes nothing.
+	start = time.Now()
+	if err := b.Sleep(context.Background(), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("slept %v for a 1ms schedule with no floor", elapsed)
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	b := Backoff{Base: time.Minute, Max: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx, 1, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sleep = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep outlived its context by far")
+	}
+}
+
+func TestTrackerArming(t *testing.T) {
+	tr := &Tracker{Quantile: 0.5, Floor: time.Millisecond}
+	if _, ok := tr.Delay(); ok {
+		t.Fatal("tracker armed with no samples")
+	}
+	tr.Record(10 * time.Millisecond)
+	tr.Record(20 * time.Millisecond)
+	if _, ok := tr.Delay(); ok {
+		t.Fatal("tracker armed below MinSamples")
+	}
+	tr.Record(30 * time.Millisecond)
+	d, ok := tr.Delay()
+	if !ok {
+		t.Fatal("tracker not armed at MinSamples")
+	}
+	if d != 20*time.Millisecond {
+		t.Fatalf("median of 10/20/30ms = %v, want 20ms", d)
+	}
+}
+
+func TestTrackerFloorAndWindow(t *testing.T) {
+	tr := &Tracker{Quantile: 0.5, Floor: 100 * time.Millisecond, Window: 4}
+	for i := 0; i < 4; i++ {
+		tr.Record(time.Millisecond)
+	}
+	if d, ok := tr.Delay(); !ok || d != 100*time.Millisecond {
+		t.Fatalf("Delay = (%v, %v), want the 100ms floor", d, ok)
+	}
+	// The window drops the old fast samples: four slow ones displace them.
+	for i := 0; i < 4; i++ {
+		tr.Record(time.Second)
+	}
+	if d, _ := tr.Delay(); d != time.Second {
+		t.Fatalf("Delay after window turnover = %v, want 1s", d)
+	}
+}
+
+func TestStatusErrorHint(t *testing.T) {
+	se := &StatusError{Code: 503, RetryAfter: 7 * time.Second, Detail: "overloaded"}
+	wrapped := fmt.Errorf("backend x: %w", se)
+	if got := RetryAfterHint(wrapped); got != 7*time.Second {
+		t.Fatalf("RetryAfterHint = %v, want 7s", got)
+	}
+	if got := RetryAfterHint(errors.New("plain")); got != 0 {
+		t.Fatalf("RetryAfterHint(plain) = %v, want 0", got)
+	}
+	if got := RetryAfterHint(nil); got != 0 {
+		t.Fatalf("RetryAfterHint(nil) = %v, want 0", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if got := ParseRetryAfter(h); got != 0 {
+		t.Fatalf("absent header = %v, want 0", got)
+	}
+	h.Set("Retry-After", "3")
+	if got := ParseRetryAfter(h); got != 3*time.Second {
+		t.Fatalf("delta-seconds = %v, want 3s", got)
+	}
+	h.Set("Retry-After", "0")
+	if got := ParseRetryAfter(h); got != 0 {
+		t.Fatalf("zero seconds = %v, want 0", got)
+	}
+	h.Set("Retry-After", "-5")
+	if got := ParseRetryAfter(h); got != 0 {
+		t.Fatalf("negative seconds = %v, want 0", got)
+	}
+	h.Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+	if got := ParseRetryAfter(h); got <= 0 || got > 30*time.Second {
+		t.Fatalf("HTTP-date = %v, want within (0, 30s]", got)
+	}
+	h.Set("Retry-After", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat))
+	if got := ParseRetryAfter(h); got != 0 {
+		t.Fatalf("past HTTP-date = %v, want 0", got)
+	}
+	h.Set("Retry-After", "soon")
+	if got := ParseRetryAfter(h); got != 0 {
+		t.Fatalf("garbage = %v, want 0", got)
+	}
+}

@@ -1,0 +1,324 @@
+// The proxied read path: candidate selection, failover with backoff,
+// percentile hedging, and the per-backend circuit breaker.
+package route
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"simrankpp/internal/hedge"
+)
+
+// Handler returns the gateway's HTTP mux: /rewrite and /similar proxied
+// to the fleet, /stats and /readyz and /healthz answered locally.
+func (gw *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rewrite", gw.handleRead)
+	mux.HandleFunc("/similar", gw.handleRead)
+	mux.HandleFunc("/stats", gw.handleStats)
+	mux.HandleFunc("/healthz", gw.handleHealthz)
+	mux.HandleFunc("/readyz", gw.handleReadyz)
+	return mux
+}
+
+// proxied is one backend answer, relayed to the client byte-identically.
+type proxied struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// errNoReplica means candidate selection came up empty — distinct from
+// "candidates existed and all attempts on them failed".
+var errNoReplica = errors.New("route: no serveable replica")
+
+// affinity maps the request to its snapshot shard through the route
+// map; -1 when no router is configured or the node is unknown (unknown
+// nodes route anywhere — every replica answers them with the same
+// not-found).
+func (gw *Gateway) affinity(r *http.Request) (side string, shard int) {
+	q := r.URL.Query()
+	if ad := q.Get("ad"); ad != "" {
+		if gw.opt.Router == nil {
+			return "ad", -1
+		}
+		if _, s, ok := gw.opt.Router.PrevAd(ad); ok {
+			return "ad", s
+		}
+		return "ad", -1
+	}
+	side = "query"
+	if gw.opt.Router == nil {
+		return side, -1
+	}
+	if _, s, ok := gw.opt.Router.PrevQuery(q.Get("q")); ok {
+		return side, s
+	}
+	return side, -1
+}
+
+// candidates returns the replicas eligible for one read, best tier
+// first, rotated within each tier so load spreads across equals. The
+// returned pin is the generation every candidate serves.
+func (gw *Gateway) candidates(side string, shard int) (pin string, order []*backendState) {
+	gw.mu.Lock()
+	pin = gw.pinned
+	rot := gw.rr
+	gw.rr++
+	gw.mu.Unlock()
+	if pin == "" {
+		return "", nil
+	}
+	now := time.Now()
+	var tiers [3][]*backendState
+	n := len(gw.backends)
+	for i := 0; i < n; i++ {
+		b := gw.backends[(rot+i)%n]
+		if tier, ok := b.tierFor(pin, side, shard, now); ok {
+			tiers[tier] = append(tiers[tier], b)
+		}
+	}
+	order = append(order, tiers[0]...)
+	order = append(order, tiers[1]...)
+	order = append(order, tiers[2]...)
+	return pin, order
+}
+
+func (gw *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	side, shard := gw.affinity(r)
+	pin, order := gw.candidates(side, shard)
+	if len(order) == 0 {
+		gw.noReplica.Add(1)
+		gw.unavailable(w, "no replica can serve this request")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), gw.opt.RequestTimeout)
+	defer cancel()
+	resp, err := gw.fetchFailover(ctx, order, r.URL.Path, r.URL.RawQuery)
+	if err != nil {
+		gw.unavailable(w, err.Error())
+		return
+	}
+	gw.proxied.Add(1)
+	h := w.Header()
+	if resp.contentType != "" {
+		h.Set("Content-Type", resp.contentType)
+	}
+	// Stamp which generation answered — the consistency guarantee made
+	// observable (and assertable by the chaos suite).
+	h.Set("Simrank-Generation", pin)
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// unavailable is the gateway's degraded contract: 503 + Retry-After,
+// mirroring simrankd's own shedding, so clients back off instead of
+// hammering a fleet that cannot answer.
+func (gw *Gateway) unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(gw.opt.RetryAfterSeconds))
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+// fetchFailover runs dispatch rounds over the candidate list until one
+// answers, backing off between rounds under the shared equal-jitter
+// schedule floored at any Retry-After a failed backend sent.
+func (gw *Gateway) fetchFailover(ctx context.Context, order []*backendState, path, rawQuery string) (proxied, error) {
+	tried := make(map[*backendState]bool)
+	// pick returns the best untried candidate (skipping exclude), and
+	// starts a fresh pass once everyone has been tried — later rounds
+	// may succeed on a replica that failed earlier.
+	pick := func(exclude *backendState) *backendState {
+		for pass := 0; pass < 2; pass++ {
+			for _, b := range order {
+				if !tried[b] && b != exclude {
+					tried[b] = true
+					return b
+				}
+			}
+			tried = make(map[*backendState]bool)
+		}
+		// Only the excluded replica remains: hand it back rather than
+		// stall; callers needing a *distinct* replica filter it out.
+		if exclude != nil && len(order) > 0 {
+			return order[0]
+		}
+		return nil
+	}
+	var lastErr error
+	failed := false
+	for attempt := 1; attempt <= gw.opt.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			gw.retries.Add(1)
+			if err := gw.backoff.Sleep(ctx, attempt-1, hedge.RetryAfterHint(lastErr)); err != nil {
+				return proxied{}, fmt.Errorf("route: %w (last error: %v)", err, lastErr)
+			}
+		}
+		resp, err := gw.fetchHedged(ctx, pick, path, rawQuery)
+		if err == nil {
+			if failed {
+				gw.failovers.Add(1)
+			}
+			return resp, nil
+		}
+		failed = true
+		lastErr = err
+		if ctx.Err() != nil {
+			return proxied{}, fmt.Errorf("route: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+	return proxied{}, fmt.Errorf("route: all %d attempts failed: %w", gw.opt.MaxAttempts, lastErr)
+}
+
+// fetchHedged sends the read to one replica and, if no answer lands
+// within the completed-read latency percentile, mirrors it to a second
+// replica and takes whichever answers first — the tail-at-scale hedge,
+// same shape as internal/dist's write-side hedging.
+func (gw *Gateway) fetchHedged(ctx context.Context, pick func(exclude *backendState) *backendState, path, rawQuery string) (proxied, error) {
+	primary := pick(nil)
+	if primary == nil {
+		return proxied{}, errNoReplica
+	}
+	type result struct {
+		resp proxied
+		err  error
+		b    *backendState
+	}
+	results := make(chan result, 2)
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	launch := func(b *backendState) {
+		go func() {
+			started := time.Now()
+			resp, err := gw.fetchOne(hctx, b, path, rawQuery)
+			if err == nil {
+				gw.lat.Record(time.Since(started))
+			}
+			gw.markRead(b, err == nil)
+			results <- result{resp, err, b}
+		}()
+	}
+	launch(primary)
+	outstanding := 1
+	hedged := false
+
+	var hedgeCh <-chan time.Time
+	if delay, ok := gw.lat.Delay(); ok {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case <-hctx.Done():
+			return proxied{}, hctx.Err()
+		case <-hedgeCh:
+			hedgeCh = nil
+			if secondary := pick(primary); secondary != nil && secondary != primary {
+				gw.hedges.Add(1)
+				hedged = true
+				launch(secondary)
+				outstanding++
+			}
+		case res := <-results:
+			if res.err == nil {
+				if hedged && res.b != primary {
+					gw.failovers.Add(1)
+				}
+				return res.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			outstanding--
+			if outstanding == 0 {
+				// Primary failed fast and no hedge is pending: fire the
+				// hedge immediately rather than waiting out the timer.
+				if hedgeCh != nil {
+					hedgeCh = nil
+					if secondary := pick(primary); secondary != nil && secondary != primary {
+						gw.hedges.Add(1)
+						hedged = true
+						launch(secondary)
+						outstanding++
+						continue
+					}
+				}
+				return proxied{}, firstErr
+			}
+		}
+	}
+}
+
+// fetchOne proxies the read to one backend. A 2xx/4xx answer is
+// definitive — relayed as-is (4xx is the backend telling the *client*
+// it's wrong; another replica would say the same). 5xx and transport
+// errors are retryable, carrying any Retry-After hint upward.
+func (gw *Gateway) fetchOne(ctx context.Context, b *backendState, path, rawQuery string) (proxied, error) {
+	u := b.spec.URL + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return proxied{}, err
+	}
+	httpResp, err := gw.client.Do(req)
+	if err != nil {
+		return proxied{}, fmt.Errorf("route: %s: %w", b.spec.URL, err)
+	}
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	httpResp.Body.Close()
+	if err != nil {
+		return proxied{}, fmt.Errorf("route: %s: reading body: %w", b.spec.URL, err)
+	}
+	if httpResp.StatusCode >= 500 {
+		return proxied{}, fmt.Errorf("route: %s: %w", b.spec.URL, &hedge.StatusError{
+			Code:       httpResp.StatusCode,
+			RetryAfter: hedge.ParseRetryAfter(httpResp.Header),
+			Detail:     truncated(body),
+		})
+	}
+	return proxied{
+		status:      httpResp.StatusCode,
+		contentType: httpResp.Header.Get("Content-Type"),
+		body:        body,
+	}, nil
+}
+
+// markRead updates the backend's circuit breaker with one read outcome:
+// BreakerFails consecutive failures open the circuit for the cool-down
+// (the replica stops receiving reads), after which tierFor admits it
+// again for a half-open trial — one success closes the circuit, another
+// failure re-opens it.
+func (gw *Gateway) markRead(b *backendState, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.consecFails = 0
+		return
+	}
+	b.readFails++
+	b.consecFails++
+	if b.consecFails >= gw.opt.BreakerFails && !time.Now().Before(b.breakerUntil) {
+		b.breakerUntil = time.Now().Add(gw.opt.BreakerCooldown)
+		b.breakerOpens++
+		b.consecFails = 0
+		gw.logf("route: circuit open for %s (%d consecutive failures, cooling %s)",
+			b.spec.URL, gw.opt.BreakerFails, gw.opt.BreakerCooldown)
+	}
+}
+
+func truncated(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}

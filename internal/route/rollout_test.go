@@ -1,0 +1,270 @@
+package route
+
+import (
+	"testing"
+	"time"
+)
+
+// The rollout tests drive updateRollout directly on synthetic fleet
+// states — no HTTP — so every edge of the two-phase cutover is a
+// one-line table row: quorum lost mid-cutover, a replica rejoining on
+// the old generation, single-replica fleets, forced failover, rollback.
+
+// bstate is one replica's probed condition for a table row.
+type bstate struct {
+	health Health
+	gen    string
+	genID  uint64
+}
+
+func mkRolloutGw(t *testing.T, quorum float64, states []bstate) *Gateway {
+	t.Helper()
+	specs := make([]BackendSpec, len(states))
+	for i := range states {
+		specs[i] = BackendSpec{URL: "http://replica"}
+	}
+	gw, err := New(Options{Backends: specs, Quorum: quorum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStates(gw, states)
+	return gw
+}
+
+func applyStates(gw *Gateway, states []bstate) {
+	for i, s := range states {
+		b := gw.backends[i]
+		b.mu.Lock()
+		b.health, b.gen, b.genID = s.health, s.gen, s.genID
+		b.mu.Unlock()
+	}
+	gw.updateRollout()
+}
+
+func TestRolloutStateMachine(t *testing.T) {
+	const g1, g2 = "aaaa", "bbbb"
+	cases := []struct {
+		name   string
+		quorum float64
+		// steps are successive fleet states; updateRollout runs after each.
+		steps       [][]bstate
+		wantPinned  string
+		wantPending string
+		wantCuts    int64
+		wantForced  int64
+	}{
+		{
+			name:   "first pin takes best-represented generation",
+			quorum: 0.51,
+			steps: [][]bstate{{
+				{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g2, 2},
+			}},
+			wantPinned: g1,
+		},
+		{
+			name:   "first pin ties break to newest generation id",
+			quorum: 0.51,
+			steps: [][]bstate{{
+				{HealthOK, g1, 1}, {HealthOK, g2, 2},
+			}},
+			wantPinned: g2,
+		},
+		{
+			name:   "new generation below quorum stays pending",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				{{HealthOK, g2, 2}, {HealthOK, g1, 1}, {HealthOK, g1, 1}},
+			},
+			wantPinned:  g1,
+			wantPending: g2,
+		},
+		{
+			name:   "quorum reached cuts over",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				{{HealthOK, g2, 2}, {HealthOK, g2, 2}, {HealthOK, g1, 1}},
+			},
+			wantPinned: g2,
+			wantCuts:   1,
+		},
+		{
+			name:   "quorum lost mid-cutover holds the old pin",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				// One replica on g2, one crashed mid-rollout, one still g1:
+				// neither generation holds quorum (need 2) but g1 is alive —
+				// reads stay consistently on g1.
+				{{HealthOK, g2, 2}, {HealthUnreachable, "", 0}, {HealthOK, g1, 1}},
+			},
+			wantPinned:  g1,
+			wantPending: g2,
+		},
+		{
+			name:   "replica rejoining on old generation cannot drag the pin back",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g2, 2}, {HealthOK, g2, 2}, {HealthUnreachable, "", 0}},
+				// The laggard comes back up still serving g1: below quorum,
+				// so it pends at best and the fleet stays on g2.
+				{{HealthOK, g2, 2}, {HealthOK, g2, 2}, {HealthOK, g1, 1}},
+			},
+			wantPinned:  g2,
+			wantPending: g1,
+		},
+		{
+			name:   "single-replica fleet cuts over immediately",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}},
+				{{HealthOK, g2, 2}},
+			},
+			wantPinned: g2,
+			wantCuts:   1,
+		},
+		{
+			name:   "degraded replicas count toward quorum",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				{{HealthDegraded, g2, 2}, {HealthDegraded, g2, 2}, {HealthOK, g1, 1}},
+			},
+			wantPinned: g2,
+			wantCuts:   1,
+		},
+		{
+			name:   "unready replicas do not count toward quorum",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				{{HealthOK, g2, 2}, {HealthUnready, g2, 2}, {HealthOK, g1, 1}},
+			},
+			wantPinned:  g1,
+			wantPending: g2,
+		},
+		{
+			name:   "forced failover when the pinned generation has no live replicas",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				// Rollout goes wrong: two g1 replicas die, the third came up
+				// on g2. g2 is below quorum (1 < 2) but g1 has nothing left —
+				// serving g2 consistently beats serving nothing.
+				{{HealthOK, g2, 2}, {HealthUnreachable, "", 0}, {HealthUnreachable, "", 0}},
+			},
+			wantPinned: g2,
+			wantCuts:   1,
+			wantForced: 1,
+		},
+		{
+			name:   "rollback is a symmetric cutover",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g2, 2}, {HealthOK, g2, 2}, {HealthOK, g2, 2}},
+				// Operators re-push the old generation to a quorum.
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}, {HealthOK, g2, 2}},
+			},
+			wantPinned: g1,
+			wantCuts:   1,
+		},
+		{
+			name:   "unanimous quorum waits for every replica",
+			quorum: 1.0,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				{{HealthOK, g2, 2}, {HealthOK, g1, 1}},
+			},
+			wantPinned:  g1,
+			wantPending: g2,
+		},
+		{
+			name:   "all dead keeps the last pin",
+			quorum: 0.51,
+			steps: [][]bstate{
+				{{HealthOK, g1, 1}, {HealthOK, g1, 1}},
+				{{HealthUnreachable, "", 0}, {HealthUnreachable, "", 0}},
+			},
+			wantPinned: g1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			gw := mkRolloutGw(t, c.quorum, c.steps[0])
+			for _, step := range c.steps[1:] {
+				applyStates(gw, step)
+			}
+			st := gw.rolloutStatus()
+			if st.Pinned != c.wantPinned {
+				t.Errorf("pinned = %q, want %q", st.Pinned, c.wantPinned)
+			}
+			if st.Pending != c.wantPending {
+				t.Errorf("pending = %q, want %q", st.Pending, c.wantPending)
+			}
+			if st.Cutovers != c.wantCuts {
+				t.Errorf("cutovers = %d, want %d", st.Cutovers, c.wantCuts)
+			}
+			if st.Forced != c.wantForced {
+				t.Errorf("forced = %d, want %d", st.Forced, c.wantForced)
+			}
+		})
+	}
+}
+
+// TestRejoinedOldGenerationExcludedFromRouting closes the loop on the
+// rejoin case: the old-generation replica is not merely outvoted, it
+// receives no reads while off the pinned generation.
+func TestRejoinedOldGenerationExcludedFromRouting(t *testing.T) {
+	const g1, g2 = "aaaa", "bbbb"
+	gw := mkRolloutGw(t, 0.51, []bstate{
+		{HealthOK, g2, 2}, {HealthOK, g2, 2}, {HealthOK, g1, 1},
+	})
+	if pin := gw.Pinned(); pin != g2 {
+		t.Fatalf("pinned %q, want %q", pin, g2)
+	}
+	laggard := gw.backends[2]
+	for i := 0; i < 10; i++ {
+		_, order := gw.candidates("query", -1)
+		for _, b := range order {
+			if b == laggard {
+				t.Fatal("old-generation replica offered as a read candidate")
+			}
+		}
+		if len(order) != 2 {
+			t.Fatalf("got %d candidates, want 2", len(order))
+		}
+	}
+	if _, ok := laggard.tierFor(g2, "query", -1, time.Now()); ok {
+		t.Error("tierFor admitted a replica on the wrong generation")
+	}
+}
+
+// TestQuorumNeed pins the ceil arithmetic at the fleet sizes the
+// runbook quotes.
+func TestQuorumNeed(t *testing.T) {
+	cases := []struct {
+		replicas int
+		quorum   float64
+		want     int
+	}{
+		{1, 0.51, 1},
+		{2, 0.51, 2},
+		{3, 0.51, 2},
+		{4, 0.51, 3},
+		{5, 0.51, 3},
+		{3, 1.0, 3},
+		{3, 0.34, 2},
+	}
+	for _, c := range cases {
+		states := make([]bstate, c.replicas)
+		for i := range states {
+			states[i] = bstate{HealthOK, "g", 1}
+		}
+		gw := mkRolloutGw(t, c.quorum, states)
+		if got := gw.quorumNeed(); got != c.want {
+			t.Errorf("quorumNeed(%d replicas, quorum %.2f) = %d, want %d",
+				c.replicas, c.quorum, got, c.want)
+		}
+	}
+}

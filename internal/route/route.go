@@ -1,0 +1,407 @@
+// Package route is the read-side half of the fleet story: an HTTP
+// gateway that spreads /rewrite and /similar traffic across replicated
+// simrankd backends so the paper's "millions of users" serving load
+// stops terminating at a single daemon.
+//
+// The gateway holds no scores. It probes each backend's /readyz on a
+// jittered interval, classifies it ok / degraded / unready, and routes
+// every read to a replica that can actually answer it:
+//
+//   - Health-aware: healthy replicas are preferred; a degraded replica
+//     (some shards quarantined) is used only when no clean replica can
+//     answer the query's shard.
+//   - Shard-affine: when a ShardRouter (the snapshot's node→shard route
+//     map) is configured, each query is mapped to its shard and only
+//     replicas holding that shard — per their BackendSpec partition,
+//     with hot shards replicated onto several backends — are candidates.
+//   - Generation-consistent: every response is pinned to one snapshot
+//     generation fingerprint. During a rollout the gateway keeps
+//     routing to the old generation until a configurable quorum of
+//     replicas report the new one, then cuts over atomically — answers
+//     from different generations are never mixed (see prober.go).
+//   - Tail-tolerant: failed reads retry on another replica under the
+//     shared capped equal-jitter backoff (honoring any Retry-After the
+//     backend sent), stragglers are hedged to a second replica past a
+//     completed-request latency percentile, and a backend failing
+//     consecutively has its circuit opened for a cool-down
+//     (internal/hedge carries the shared machinery).
+//
+// When no replica can answer at all the gateway degrades to 503 +
+// Retry-After instead of hanging — the same contract simrankd's own
+// overload shedding makes. The chaos suite (chaos_test.go) pins all of
+// this under fault injection and -race.
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simrankpp/internal/hedge"
+	"simrankpp/internal/serve"
+)
+
+// Health classifies one backend replica from its last probe.
+type Health int
+
+const (
+	// HealthUnknown: never probed.
+	HealthUnknown Health = iota
+	// HealthUnreachable: the probe could not reach the backend or could
+	// not parse its answer.
+	HealthUnreachable
+	// HealthUnready: the backend answered /readyz with "unready" (503) —
+	// up, but with nothing it can serve.
+	HealthUnready
+	// HealthDegraded: /readyz answered 200 "degraded" — serving, with
+	// some shard segments quarantined.
+	HealthDegraded
+	// HealthOK: /readyz answered 200 "ok".
+	HealthOK
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthUnreachable:
+		return "unreachable"
+	case HealthUnready:
+		return "unready"
+	case HealthDegraded:
+		return "degraded"
+	case HealthOK:
+		return "ok"
+	}
+	return "unknown"
+}
+
+// serveable reports whether reads may target a backend in this state at
+// all; which reads is the per-shard tiering's business.
+func (h Health) serveable() bool { return h == HealthOK || h == HealthDegraded }
+
+// BackendSpec names one replica and, for partitioned fleets, the set of
+// shards it holds. A nil Shards means the replica holds the full
+// snapshot (the common whole-replica deployment). Hot shards are
+// replicated by listing them in several backends' specs.
+type BackendSpec struct {
+	URL    string
+	Shards []int
+}
+
+// ParseBackendSpec parses "URL" or "URL#S1,S2,..." (e.g.
+// "http://host:8080#0,3,7" for a replica holding shards 0, 3 and 7).
+func ParseBackendSpec(s string) (BackendSpec, error) {
+	spec := BackendSpec{URL: strings.TrimSuffix(s, "/")}
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		spec.URL = strings.TrimSuffix(s[:i], "/")
+		for _, part := range strings.Split(s[i+1:], ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			shard, err := strconv.Atoi(part)
+			if err != nil || shard < 0 {
+				return spec, fmt.Errorf("route: bad shard %q in backend spec %q", part, s)
+			}
+			spec.Shards = append(spec.Shards, shard)
+		}
+		if len(spec.Shards) == 0 {
+			return spec, fmt.Errorf("route: backend spec %q names no shards after '#'", s)
+		}
+		sort.Ints(spec.Shards)
+	}
+	u, err := url.Parse(spec.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return spec, fmt.Errorf("route: backend spec %q is not an absolute URL", s)
+	}
+	return spec, nil
+}
+
+// ParseBackendList parses a comma-separated list of backend specs (the
+// -backends flag). Shard lists use '#', so commas inside them are
+// disambiguated by requiring every top-level element to start a URL:
+// elements that don't contain "://" are folded into the previous
+// spec's shard list.
+func ParseBackendList(s string) ([]BackendSpec, error) {
+	var rawSpecs []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.Contains(part, "://") || len(rawSpecs) == 0 {
+			rawSpecs = append(rawSpecs, part)
+		} else {
+			rawSpecs[len(rawSpecs)-1] += "," + part
+		}
+	}
+	specs := make([]BackendSpec, 0, len(rawSpecs))
+	for _, raw := range rawSpecs {
+		spec, err := ParseBackendSpec(raw)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("route: no backends in %q", s)
+	}
+	return specs, nil
+}
+
+// ShardRouter maps node names to the snapshot's shard indices — the
+// affinity hint shard-partitioned routing needs. *serve.Snapshot
+// implements it (the gateway opens the same snapshot the fleet serves,
+// reading only header, string table and route map).
+type ShardRouter interface {
+	PrevQuery(name string) (id, shard int, ok bool)
+	PrevAd(name string) (id, shard int, ok bool)
+	NumShards() int
+}
+
+// segKey identifies one score segment: a (side, shard) pair, matching
+// serve.ShardHealth's quarantine granularity.
+type segKey struct {
+	side  string
+	shard int
+}
+
+// backendState is one replica's live view: the last probe's
+// classification plus the read path's failure accounting.
+type backendState struct {
+	spec     BackendSpec
+	shardSet map[int]bool // nil: holds every shard
+
+	mu          sync.Mutex
+	health      Health
+	gen         string // generation fingerprint hex; "" unknown
+	genID       uint64
+	quarantined map[segKey]bool
+	lastProbeErr string
+	probes      int64
+	probeFails  int64
+
+	consecFails  int
+	readFails    int64
+	breakerUntil time.Time
+	breakerOpens int64
+}
+
+// observe files one probe result.
+func (b *backendState) observe(h Health, gen string, genID uint64, quar []serve.ShardHealth, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probes++
+	b.lastProbeErr = ""
+	if err != nil {
+		b.probeFails++
+		b.lastProbeErr = err.Error()
+	}
+	b.health = h
+	if gen != "" {
+		b.gen, b.genID = gen, genID
+	}
+	b.quarantined = nil
+	if len(quar) > 0 {
+		b.quarantined = make(map[segKey]bool, len(quar))
+		for _, q := range quar {
+			b.quarantined[segKey{q.Side, q.Shard}] = true
+		}
+	}
+}
+
+// tierFor classifies the backend as a candidate for one read: tier 0
+// (healthy), 1 (degraded but the needed segment is clean), 2 (degraded
+// with the needed segment quarantined — last resort), or not a
+// candidate at all (wrong generation, unready, circuit open, or a
+// partitioned replica that does not hold the shard).
+func (b *backendState) tierFor(pin, side string, shard int, now time.Time) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.health.serveable() || b.gen != pin {
+		return 0, false
+	}
+	if now.Before(b.breakerUntil) {
+		return 0, false
+	}
+	if shard >= 0 && b.shardSet != nil && !b.shardSet[shard] {
+		return 0, false
+	}
+	if b.health == HealthOK {
+		return 0, true
+	}
+	if shard >= 0 && b.quarantined[segKey{side, shard}] {
+		return 2, true
+	}
+	return 1, true
+}
+
+// Options tunes the gateway. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Backends is the replica fleet (required, at least one).
+	Backends []BackendSpec
+	// Router, when non-nil, enables shard-affine routing: queries map to
+	// shards through it and partitioned replicas only receive reads for
+	// shards they hold.
+	Router ShardRouter
+	// ProbeInterval is the /readyz probing cadence, equal-jittered into
+	// [½, 1]× so a gateway fleet's probes don't align (default 2s);
+	// ProbeTimeout bounds one probe (default 1s).
+	ProbeInterval, ProbeTimeout time.Duration
+	// Quorum is the fraction of configured replicas that must report a
+	// new generation before the gateway cuts reads over to it (default
+	// 0.51 — a strict majority; see prober.go for the state machine).
+	Quorum float64
+	// MaxAttempts bounds read dispatch rounds across replicas (default
+	// 3); a round may involve two replicas when hedged.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the capped equal-jitter backoff
+	// between a read's dispatch rounds (defaults 25ms / 1s). The wait is
+	// floored at any Retry-After the failed backend sent.
+	BackoffBase, BackoffMax time.Duration
+	// HedgeQuantile picks the completed-read latency percentile past
+	// which an outstanding read is hedged to a second replica (default
+	// 0.95); HedgeAfter floors the hedge delay (default 100ms). Hedging
+	// arms only after 3 completed reads.
+	HedgeQuantile float64
+	HedgeAfter    time.Duration
+	// BreakerFails is how many consecutive read failures open a
+	// backend's circuit (default 3); BreakerCooldown is how long the
+	// circuit stays open before a half-open trial (default 5s).
+	BreakerFails    int
+	BreakerCooldown time.Duration
+	// RequestTimeout bounds one proxied read end to end, hedges
+	// included (default 5s).
+	RequestTimeout time.Duration
+	// RetryAfterSeconds is the Retry-After hint on gateway-emitted 503s
+	// (no serveable replica / all attempts failed); default 1.
+	RetryAfterSeconds int
+	// Transport overrides the HTTP transport for probes and reads (the
+	// chaos suite's fault-injection seam); nil uses
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// Jitter overrides the jitter source for backoff and probe
+	// intervals, returning values in [0, 1); nil uses math/rand.
+	Jitter func() float64
+	// Logf receives progress lines (probe transitions, cutovers,
+	// breaker trips); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 2 * time.Second
+	}
+	if out.ProbeTimeout <= 0 {
+		out.ProbeTimeout = time.Second
+	}
+	if out.Quorum <= 0 || out.Quorum > 1 {
+		out.Quorum = 0.51
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 3
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 25 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = time.Second
+	}
+	if out.HedgeQuantile <= 0 || out.HedgeQuantile >= 1 {
+		out.HedgeQuantile = 0.95
+	}
+	if out.HedgeAfter <= 0 {
+		out.HedgeAfter = 100 * time.Millisecond
+	}
+	if out.BreakerFails <= 0 {
+		out.BreakerFails = 3
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = 5 * time.Second
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 5 * time.Second
+	}
+	if out.RetryAfterSeconds <= 0 {
+		out.RetryAfterSeconds = 1
+	}
+	if out.Jitter == nil {
+		out.Jitter = rand.Float64
+	}
+	return out
+}
+
+// Gateway fans reads across the replica fleet.
+type Gateway struct {
+	opt      Options
+	client   *http.Client
+	backends []*backendState
+	backoff  hedge.Backoff
+	lat      *hedge.Tracker
+	start    time.Time
+
+	// mu guards the rollout state and the routing rotation.
+	mu      sync.Mutex
+	pinned  string // generation fingerprint reads are pinned to
+	pending string // a newer generation observed below quorum
+	rr      int
+	cutovers atomic.Int64
+	forced   atomic.Int64
+
+	requests  atomic.Int64
+	proxied   atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	failovers atomic.Int64
+	noReplica atomic.Int64
+}
+
+// New builds a gateway over the configured fleet. It does not probe:
+// call ProbeAll (or run Run in the background) before serving, or every
+// read answers 503 for want of a pinned generation.
+func New(opt Options) (*Gateway, error) {
+	if len(opt.Backends) == 0 {
+		return nil, fmt.Errorf("route: at least one backend is required")
+	}
+	opt = (&opt).withDefaults()
+	gw := &Gateway{
+		opt:     opt,
+		client:  &http.Client{Transport: opt.Transport},
+		backoff: hedge.Backoff{Base: opt.BackoffBase, Max: opt.BackoffMax, Jitter: opt.Jitter},
+		lat:     &hedge.Tracker{Quantile: opt.HedgeQuantile, Floor: opt.HedgeAfter},
+		start:   time.Now(),
+	}
+	for _, spec := range opt.Backends {
+		b := &backendState{spec: spec}
+		if len(spec.Shards) > 0 {
+			b.shardSet = make(map[int]bool, len(spec.Shards))
+			for _, s := range spec.Shards {
+				b.shardSet[s] = true
+			}
+		}
+		gw.backends = append(gw.backends, b)
+	}
+	return gw, nil
+}
+
+func (gw *Gateway) logf(format string, args ...any) {
+	if gw.opt.Logf != nil {
+		gw.opt.Logf(format, args...)
+	}
+}
+
+// Pinned reports the generation fingerprint reads are currently pinned
+// to ("" before the first successful probe sweep).
+func (gw *Gateway) Pinned() string {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return gw.pinned
+}

@@ -118,6 +118,11 @@ type Server struct {
 	mu  sync.RWMutex
 	idx ScoreIndex
 
+	// genID is the journal generation id of the served snapshot when the
+	// daemon could resolve one (simrankd matches the snapshot fingerprint
+	// against the generation store); 0 otherwise.
+	genID atomic.Uint64
+
 	endpoints      map[string]*endpointCounters
 	requests       atomic.Int64
 	cacheHits      atomic.Int64
@@ -167,6 +172,46 @@ func (s *Server) InFlight() int {
 // ReloadFailures reports how many reload attempts failed to load a new
 // index (the old one kept serving).
 func (s *Server) ReloadFailures() int64 { return s.reloadFailures.Load() }
+
+// SetGenerationID records the journal generation id of the served
+// snapshot, surfaced in /readyz and /stats generation identity. Call it
+// after swapping in an index whose journal id is known; 0 (the default)
+// means "not journaled / unknown".
+func (s *Server) SetGenerationID(id uint64) { s.genID.Store(id) }
+
+// GenerationIdentity is the serving snapshot's generation identity as
+// surfaced in /readyz and /stats: what a read gateway compares across a
+// replicated fleet to pin generation-consistent answers, and what an
+// operator checks to verify a rollout actually swapped generations.
+type GenerationIdentity struct {
+	// ID is the generation-journal id (simrank -generations), 0 when the
+	// served snapshot was never journaled or the id is unknown.
+	ID uint64 `json:"id"`
+	// Fingerprint is the snapshot's graph fingerprint hex (XOR of
+	// per-shard subgraph fingerprints) — the fleet-agreement key.
+	Fingerprint string    `json:"fingerprint"`
+	GeneratedAt time.Time `json:"generated_at"`
+	// DirtyShards is how many shards the producing refresh recomputed;
+	// -1 for a full (non-incremental) build.
+	DirtyShards int `json:"dirty_shards"`
+}
+
+// generationIdentity derives the identity of the index being served;
+// nil for indexes that are not snapshots (a live engine result has no
+// generation to agree on).
+func (s *Server) generationIdentity(idx ScoreIndex) *GenerationIdentity {
+	snap, ok := idx.(*Snapshot)
+	if !ok {
+		return nil
+	}
+	m := snap.Meta()
+	return &GenerationIdentity{
+		ID:          s.genID.Load(),
+		Fingerprint: m.Fingerprint,
+		GeneratedAt: m.GeneratedAt,
+		DirtyShards: m.LastRefreshDirty,
+	}
+}
 
 // Index returns the currently-served score index — what the next
 // admitted request will answer from.
@@ -518,6 +563,9 @@ type StatsResponse struct {
 	Queries        int    `json:"queries"`
 	Ads            int    `json:"ads"`
 	Method         string `json:"method"`
+	// Generation is the served snapshot's generation identity (also in
+	// /readyz) — the fleet-agreement key a gateway and an operator check.
+	Generation *GenerationIdentity `json:"generation,omitempty"`
 	// Snapshot-backed indexes add their header metadata, how many of the
 	// per-shard score segments are materialized, any segment-load
 	// failure, and the currently-quarantined segments (degraded mode).
@@ -550,6 +598,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, c := range s.endpoints {
 		resp.Endpoints[name] = c.snapshot()
 	}
+	resp.Generation = s.generationIdentity(s.idx)
 	if snap, ok := s.idx.(*Snapshot); ok {
 		meta := snap.Meta()
 		resp.Snapshot = &meta
@@ -574,8 +623,12 @@ type ReadyResponse struct {
 	// quarantined, the rest answering — HTTP 200, so load balancers
 	// keep routing the traffic this daemon can still serve), or
 	// "unready" (no usable index — HTTP 503).
-	Status      string        `json:"status"`
-	Quarantined []ShardHealth `json:"quarantined,omitempty"`
+	Status string `json:"status"`
+	// Generation identifies which snapshot generation the answers come
+	// from — a read gateway probes this to keep a replicated fleet's
+	// responses generation-consistent during rollouts.
+	Generation  *GenerationIdentity `json:"generation,omitempty"`
+	Quarantined []ShardHealth       `json:"quarantined,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -588,6 +641,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "unready"
 		code = http.StatusServiceUnavailable
 	} else if snap, ok := idx.(*Snapshot); ok {
+		resp.Generation = s.generationIdentity(idx)
 		if quar := snap.Quarantined(); len(quar) > 0 {
 			resp.Status = "degraded"
 			resp.Quarantined = quar

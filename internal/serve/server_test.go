@@ -180,6 +180,65 @@ func TestServerReadyzHealthy(t *testing.T) {
 	}
 }
 
+// TestGenerationIdentitySurfaced pins the fleet-agreement contract: a
+// snapshot-backed server reports its generation identity (journal id,
+// graph fingerprint hex, generated-at, dirty count) in both /readyz and
+// /stats, identically — the key a read gateway compares across replicas
+// to keep answers generation-consistent. A live (non-snapshot) index
+// reports none.
+func TestGenerationIdentitySurfaced(t *testing.T) {
+	res, err := core.Run(testGraph(t), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mustSnapshot(t, res)
+	srv := NewServer(snap, DefaultServerConfig())
+	srv.SetGenerationID(7)
+	h := srv.Handler()
+
+	code, body := get(t, h, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", code, body)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Generation == nil {
+		t.Fatal("readyz carries no generation identity")
+	}
+	meta := snap.Meta()
+	if ready.Generation.ID != 7 || ready.Generation.Fingerprint != meta.Fingerprint ||
+		!ready.Generation.GeneratedAt.Equal(meta.GeneratedAt) || ready.Generation.DirtyShards != meta.LastRefreshDirty {
+		t.Errorf("readyz generation = %+v, want id 7, fingerprint %s, generated %v, dirty %d",
+			ready.Generation, meta.Fingerprint, meta.GeneratedAt, meta.LastRefreshDirty)
+	}
+
+	code, body = get(t, h, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation == nil || *stats.Generation != *ready.Generation {
+		t.Errorf("stats generation = %+v, want the same identity readyz reports (%+v)",
+			stats.Generation, ready.Generation)
+	}
+
+	// A live-result server has no snapshot generation to agree on.
+	live, _ := fig3Server(t, DefaultServerConfig())
+	_, body = get(t, live.Handler(), "/readyz")
+	var liveReady ReadyResponse
+	if err := json.Unmarshal(body, &liveReady); err != nil {
+		t.Fatal(err)
+	}
+	if liveReady.Generation != nil {
+		t.Errorf("live-index readyz reports a generation: %+v", liveReady.Generation)
+	}
+}
+
 // TestReloadFailureKeepsServing pins the SIGHUP reload failure path: a
 // load that fails (corrupt new snapshot) leaves the old index serving,
 // increments reload_failures, and does not bump reloads.
