@@ -1,0 +1,182 @@
+// Command servebench measures the serving path end to end and records
+// the results as JSON so the repository tracks its serving latency PR
+// over PR, the way corebench tracks the engine passes:
+//
+//	go run ./cmd/servebench -o BENCH_serve.json
+//
+// It scores the multi-cluster shard workload once, persists it with a
+// precomputed top-k rewrite section, and drives the real HTTP handler in
+// process at 1, 8, and 64 concurrent clients, on two configurations:
+//
+//   - zerocopy: memory-mapped snapshot, segments binary-searched in
+//     place, /rewrite answered from the precomputed section;
+//   - heap: segments decoded into heap tables, /rewrite running the live
+//     pipeline per request (the pre-optimization baseline).
+//
+// Each (endpoint, path, clients) cell records p50/p99/p999 latency,
+// throughput, and allocs per request for GET /rewrite, GET /similar, and
+// POST /batch. The headline gate is rewrite_p99_speedup — the worst-case
+// (across concurrencies) ratio of heap p99 to zerocopy p99 on /rewrite.
+//
+// `-compare old.json` diffs the fresh run against a previous record and
+// exits nonzero when a metric regressed past `-compare-threshold`
+// (speedup ratios always; absolute ns rows only when the workloads
+// match). CI runs `-smoke -compare BENCH_serve.json -compare-threshold
+// 6` on every push. See PERF.md's zero-copy serving section for how to
+// read the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"simrankpp/internal/core"
+	"simrankpp/internal/serve"
+)
+
+type report struct {
+	GeneratedAt string                `json:"generated_at"`
+	GoVersion   string                `json:"go_version"`
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	Workload    core.ShardBenchConfig `json:"workload"`
+	serve.ServeBenchResult
+}
+
+func main() {
+	out := flag.String("o", "BENCH_serve.json", "output path")
+	smoke := flag.Bool("smoke", false, "seconds-scale CI workload (reduced graph and request counts)")
+	ops := flag.Int("ops", 1200, "requests per matrix cell")
+	comparePath := flag.String("compare", "", "previous BENCH_serve.json to diff against (exit 1 on regression)")
+	compareThreshold := flag.Float64("compare-threshold", 6, "regression factor that fails -compare")
+	flag.Parse()
+
+	bc := serve.ServeBenchWorkload(*smoke)
+	if *smoke && *ops > 300 {
+		*ops = 300
+	}
+	concurrencies := []int{1, 8, 64}
+
+	fmt.Fprintf(os.Stderr, "servebench: %d clusters + giant, budget %d nodes, %d ops/cell at clients %v\n",
+		bc.Clusters, bc.MaxShardNodes, *ops, concurrencies)
+	res, err := serve.RunServeBench(bc, concurrencies, *ops, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "servebench: mmapped=%v  rewrite p99 speedup %.1fx  similar %.1fx  batch %.1fx (worst concurrency)\n",
+		res.Mmapped, res.RewriteP99Speedup, res.SimilarP99Speedup, res.BatchP99Speedup)
+
+	rep := report{
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Workload:         bc,
+		ServeBenchResult: res,
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "servebench: wrote %s\n", *out)
+
+	if *comparePath != "" {
+		old, err := loadReport(*comparePath)
+		if err != nil {
+			fatal(err)
+		}
+		if regs := compareReports(os.Stderr, old, &rep, *compareThreshold); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "servebench: %d metric(s) regressed more than %.2fx vs %s\n",
+				len(regs), *compareThreshold, *comparePath)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "servebench: no regression past %.2fx vs %s\n", *compareThreshold, *comparePath)
+	}
+}
+
+// compareRow is one metric's old/new pairing (same shape as corebench's:
+// dimensionless speedups are always compared, absolute ns rows only when
+// the workloads match).
+type compareRow struct {
+	name         string
+	old, new     float64
+	higherBetter bool
+}
+
+func (r compareRow) worseFactor() float64 {
+	if r.old <= 0 || r.new <= 0 {
+		return 1
+	}
+	if r.higherBetter {
+		return r.old / r.new
+	}
+	return r.new / r.old
+}
+
+func compareReports(w io.Writer, old, cur *report, threshold float64) []compareRow {
+	rows := []compareRow{
+		{name: "rewrite_p99_speedup", old: old.RewriteP99Speedup, new: cur.RewriteP99Speedup, higherBetter: true},
+		{name: "similar_p99_speedup", old: old.SimilarP99Speedup, new: cur.SimilarP99Speedup, higherBetter: true},
+		{name: "batch_p99_speedup", old: old.BatchP99Speedup, new: cur.BatchP99Speedup, higherBetter: true},
+	}
+	if reflect.DeepEqual(old.Workload, cur.Workload) {
+		oldP99 := map[string]float64{}
+		for _, c := range old.Cases {
+			oldP99[fmt.Sprintf("%s/%s/%d", c.Endpoint, c.Path, c.Clients)] = c.NsP99
+		}
+		for _, c := range cur.Cases {
+			key := fmt.Sprintf("%s/%s/%d", c.Endpoint, c.Path, c.Clients)
+			if o, ok := oldP99[key]; ok {
+				rows = append(rows, compareRow{name: key + " p99", old: o, new: c.NsP99})
+			}
+		}
+	} else {
+		fmt.Fprintf(w, "servebench: workloads differ (old %+v); comparing speedup ratios only\n", old.Workload)
+	}
+
+	fmt.Fprintf(w, "servebench: comparison (threshold %.2fx)\n", threshold)
+	fmt.Fprintf(w, "  %-36s %14s %14s %9s\n", "metric", "old", "new", "factor")
+	var regressions []compareRow
+	for _, r := range rows {
+		worse := r.worseFactor()
+		mark := ""
+		if worse > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions, r)
+		}
+		fmt.Fprintf(w, "  %-36s %14.1f %14.1f %8.2fx%s\n", r.name, r.old, r.new, worse, mark)
+	}
+	return regressions
+}
+
+func loadReport(path string) (*report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "servebench:", err)
+	os.Exit(1)
+}

@@ -98,6 +98,7 @@ func main() {
 		planPath  = flag.String("plan", "", "sharded: load this partition plan instead of running BuildPlan")
 		planSave  = flag.String("save-plan", "", "write the partition plan (built, loaded, or refresh-projected) to this file")
 		savePath  = flag.String("save", "", "write the computed scores as a serving snapshot")
+		saveTopK  = flag.Int("rewrite-topk", serve.DefaultRewriteTopK, "save: precomputed rewrite list depth stored in the snapshot (0 disables the section)")
 		loadPath  = flag.String("load", "", "answer from a snapshot instead of running an engine (-graph not needed)")
 		refresh   = flag.String("refresh", "", "incrementally refresh this snapshot against -graph (recompute dirty shards only)")
 		rollback  = flag.String("rollback", "", "re-point this serving snapshot at the last good journaled generation")
@@ -135,7 +136,7 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "method", "c", "iterations", "prune", "strict-evidence",
-				"sharded", "shard-max-nodes", "plan":
+				"sharded", "shard-max-nodes", "plan", "rewrite-topk":
 				conflicting = append(conflicting, "-"+f.Name)
 			}
 		})
@@ -143,7 +144,18 @@ func main() {
 			fatal(fmt.Errorf("-refresh reuses the engine settings recorded in the snapshot; drop %s (start a fresh -save to change them)",
 				strings.Join(conflicting, ", ")))
 		}
-		if err := runRefresh(*graphPath, *refresh, *savePath, *planSave, *shardWork, *keepGens, fleetURLs(*fleet)); err != nil {
+		// The previous snapshot records the bid-term set its precomputed
+		// rewrite lists were filtered under; the refresh must rebuild dirty
+		// shards' lists with the same set, so -bids here must restate it.
+		var refreshBids map[string]bool
+		if *bidsPath != "" {
+			var err error
+			refreshBids, err = rewrite.ReadBidTermsFile(*bidsPath)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if err := runRefresh(*graphPath, *refresh, *savePath, *planSave, *shardWork, *keepGens, fleetURLs(*fleet), refreshBids); err != nil {
 			fatal(err)
 		}
 		return
@@ -210,7 +222,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simrank: wrote plan %s (%d shards)\n", *planSave, len(plan.Shards))
 			return
 		}
-		src, err = buildSource(g, *method, *c, *iters, *prune, *strict, *sharded, *shardMax, *shardWork, *savePath, *planPath, *planSave)
+		src, err = buildSource(g, *method, *c, *iters, *prune, *strict, *sharded, *shardMax, *shardWork, *savePath, *planPath, *planSave, *saveTopK, bidTerms)
 		if err != nil {
 			fatal(err)
 		}
@@ -290,7 +302,7 @@ func obtainPlan(g *clickgraph.Graph, sharded bool, shardMax int, planPath string
 // fails (or dies) at any instant leaves the previous generation
 // loadable, and the failure path re-points serving at the last good
 // generation when the serving file itself turns out damaged.
-func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGens int, fleet []string) error {
+func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGens int, fleet []string, bids map[string]bool) error {
 	if savePath == "" {
 		savePath = prevPath // atomic in-place generation swap
 	}
@@ -325,9 +337,9 @@ func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGen
 	var st serve.RefreshStats
 	var diff *partition.Diff
 	if len(fleet) > 0 {
-		st, diff, err = refreshGenerationFleet(gs, g, prev, workers, fleet)
+		st, diff, err = refreshGenerationFleet(gs, g, prev, workers, fleet, bids)
 	} else {
-		st, diff, err = refreshGeneration(gs, g, prev, workers)
+		st, diff, err = refreshGeneration(gs, g, prev, workers, bids)
 	}
 	if err != nil {
 		// The journal protects the serving file by construction, but a
@@ -355,7 +367,7 @@ func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGen
 
 // refreshGeneration runs the dirty-shard recompute and commits +
 // publishes the result as the next journaled generation.
-func refreshGeneration(gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot, workers int) (serve.RefreshStats, *partition.Diff, error) {
+func refreshGeneration(gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot, workers int, bids map[string]bool) (serve.RefreshStats, *partition.Diff, error) {
 	var st serve.RefreshStats
 	res, diff, err := serve.RunRefresh(g, prev, workers)
 	if err != nil {
@@ -378,7 +390,7 @@ func refreshGeneration(gs *serve.GenerationStore, g *clickgraph.Graph, prev *ser
 		diff.NewQueries+diff.NewAds, diff.MovedQueries+diff.MovedAds)
 	gen, err := gs.Commit(diff.DirtyShards, fingerprint, func(w io.Writer) error {
 		var werr error
-		st, werr = serve.RefreshSnapshot(w, prev, res, diff.Dirty)
+		st, werr = serve.RefreshSnapshot(w, prev, res, diff.Dirty, bids)
 		return werr
 	})
 	if err != nil {
@@ -412,9 +424,10 @@ func fleetURLs(s string) []string {
 // local fallback), and the assembled generation is committed and
 // published through the same journal. The bytes are identical to the
 // local path's by the determinism contract the dist tests pin.
-func refreshGenerationFleet(gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot, workers int, fleet []string) (serve.RefreshStats, *partition.Diff, error) {
+func refreshGenerationFleet(gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot, workers int, fleet []string, bids map[string]bool) (serve.RefreshStats, *partition.Diff, error) {
 	c := dist.NewCoordinator(fleet, dist.Options{
 		LocalWorkers: workers,
+		BidTerms:     bids,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "simrank: "+format+"\n", args...)
 		},
@@ -447,7 +460,7 @@ func runRollback(path string, keepGens int) error {
 	return nil
 }
 
-func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict, sharded bool, shardMax, shardWorkers int, savePath, planPath, planSave string) (rewrite.Source, error) {
+func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune float64, strict, sharded bool, shardMax, shardWorkers int, savePath, planPath, planSave string, rewriteTopK int, bids map[string]bool) (rewrite.Source, error) {
 	if planSave != "" && !sharded && planPath == "" {
 		// Fail loudly rather than printing rewrites and silently writing
 		// no plan file.
@@ -503,7 +516,11 @@ func buildSource(g *clickgraph.Graph, method string, c float64, iters int, prune
 		return nil, err
 	}
 	if savePath != "" {
-		if err := serve.WriteSnapshotFile(savePath, res); err != nil {
+		// The snapshot's precomputed rewrite lists are filtered under the
+		// same -bids set that this process serves with, so -load (and a
+		// simrankd pointed at the file with the same bid list) answers
+		// from the section byte-identically.
+		if err := serve.WriteSnapshotFileTopK(savePath, res, serve.TopKOptions{K: rewriteTopK, BidTerms: bids}); err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "simrank: wrote snapshot %s (%d shards)\n", savePath, max(1, len(res.ShardScores)))

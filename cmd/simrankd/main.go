@@ -5,11 +5,19 @@
 // -sharded) and the daemon routes each query to its shard's score segment,
 // loading segments lazily and caching hot responses in a bounded LRU.
 //
+// On Linux the snapshot is memory-mapped and segments are binary-searched
+// in place — no per-segment decode, no heap copy of the scores
+// (-mmap=false falls back to heap tables). When the snapshot carries a
+// precomputed top-k rewrite section built under this daemon's -bids set,
+// /rewrite answers straight from it, byte-identically to the live
+// pipeline (-precomputed=false forces the pipeline).
+//
 // # Usage
 //
 //	simrankd -snapshot FILE [-addr :8080] [-top 5] [-max-top 100]
 //	         [-cache 4096] [-bids FILE] [-preload]
 //	         [-inflight 256] [-timeout 5s]
+//	         [-mmap=false] [-precomputed=false]
 //
 // # Endpoints
 //
@@ -17,6 +25,8 @@
 //	                               filtering when -bids is given, depth K)
 //	GET /similar?q=QUERY[&top=K]   raw ranked similar queries
 //	GET /similar?ad=AD[&top=K]     raw ranked similar ads
+//	POST /batch                    many rewrite lookups in one request
+//	                               ({"queries":[...],"top":K})
 //	GET /stats                     serving counters + snapshot metadata
 //	GET /healthz                   liveness probe (process up)
 //	GET /readyz                    readiness: ok/degraded/unready with
@@ -81,6 +91,8 @@ func main() {
 		preload  = flag.Bool("preload", false, "verify and load every score segment at startup")
 		inflight = flag.Int("inflight", 256, "max concurrent scoring requests before shedding 503 (0 disables)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline on scoring endpoints (0 disables)")
+		useMmap  = flag.Bool("mmap", true, "serve score segments in place from a memory-mapped snapshot (false: decode into heap tables)")
+		precomp  = flag.Bool("precomputed", true, "answer /rewrite from the snapshot's precomputed top-k section when parameters match (false: always run the live pipeline)")
 	)
 	flag.Parse()
 	if *snapPath == "" {
@@ -93,6 +105,7 @@ func main() {
 	cfg.CacheSize = *cache
 	cfg.MaxInFlight = *inflight
 	cfg.RequestTimeout = *timeout
+	cfg.DisablePrecomputed = !*precomp
 	if *bidsPath != "" {
 		terms, err := rewrite.ReadBidTermsFile(*bidsPath)
 		if err != nil {
@@ -102,7 +115,11 @@ func main() {
 	}
 
 	openPath := func(path string) (serve.ScoreIndex, error) {
-		snap, err := serve.OpenSnapshot(path)
+		openSnap := serve.OpenSnapshot
+		if !*useMmap {
+			openSnap = serve.OpenSnapshotHeap
+		}
+		snap, err := openSnap(path)
 		if err != nil {
 			return nil, err
 		}

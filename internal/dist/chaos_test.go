@@ -85,7 +85,7 @@ func assembleFleet(t *testing.T, c *Coordinator, next *clickgraph.Graph, prev *s
 	}
 	var buf bytes.Buffer
 	if _, err := serve.AssembleRefresh(&buf, prev, next, prev.Config(), diff.Plan, diff.Dirty,
-		fleet.Segments, fleet.Iterations, fleet.Converged); err != nil {
+		fleet.Segments, fleet.Iterations, fleet.Converged, nil); err != nil {
 		t.Fatal(err)
 	}
 	return fleet, buf.Bytes()

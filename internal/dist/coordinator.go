@@ -55,6 +55,11 @@ type Options struct {
 	// Jitter overrides the backoff jitter source, returning values in
 	// [0, 1]; nil uses math/rand. Tests pin it for determinism.
 	Jitter func() float64
+	// BidTerms is the bid-term set the previous generation's precomputed
+	// rewrite section was built under; AssembleRefresh rejects a refresh
+	// whose set differs (clean shards byte-copy their filtered lists).
+	// nil when the section is unfiltered or absent.
+	BidTerms map[string]bool
 	// Checkpoint, when non-nil, is called at each refresh stage
 	// ("pre-dispatch", "pre-commit", "commit:mid-write", "pre-publish");
 	// returning an error aborts the refresh there — the crash-injection
@@ -658,7 +663,7 @@ func RefreshGeneration(ctx context.Context, c *Coordinator, gs *serve.Generation
 		cw := &checkpointWriter{Writer: w, hook: func() error { return checkpoint("commit:mid-write") }}
 		var werr error
 		st, werr = serve.AssembleRefresh(cw, prev, g, cfg, diff.Plan, diff.Dirty, fleet.Segments,
-			fleet.Iterations, fleet.Converged)
+			fleet.Iterations, fleet.Converged, c.opt.BidTerms)
 		return werr
 	})
 	if err != nil {

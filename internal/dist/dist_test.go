@@ -90,7 +90,7 @@ func localRefreshBytes(t *testing.T, g *clickgraph.Graph, prev *serve.Snapshot) 
 		t.Fatalf("RunRefresh: %v", err)
 	}
 	var buf bytes.Buffer
-	if _, err := serve.RefreshSnapshot(&buf, prev, res, diff.Dirty); err != nil {
+	if _, err := serve.RefreshSnapshot(&buf, prev, res, diff.Dirty, nil); err != nil {
 		t.Fatalf("RefreshSnapshot: %v", err)
 	}
 	return res, diff, buf.Bytes()
@@ -98,10 +98,10 @@ func localRefreshBytes(t *testing.T, g *clickgraph.Graph, prev *serve.Snapshot) 
 
 // maskVolatile zeroes the only header fields two equivalent snapshots
 // may legitimately disagree on: the generation timestamp at [128,136)
-// and the header CRC at [176,180) that covers it (format v2 layout).
+// and the header CRC at [196,200) that covers it (format v3 layout).
 func maskVolatile(t *testing.T, b []byte) []byte {
 	t.Helper()
-	const generatedAtOff, headerCRCOff = 128, 176
+	const generatedAtOff, headerCRCOff = 128, 196
 	if len(b) < headerCRCOff+4 {
 		t.Fatalf("snapshot too short to mask: %d bytes", len(b))
 	}
@@ -319,7 +319,7 @@ func TestDistributedRefreshByteIdentical(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	st, err := serve.AssembleRefresh(&buf, prev, next, prev.Config(), diff.Plan, diff.Dirty,
-		fleet.Segments, fleet.Iterations, fleet.Converged)
+		fleet.Segments, fleet.Iterations, fleet.Converged, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,10 +364,10 @@ func TestDistributedZeroDirty(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	if _, err := serve.AssembleRefresh(&buf, prev, next, prev.Config(), diff.Plan, diff.Dirty,
-		fleet.Segments, fleet.Iterations, fleet.Converged); err != nil {
+		fleet.Segments, fleet.Iterations, fleet.Converged, nil); err != nil {
 		t.Fatal(err)
 	}
-	const headerSize = 180
+	const headerSize = 200
 	if !bytes.Equal(buf.Bytes()[headerSize:], prevBytes[headerSize:]) {
 		t.Fatal("zero-dirty assembled payload differs from the previous snapshot")
 	}

@@ -1,0 +1,167 @@
+package route
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"simrankpp/internal/serve"
+)
+
+// postBatch issues one POST /batch against a handler.
+func postBatch(t *testing.T, h http.Handler, body string) (int, http.Header, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Header(), rec.Body.Bytes()
+}
+
+// TestGatewayBatchRelay pins the /batch relay: queries spanning several
+// shards go out as shard-affine sub-batches and merge back in request
+// order, byte-identical per item to what the single /rewrite endpoint
+// answers through the same gateway, stamped with the pinned generation.
+func TestGatewayBatchRelay(t *testing.T) {
+	snap := buildGeneration(t, [4]int{0, 0, 0, 0})
+	defer snap.Close()
+	r0 := startReplica(t, snap, 1)
+	r1 := startReplica(t, snap, 1)
+	gw := newGateway(t, Options{Router: snap}, r0, r1)
+	h := gw.Handler()
+
+	// Queries from three different clusters (different shards) plus an
+	// unknown one mid-batch.
+	queries := []string{"c0-q1", "c2-q3", "nope", "c1-q5", "c0-q1"}
+	body, _ := json.Marshal(serve.BatchRequest{Queries: queries, Top: 3})
+	code, hdr, raw := postBatch(t, h, string(body))
+	if code != http.StatusOK {
+		t.Fatalf("gateway /batch = %d: %s", code, raw)
+	}
+	if hdr.Get("Simrank-Generation") != gw.Pinned() || gw.Pinned() == "" {
+		t.Fatalf("Simrank-Generation = %q, pinned %q", hdr.Get("Simrank-Generation"), gw.Pinned())
+	}
+	var resp serve.BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("bad batch response %s: %v", raw, err)
+	}
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(queries))
+	}
+	for i, q := range queries {
+		if q == "nope" {
+			var item serve.BatchItemError
+			if err := json.Unmarshal(resp.Results[i], &item); err != nil || item.Status != http.StatusNotFound {
+				t.Fatalf("result[%d] = %s, want a 404 item", i, resp.Results[i])
+			}
+			continue
+		}
+		sc, _, sb := get(t, h, "/rewrite?q="+url.QueryEscape(q)+"&top=3")
+		if sc != http.StatusOK {
+			t.Fatalf("gateway /rewrite for %q = %d", q, sc)
+		}
+		want := bytes.TrimSuffix(sb, []byte("\n"))
+		if !bytes.Equal(resp.Results[i], want) {
+			t.Fatalf("result[%d] = %s, single endpoint = %s", i, resp.Results[i], want)
+		}
+	}
+
+	// Method and body validation happen at the gateway, before any relay.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/batch", nil))
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != http.MethodPost {
+		t.Fatalf("GET /batch = %d Allow=%q, want 405 POST", rec.Code, rec.Header().Get("Allow"))
+	}
+	if code, _, _ := postBatch(t, h, `{"queries": []}`); code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", code)
+	}
+}
+
+// TestGatewayBatchDegradesPerGroup: when the whole fleet is down, the
+// batch still answers 200 with per-item 503s only if another group got
+// through; with every group failing it is an all-down 503.
+func TestGatewayBatchAllDown(t *testing.T) {
+	snap := buildGeneration(t, [4]int{0, 0, 0, 0})
+	defer snap.Close()
+	rep := startReplica(t, snap, 1)
+	gw := newGateway(t, Options{Router: snap}, rep)
+	rep.ts.Close() // fleet dies after the probe sweep pinned the generation
+
+	body, _ := json.Marshal(serve.BatchRequest{Queries: []string{"c0-q1", "c1-q2"}, Top: 2})
+	code, _, raw := postBatch(t, gw.Handler(), string(body))
+	// The generation is still pinned, so the gateway reports per-item
+	// errors rather than dropping the pin.
+	if code != http.StatusOK {
+		t.Fatalf("batch with dead fleet = %d: %s", code, raw)
+	}
+	var resp serve.BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil || len(resp.Results) != 2 {
+		t.Fatalf("bad degraded response %s: %v", raw, err)
+	}
+	for i, r := range resp.Results {
+		var item serve.BatchItemError
+		if err := json.Unmarshal(r, &item); err != nil || item.Status != http.StatusServiceUnavailable {
+			t.Fatalf("result[%d] = %s, want a 503 item", i, r)
+		}
+	}
+}
+
+// TestGatewayStreamsLargeBody pins the streaming satellite: a success
+// body larger than the gateway's failover buffer (256 KiB) is relayed
+// intact through the spill path instead of being truncated or buffered
+// whole.
+func TestGatewayStreamsLargeBody(t *testing.T) {
+	big := bytes.Repeat([]byte("0123456789abcdef"), (512<<10)/16) // 512 KiB, 2x the buffer
+	ts := fakeBackend(t, "g1", func(w http.ResponseWriter, r *http.Request) {
+		w.Write(big)
+	})
+	gw, err := New(Options{Backends: []BackendSpec{{URL: ts.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeAll(t.Context())
+
+	code, _, body := get(t, gw.Handler(), "/rewrite?q=x")
+	if code != http.StatusOK {
+		t.Fatalf("GET = %d", code)
+	}
+	if !bytes.Equal(body, big) {
+		t.Fatalf("streamed body corrupted: got %d bytes (want %d), head %q", len(body), len(big), body[:32])
+	}
+}
+
+// TestGatewayCapsErrorBody: a 5xx backend's body is read only up to
+// errBodyCap for the failure detail — the gateway's own 503 carries a
+// truncated message, not megabytes of backend spew.
+func TestGatewayCapsErrorBody(t *testing.T) {
+	spew := strings.Repeat("x", 1<<20)
+	ts := fakeBackend(t, "g1", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, spew, http.StatusInternalServerError)
+	})
+	gw, err := New(Options{
+		Backends:    []BackendSpec{{URL: ts.URL}},
+		MaxAttempts: 1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeAll(t.Context())
+
+	code, _, body := get(t, gw.Handler(), "/rewrite?q=x")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("GET = %d, want 503 after exhausted attempts", code)
+	}
+	if len(body) > errBodyCap {
+		t.Fatalf("gateway error body is %d bytes; detail should be capped near %d", len(body), errBodyCap)
+	}
+	if !bytes.Contains(body, []byte("x")) {
+		t.Fatalf("backend detail lost entirely: %q", body)
+	}
+}

@@ -3,23 +3,29 @@
 package route
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"simrankpp/internal/hedge"
+	"simrankpp/internal/serve"
 )
 
-// Handler returns the gateway's HTTP mux: /rewrite and /similar proxied
-// to the fleet, /stats and /readyz and /healthz answered locally.
+// Handler returns the gateway's HTTP mux: /rewrite, /similar and /batch
+// proxied to the fleet, /stats and /readyz and /healthz answered locally.
 func (gw *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rewrite", gw.handleRead)
 	mux.HandleFunc("/similar", gw.handleRead)
+	mux.HandleFunc("/batch", gw.handleBatch)
 	mux.HandleFunc("/stats", gw.handleStats)
 	mux.HandleFunc("/healthz", gw.handleHealthz)
 	mux.HandleFunc("/readyz", gw.handleReadyz)
@@ -27,10 +33,15 @@ func (gw *Gateway) Handler() http.Handler {
 }
 
 // proxied is one backend answer, relayed to the client byte-identically.
+// The body streams straight from the backend connection — the gateway
+// never buffers a success response — so the caller must drain it and
+// then call release, which closes the body and cancels the fetch's
+// context (returning the connection to the pool or aborting it).
 type proxied struct {
 	status      int
 	contentType string
-	body        []byte
+	body        io.ReadCloser
+	release     func()
 }
 
 // errNoReplica means candidate selection came up empty — distinct from
@@ -62,17 +73,23 @@ func (gw *Gateway) affinity(r *http.Request) (side string, shard int) {
 	return side, -1
 }
 
-// candidates returns the replicas eligible for one read, best tier
-// first, rotated within each tier so load spreads across equals. The
-// returned pin is the generation every candidate serves.
-func (gw *Gateway) candidates(side string, shard int) (pin string, order []*backendState) {
+// pinAndRot snapshots the pinned generation and a rotation seed under
+// one lock acquisition — what keeps a multi-shard /batch on a single
+// generation even if a cutover lands mid-request.
+func (gw *Gateway) pinAndRot() (string, int) {
 	gw.mu.Lock()
-	pin = gw.pinned
+	defer gw.mu.Unlock()
 	rot := gw.rr
 	gw.rr++
-	gw.mu.Unlock()
+	return gw.pinned, rot
+}
+
+// candidatesAt returns the replicas eligible for one read of the pinned
+// generation, best tier first, rotated within each tier so load spreads
+// across equals.
+func (gw *Gateway) candidatesAt(pin string, rot int, side string, shard int) []*backendState {
 	if pin == "" {
-		return "", nil
+		return nil
 	}
 	now := time.Now()
 	var tiers [3][]*backendState
@@ -83,10 +100,17 @@ func (gw *Gateway) candidates(side string, shard int) (pin string, order []*back
 			tiers[tier] = append(tiers[tier], b)
 		}
 	}
+	var order []*backendState
 	order = append(order, tiers[0]...)
 	order = append(order, tiers[1]...)
 	order = append(order, tiers[2]...)
-	return pin, order
+	return order
+}
+
+// candidates is candidatesAt under a freshly-snapshotted pin.
+func (gw *Gateway) candidates(side string, shard int) (pin string, order []*backendState) {
+	pin, rot := gw.pinAndRot()
+	return pin, gw.candidatesAt(pin, rot, side, shard)
 }
 
 func (gw *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
@@ -100,7 +124,7 @@ func (gw *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), gw.opt.RequestTimeout)
 	defer cancel()
-	resp, err := gw.fetchFailover(ctx, order, r.URL.Path, r.URL.RawQuery)
+	resp, err := gw.fetchFailover(ctx, order, http.MethodGet, r.URL.Path, r.URL.RawQuery, nil)
 	if err != nil {
 		gw.unavailable(w, err.Error())
 		return
@@ -114,7 +138,9 @@ func (gw *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
 	// observable (and assertable by the chaos suite).
 	h.Set("Simrank-Generation", pin)
 	w.WriteHeader(resp.status)
-	w.Write(resp.body)
+	// Stream backend to client without a gateway-side copy of the body.
+	io.Copy(w, resp.body)
+	resp.release()
 }
 
 // unavailable is the gateway's degraded contract: 503 + Retry-After,
@@ -128,7 +154,7 @@ func (gw *Gateway) unavailable(w http.ResponseWriter, msg string) {
 // fetchFailover runs dispatch rounds over the candidate list until one
 // answers, backing off between rounds under the shared equal-jitter
 // schedule floored at any Retry-After a failed backend sent.
-func (gw *Gateway) fetchFailover(ctx context.Context, order []*backendState, path, rawQuery string) (proxied, error) {
+func (gw *Gateway) fetchFailover(ctx context.Context, order []*backendState, method, path, rawQuery string, reqBody []byte) (proxied, error) {
 	tried := make(map[*backendState]bool)
 	// pick returns the best untried candidate (skipping exclude), and
 	// starts a fresh pass once everyone has been tried — later rounds
@@ -159,7 +185,7 @@ func (gw *Gateway) fetchFailover(ctx context.Context, order []*backendState, pat
 				return proxied{}, fmt.Errorf("route: %w (last error: %v)", err, lastErr)
 			}
 		}
-		resp, err := gw.fetchHedged(ctx, pick, path, rawQuery)
+		resp, err := gw.fetchHedged(ctx, pick, method, path, rawQuery, reqBody)
 		if err == nil {
 			if failed {
 				gw.failovers.Add(1)
@@ -179,28 +205,53 @@ func (gw *Gateway) fetchFailover(ctx context.Context, order []*backendState, pat
 // within the completed-read latency percentile, mirrors it to a second
 // replica and takes whichever answers first — the tail-at-scale hedge,
 // same shape as internal/dist's write-side hedging.
-func (gw *Gateway) fetchHedged(ctx context.Context, pick func(exclude *backendState) *backendState, path, rawQuery string) (proxied, error) {
+//
+// Each launch gets its own cancelable context: since success bodies now
+// stream, the winner's connection must outlive this function (its cancel
+// is deferred to the response's release), while the loser is aborted the
+// moment a winner is chosen instead of riding a shared context.
+func (gw *Gateway) fetchHedged(ctx context.Context, pick func(exclude *backendState) *backendState, method, path, rawQuery string, reqBody []byte) (proxied, error) {
 	primary := pick(nil)
 	if primary == nil {
 		return proxied{}, errNoReplica
 	}
 	type result struct {
-		resp proxied
-		err  error
-		b    *backendState
+		resp   proxied
+		err    error
+		b      *backendState
+		idx    int
+		cancel context.CancelFunc
 	}
 	results := make(chan result, 2)
-	hctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	var cancels []context.CancelFunc
 	launch := func(b *backendState) {
+		lctx, lcancel := context.WithCancel(ctx)
+		idx := len(cancels)
+		cancels = append(cancels, lcancel)
 		go func() {
 			started := time.Now()
-			resp, err := gw.fetchOne(hctx, b, path, rawQuery)
+			resp, err := gw.fetchOne(lctx, b, method, path, rawQuery, reqBody)
 			if err == nil {
 				gw.lat.Record(time.Since(started))
 			}
 			gw.markRead(b, err == nil)
-			results <- result{resp, err, b}
+			results <- result{resp, err, b, idx, lcancel}
+		}()
+	}
+	// reap drains n straggler results in the background, closing any
+	// body a losing-but-successful fetch delivered after the decision.
+	reap := func(n int) {
+		if n <= 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				r := <-results
+				if r.resp.body != nil {
+					r.resp.body.Close()
+				}
+				r.cancel()
+			}
 		}()
 	}
 	launch(primary)
@@ -216,8 +267,9 @@ func (gw *Gateway) fetchHedged(ctx context.Context, pick func(exclude *backendSt
 	var firstErr error
 	for {
 		select {
-		case <-hctx.Done():
-			return proxied{}, hctx.Err()
+		case <-ctx.Done():
+			reap(outstanding)
+			return proxied{}, ctx.Err()
 		case <-hedgeCh:
 			hedgeCh = nil
 			if secondary := pick(primary); secondary != nil && secondary != primary {
@@ -231,8 +283,23 @@ func (gw *Gateway) fetchHedged(ctx context.Context, pick func(exclude *backendSt
 				if hedged && res.b != primary {
 					gw.failovers.Add(1)
 				}
+				// Abort the loser (if any) and hand the winner back with
+				// a release that both closes the streamed body and frees
+				// the winner's context.
+				for i, c := range cancels {
+					if i != res.idx {
+						c()
+					}
+				}
+				reap(outstanding - 1)
+				body, cancel := res.resp.body, res.cancel
+				res.resp.release = func() {
+					body.Close()
+					cancel()
+				}
 				return res.resp, nil
 			}
+			res.cancel()
 			if firstErr == nil {
 				firstErr = res.err
 			}
@@ -256,40 +323,201 @@ func (gw *Gateway) fetchHedged(ctx context.Context, pick func(exclude *backendSt
 	}
 }
 
+// errBodyCap bounds how much of a failure response the gateway reads for
+// the error detail (it used to slurp up to 64 MiB for a 200-byte
+// message); bodyBuffer bounds how much of a success response is buffered
+// before the gateway switches to pass-through streaming. Up to
+// bodyBuffer, a body cut mid-transfer is still detected here and fails
+// over to another replica byte-identically; past it — far beyond any
+// rewrite/batch answer — the remainder streams to the client with
+// gateway memory capped, at the cost of mid-stream failover.
+const (
+	errBodyCap = 4 << 10
+	bodyBuffer = 256 << 10
+)
+
+// spillBody is a buffered head re-joined with its still-streaming tail.
+type spillBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (b *spillBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *spillBody) Close() error               { return b.c.Close() }
+
 // fetchOne proxies the read to one backend. A 2xx/4xx answer is
 // definitive — relayed as-is (4xx is the backend telling the *client*
 // it's wrong; another replica would say the same). 5xx and transport
-// errors are retryable, carrying any Retry-After hint upward.
-func (gw *Gateway) fetchOne(ctx context.Context, b *backendState, path, rawQuery string) (proxied, error) {
+// errors — including a connection cut within the buffered window — are
+// retryable, carrying any Retry-After hint upward.
+func (gw *Gateway) fetchOne(ctx context.Context, b *backendState, method, path, rawQuery string, reqBody []byte) (proxied, error) {
 	u := b.spec.URL + path
 	if rawQuery != "" {
 		u += "?" + rawQuery
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	var br io.Reader
+	if reqBody != nil {
+		br = bytes.NewReader(reqBody)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, br)
 	if err != nil {
 		return proxied{}, err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	httpResp, err := gw.client.Do(req)
 	if err != nil {
 		return proxied{}, fmt.Errorf("route: %s: %w", b.spec.URL, err)
 	}
-	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
-	httpResp.Body.Close()
-	if err != nil {
-		return proxied{}, fmt.Errorf("route: %s: reading body: %w", b.spec.URL, err)
-	}
 	if httpResp.StatusCode >= 500 {
+		detail, _ := io.ReadAll(io.LimitReader(httpResp.Body, errBodyCap))
+		httpResp.Body.Close()
 		return proxied{}, fmt.Errorf("route: %s: %w", b.spec.URL, &hedge.StatusError{
 			Code:       httpResp.StatusCode,
 			RetryAfter: hedge.ParseRetryAfter(httpResp.Header),
-			Detail:     truncated(body),
+			Detail:     truncated(detail),
 		})
 	}
-	return proxied{
+	head, err := io.ReadAll(io.LimitReader(httpResp.Body, bodyBuffer+1))
+	if err != nil {
+		httpResp.Body.Close()
+		return proxied{}, fmt.Errorf("route: %s: reading body: %w", b.spec.URL, err)
+	}
+	resp := proxied{
 		status:      httpResp.StatusCode,
 		contentType: httpResp.Header.Get("Content-Type"),
-		body:        body,
-	}, nil
+	}
+	if len(head) <= bodyBuffer {
+		// Complete within the buffer: the connection is done with, and
+		// any truncation already surfaced as a retryable error above.
+		httpResp.Body.Close()
+		resp.body = io.NopCloser(bytes.NewReader(head))
+		return resp, nil
+	}
+	resp.body = &spillBody{r: io.MultiReader(bytes.NewReader(head), httpResp.Body), c: httpResp.Body}
+	return resp, nil
+}
+
+// handleBatch relays POST /batch across the fleet shard-affinely: the
+// queries are grouped by snapshot shard through the router, each group
+// goes to a replica holding that shard as its own sub-batch — all under
+// the one generation pinned at entry — and the answers are merged back
+// into request order. A group whose replicas all fail degrades to
+// per-item errors (status 503) instead of failing the queries other
+// shards already answered; the response is an all-fleet-down 503 only
+// when no group got through.
+func (gw *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JSON body to /batch", http.StatusMethodNotAllowed)
+		return
+	}
+	var req serve.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad batch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty batch: give queries", http.StatusBadRequest)
+		return
+	}
+
+	// Group positions by shard; without a router everything is one group
+	// on the any-shard path, exactly like /rewrite's affinity fallback.
+	groups := make(map[int][]int)
+	for i, q := range req.Queries {
+		shard := -1
+		if gw.opt.Router != nil {
+			if _, s, ok := gw.opt.Router.PrevQuery(q); ok {
+				shard = s
+			}
+		}
+		groups[shard] = append(groups[shard], i)
+	}
+
+	pin, rot := gw.pinAndRot()
+	ctx, cancel := context.WithTimeout(r.Context(), gw.opt.RequestTimeout)
+	defer cancel()
+
+	results := make([]json.RawMessage, len(req.Queries))
+	var okGroups atomic.Int64
+	var wg sync.WaitGroup
+	gi := 0
+	for shard, idx := range groups {
+		wg.Add(1)
+		go func(shard, gi int, idx []int) {
+			defer wg.Done()
+			fail := func(msg string, status int) {
+				for _, i := range idx {
+					item, err := json.Marshal(serve.BatchItemError{Query: req.Queries[i], Error: msg, Status: status})
+					if err != nil {
+						item = []byte(`{"error":"internal error","status":500}`)
+					}
+					results[i] = item
+				}
+			}
+			sub := serve.BatchRequest{Queries: make([]string, len(idx)), Top: req.Top}
+			for j, i := range idx {
+				sub.Queries[j] = req.Queries[i]
+			}
+			payload, err := json.Marshal(sub)
+			if err != nil {
+				fail(err.Error(), http.StatusInternalServerError)
+				return
+			}
+			order := gw.candidatesAt(pin, rot+gi, "query", shard)
+			if len(order) == 0 {
+				gw.noReplica.Add(1)
+				fail("no replica can serve this shard", http.StatusServiceUnavailable)
+				return
+			}
+			resp, err := gw.fetchFailover(ctx, order, http.MethodPost, "/batch", "", payload)
+			if err != nil {
+				fail(err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			raw, err := io.ReadAll(io.LimitReader(resp.body, 64<<20))
+			resp.release()
+			if err != nil {
+				fail(err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			var br serve.BatchResponse
+			if resp.status != http.StatusOK || json.Unmarshal(raw, &br) != nil || len(br.Results) != len(idx) {
+				// A definitive non-200 (the backend rejecting the batch)
+				// or a malformed answer: surface it per item with the
+				// backend's status so the client sees why.
+				status := resp.status
+				if status == http.StatusOK {
+					status = http.StatusBadGateway
+				}
+				fail(truncated(raw), status)
+				return
+			}
+			for j, i := range idx {
+				results[i] = br.Results[j]
+			}
+			okGroups.Add(1)
+		}(shard, gi, idx)
+		gi++
+	}
+	wg.Wait()
+	if okGroups.Load() == 0 && pin == "" {
+		gw.noReplica.Add(1)
+		gw.unavailable(w, "no replica can serve this request")
+		return
+	}
+	gw.proxied.Add(1)
+	body, err := json.Marshal(serve.BatchResponse{Results: results})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Simrank-Generation", pin)
+	w.Write(append(body, '\n'))
 }
 
 // markRead updates the backend's circuit breaker with one read outcome:

@@ -87,6 +87,11 @@ func TestChaosBitFlipQuarantinesOneShard(t *testing.T) {
 	cfg.CacheSize = 0
 	cfg.MaxInFlight = 0
 	cfg.RequestTimeout = 0
+	// The corruption is in the score segment; the precomputed rewrite
+	// section would (correctly) keep answering without touching it, so
+	// force the pipeline path — this test pins the segment quarantine
+	// machinery, not the fast path.
+	cfg.DisablePrecomputed = true
 	srv := NewServer(snap, cfg)
 	h := srv.Handler()
 

@@ -55,6 +55,27 @@ func FuzzOpenSnapshot(f *testing.F) {
 	}
 	f.Add(sharded.Bytes())
 
+	// v3 seeds: a sharded snapshot carrying a precomputed top-k rewrite
+	// section (bid-filtered, so the header's bid hash is nonzero), the
+	// same with its top-k region truncated away, and one with a byte
+	// flipped inside the first shard's blob (a valid header whose section
+	// must quarantine, not crash).
+	var topk bytes.Buffer
+	bids := map[string]bool{sg.Query(0): true, sg.Query(5): true}
+	if err := WriteSnapshotTopK(&topk, sres, TopKOptions{K: 3, BidTerms: bids}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(topk.Bytes())
+	f.Add(topk.Bytes()[:headerSize+dirEntrySize])
+	if ref, err := NewSnapshot(bytes.NewReader(topk.Bytes()), int64(topk.Len())); err == nil {
+		if off, ln := ref.dir[0].tkOff, ref.dir[0].tkLen; ln > 0 {
+			blobFlip := append([]byte(nil), topk.Bytes()...)
+			blobFlip[int(off)+int(ln)/2] ^= 0x01
+			f.Add(blobFlip)
+		}
+		ref.Close()
+	}
+
 	// Generation manifests live beside snapshots on disk; a confused
 	// operator (or a buggy rollback script) pointing the daemon at one
 	// must get a clean rejection. Seed the raw manifest, a padded one
@@ -97,6 +118,16 @@ func FuzzOpenSnapshot(f *testing.F) {
 				// Duplicate names may remap; ids must still be in range.
 				if id < 0 || id >= m.NumQueries {
 					t.Fatalf("PrevQuery returned id %d outside [0,%d)", id, m.NumQueries)
+				}
+			}
+			// The precomputed section decodes under the same no-panic
+			// contract; a bad blob answers (nil, false), never garbage
+			// node ids.
+			if recs, ok := snap.PrecomputedRewrites(q, 3); ok {
+				for _, r := range recs {
+					if r.Node < 0 || r.Node >= m.NumQueries {
+						t.Fatalf("PrecomputedRewrites returned node %d outside [0,%d)", r.Node, m.NumQueries)
+					}
 				}
 			}
 		}

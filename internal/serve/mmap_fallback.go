@@ -1,0 +1,19 @@
+//go:build !linux || simrank_nommap
+
+package serve
+
+import (
+	"errors"
+	"os"
+)
+
+// This platform (or the simrank_nommap build tag) has no mmap support:
+// OpenSnapshot degrades to the read-into-heap segment path, which the
+// differential tests pin byte-identical to the mapped one.
+const mmapSupported = false
+
+var errNoMmap = errors.New("serve: mmap unsupported on this build")
+
+func mmapFile(_ *os.File, _ int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(_ []byte) error { return nil }

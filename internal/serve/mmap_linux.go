@@ -1,0 +1,27 @@
+//go:build linux && !simrank_nommap
+
+package serve
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates OpenSnapshot's zero-copy path; the simrank_nommap
+// build tag (or a non-Linux platform) swaps in mmap_fallback.go, which
+// forces every open onto the read-into-heap path.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and shared — the snapshot is
+// immutable once renamed into place, so the pages are backed by the
+// page cache and shared across replica processes on one host.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -37,16 +37,51 @@ type RefreshStats struct {
 	BytesReencoded, BytesCopied int64
 }
 
+// refreshTopK derives the next generation's top-k section parameters
+// from the previous header — a refresh cannot choose its own depth,
+// because clean shards' blobs are byte-copied and mixing depths within
+// one snapshot would be incoherent — and rejects a bid-term set that
+// differs from the one the previous generation's lists were filtered
+// with (same reason: the copied blobs bake the old filter in).
+func refreshTopK(prev *Snapshot, bids map[string]bool) (topkMeta, error) {
+	tk := topkMeta{
+		k:       uint32(prev.meta.RewriteTopK),
+		topN:    uint32(prev.meta.RewriteTopN),
+		bidHash: prev.meta.RewriteBidHash,
+	}
+	if tk.k > 0 && BidTermsHash(bids) != tk.bidHash {
+		return tk, fmt.Errorf("serve: refresh bid-term set differs from the previous generation's precomputed rewrite section (rebuild with simrank -save to change filters)")
+	}
+	return tk, nil
+}
+
+// copyCleanBlob byte-copies shard i's precomputed rewrite blob from the
+// previous generation — valid for the same reason segment copies are:
+// the blob is position-independent (blob-relative offsets, global ids)
+// and a clean shard's pipeline inputs are fingerprint-identical.
+func copyCleanBlob(p *shardPayload, prev *Snapshot, i int) error {
+	blob, err := prev.topkBytes(i)
+	if err != nil {
+		return err
+	}
+	p.tkBlob, p.tkCRC = blob, prev.dir[i].tkCRC
+	return nil
+}
+
 // RefreshSnapshot writes the next snapshot generation: res must cover the
 // new graph with one ShardScoreSet per shard (core.RunSharded with
 // RetainShardScores; shards skipped via RunShards carry id lists only),
 // and dirty must be the matching classification (partition.Diff.Dirty).
 // Dirty shards' segments are encoded from their tables in parallel; clean
 // shards' segments are byte-copied from prev, verified against the
-// directory CRCs. The run configuration must match prev's — mixing
-// generations computed under different settings would serve incoherent
-// scores.
-func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool) (RefreshStats, error) {
+// directory CRCs. The precomputed rewrite section follows the same split
+// at the depth recorded in prev's header: dirty shards re-run the
+// pipeline, clean shards byte-copy their blobs. bids must be the same
+// bid-term set prev's section was built with (compared by hash); pass
+// nil when prev carries no section. The run configuration must match
+// prev's — mixing generations computed under different settings would
+// serve incoherent scores. Byte counters cover score segments only.
+func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool, bids map[string]bool) (RefreshStats, error) {
 	var st RefreshStats
 	if len(res.ShardScores) == 0 {
 		return st, fmt.Errorf("serve: refresh needs a RunSharded result with RetainShardScores")
@@ -58,6 +93,10 @@ func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool
 		return st, fmt.Errorf("serve: result is missing per-shard stats")
 	}
 	if err := compatibleConfig(prev, res.Config); err != nil {
+		return st, err
+	}
+	tk, err := refreshTopK(prev, bids)
+	if err != nil {
 		return st, err
 	}
 
@@ -92,6 +131,9 @@ func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool
 			return st, err
 		}
 		payloads[i].qCRC, payloads[i].aCRC = e.qCRC, e.aCRC
+		if err := copyCleanBlob(&payloads[i], prev, i); err != nil {
+			return st, err
+		}
 		st.CleanShards++
 		st.BytesCopied += int64(len(payloads[i].qSeg) + len(payloads[i].aSeg))
 	}
@@ -99,6 +141,9 @@ func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool
 	encodePayloads(payloads, encodeIdx, func(i int) (*sparse.PairTable, *sparse.PairTable) {
 		return res.ShardScores[i].QueryScores, res.ShardScores[i].AdScores
 	})
+	if err := fillTopKBlobs(payloads, encodeIdx, res, tk, bids); err != nil {
+		return st, err
+	}
 	for _, i := range encodeIdx {
 		st.BytesReencoded += int64(len(payloads[i].qSeg) + len(payloads[i].aSeg))
 	}
@@ -109,12 +154,12 @@ func RefreshSnapshot(w io.Writer, prev *Snapshot, res *core.Result, dirty []bool
 	if prev.meta.Iterations > iters {
 		iters = prev.meta.Iterations
 	}
-	err := writeAssembled(w, res, res.Config, payloads, genInfo{
+	err = writeAssembled(w, res, res.Config, payloads, genInfo{
 		iterations:  iters,
 		converged:   res.Converged && prev.meta.Converged,
 		generatedAt: time.Now(),
 		dirtyShards: uint32(st.DirtyShards),
-	})
+	}, tk)
 	return st, err
 }
 
@@ -164,10 +209,14 @@ func (s *ShardSegment) Validate() error {
 // segments exactly at the dirty indices (a worker's response, or a local
 // fallback's EncodeShardSegment). Clean shards byte-copy from prev under
 // the same fingerprint guard as RefreshSnapshot; every provided segment
-// is CRC-validated before use. iterations/converged aggregate the
-// dirty-shard runs (max / logical-AND semantics against prev are applied
-// here, matching the local path).
-func AssembleRefresh(w io.Writer, prev *Snapshot, g *clickgraph.Graph, cfg core.Config, plan *partition.Plan, dirty []bool, segs []*ShardSegment, iterations int, converged bool) (RefreshStats, error) {
+// is CRC-validated before use. Dirty shards' precomputed rewrite blobs
+// are rebuilt here, at the coordinator, from the validated segment
+// bytes (workers ship scores, not filter decisions); clean shards'
+// blobs are byte-copied; bids follows the RefreshSnapshot contract.
+// iterations/converged aggregate the dirty-shard runs (max /
+// logical-AND semantics against prev are applied here, matching the
+// local path).
+func AssembleRefresh(w io.Writer, prev *Snapshot, g *clickgraph.Graph, cfg core.Config, plan *partition.Plan, dirty []bool, segs []*ShardSegment, iterations int, converged bool, bids map[string]bool) (RefreshStats, error) {
 	var st RefreshStats
 	if len(plan.Shards) != len(dirty) || len(plan.Shards) != len(segs) {
 		return st, fmt.Errorf("serve: assemble got %d shards, %d dirty flags, %d segments",
@@ -176,8 +225,13 @@ func AssembleRefresh(w io.Writer, prev *Snapshot, g *clickgraph.Graph, cfg core.
 	if err := compatibleConfig(prev, cfg); err != nil {
 		return st, err
 	}
+	tk, err := refreshTopK(prev, bids)
+	if err != nil {
+		return st, err
+	}
 
 	payloads := make([]shardPayload, len(plan.Shards))
+	var dirtyIdx []int
 	for i := range plan.Shards {
 		sh := &plan.Shards[i]
 		payloads[i].qIDs, payloads[i].aIDs = sh.Queries, sh.Ads
@@ -192,6 +246,7 @@ func AssembleRefresh(w io.Writer, prev *Snapshot, g *clickgraph.Graph, cfg core.
 			}
 			payloads[i].qSeg, payloads[i].aSeg = seg.QuerySeg, seg.AdSeg
 			payloads[i].qCRC, payloads[i].aCRC = seg.QueryCRC, seg.AdCRC
+			dirtyIdx = append(dirtyIdx, i)
 			st.DirtyShards++
 			st.BytesReencoded += int64(len(seg.QuerySeg) + len(seg.AdSeg))
 			continue
@@ -215,20 +270,26 @@ func AssembleRefresh(w io.Writer, prev *Snapshot, g *clickgraph.Graph, cfg core.
 			return st, err
 		}
 		payloads[i].qCRC, payloads[i].aCRC = e.qCRC, e.aCRC
+		if err := copyCleanBlob(&payloads[i], prev, i); err != nil {
+			return st, err
+		}
 		st.CleanShards++
 		st.BytesCopied += int64(len(payloads[i].qSeg) + len(payloads[i].aSeg))
+	}
+	if err := fillTopKBlobs(payloads, dirtyIdx, g, tk, bids); err != nil {
+		return st, err
 	}
 
 	iters := iterations
 	if prev.meta.Iterations > iters {
 		iters = prev.meta.Iterations
 	}
-	err := writeAssembled(w, g, cfg, payloads, genInfo{
+	err = writeAssembled(w, g, cfg, payloads, genInfo{
 		iterations:  iters,
 		converged:   converged && prev.meta.Converged,
 		generatedAt: time.Now(),
 		dirtyShards: uint32(st.DirtyShards),
-	})
+	}, tk)
 	return st, err
 }
 
@@ -255,14 +316,14 @@ func compatibleConfig(prev *Snapshot, cfg core.Config) error {
 // RefreshSnapshotFile writes the refreshed snapshot to a temporary file
 // in path's directory and renames it into place. path may equal the file
 // prev was opened from: the copy is read before the rename replaces it.
-func RefreshSnapshotFile(path string, prev *Snapshot, res *core.Result, dirty []bool) (RefreshStats, error) {
+func RefreshSnapshotFile(path string, prev *Snapshot, res *core.Result, dirty []bool, bids map[string]bool) (RefreshStats, error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return RefreshStats{}, err
 	}
 	defer os.Remove(tmp.Name())
-	st, err := RefreshSnapshot(tmp, prev, res, dirty)
+	st, err := RefreshSnapshot(tmp, prev, res, dirty, bids)
 	if err != nil {
 		tmp.Close()
 		return st, err

@@ -87,7 +87,7 @@ func refreshBytes(t *testing.T, g *clickgraph.Graph, prev *Snapshot) (*core.Resu
 		t.Fatalf("RunRefresh: %v", err)
 	}
 	var buf bytes.Buffer
-	st, err := RefreshSnapshot(&buf, prev, res, diff.Dirty)
+	st, err := RefreshSnapshot(&buf, prev, res, diff.Dirty, nil)
 	if err != nil {
 		t.Fatalf("RefreshSnapshot: %v", err)
 	}
@@ -243,7 +243,7 @@ func TestRefreshNewNodesAndChain(t *testing.T) {
 		t.Fatalf("step 1 saw %d new queries, want 1", diff1.NewQueries)
 	}
 	var buf1 bytes.Buffer
-	if _, err := RefreshSnapshot(&buf1, prev, res1, diff1.Dirty); err != nil {
+	if _, err := RefreshSnapshot(&buf1, prev, res1, diff1.Dirty, nil); err != nil {
 		t.Fatalf("step 1 RefreshSnapshot: %v", err)
 	}
 	snap1, err := NewSnapshot(bytes.NewReader(buf1.Bytes()), int64(buf1.Len()))
@@ -268,7 +268,7 @@ func TestRefreshNewNodesAndChain(t *testing.T) {
 		t.Fatalf("island did not append a shard: %d shards from %d", len(diff2.Plan.Shards), snap1.NumShards())
 	}
 	var buf2 bytes.Buffer
-	st2, err := RefreshSnapshot(&buf2, snap1, res2, diff2.Dirty)
+	st2, err := RefreshSnapshot(&buf2, snap1, res2, diff2.Dirty, nil)
 	if err != nil {
 		t.Fatalf("step 2 RefreshSnapshot: %v", err)
 	}
@@ -357,7 +357,7 @@ func TestRefreshRejectsConfigMismatch(t *testing.T) {
 	}
 	dirty := make([]bool, len(plan.Shards))
 	var buf bytes.Buffer
-	if _, err := RefreshSnapshot(&buf, prev, res, dirty); err == nil {
+	if _, err := RefreshSnapshot(&buf, prev, res, dirty, nil); err == nil {
 		t.Fatal("refresh under a different decay factor was accepted")
 	}
 }

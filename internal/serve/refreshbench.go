@@ -126,7 +126,7 @@ func RunRefreshBench(bc core.ShardBenchConfig, steps, reps int) (RefreshBenchRes
 				prev.Close()
 				return out, err
 			}
-			st, err := RefreshSnapshotFile(nextPath, prev, res, diff.Dirty)
+			st, err := RefreshSnapshotFile(nextPath, prev, res, diff.Dirty, nil)
 			if err != nil {
 				prev.Close()
 				return out, err

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"simrankpp/internal/sparse"
+)
+
+// segView is a zero-copy cursor over one CRC-verified score segment: the
+// sorted (uint32 i, uint32 j, float64 score) records exactly as they sit
+// in the mapped snapshot, with i < j in global ids and records ascending
+// by (i, j). The scores are never decoded — point lookups binary-search
+// the packed keys in place, and ranked lookups read only the records a
+// node's partners occupy. This is the janus-datalog idiom (serve
+// straight off the immutable bytes) applied to the snapshot layout.
+//
+// A node's partners live in two regions: the contiguous (node, j) run —
+// binary-searchable in the primary (i, j) order — and scattered (i,
+// node) records anywhere before it. byJ makes the scatter searchable
+// too: a permutation of record indices sorted by (j, i), built once per
+// segment at load (4 bytes per pair, the only heap state the mapped
+// path keeps; scores stay in the page cache).
+//
+// The view must match sparse.PairTable's answers bit for bit — same
+// scores, same descending-score/ascending-id ordering — which the
+// mmap-vs-heap differential tests pin.
+type segView struct {
+	b   []byte   // len(b) % pairRecordSize == 0, verified before construction
+	byJ []uint32 // record indices sorted by packed (j<<32 | i)
+}
+
+// buildScatterIndex computes the by-(j, i) permutation for a verified
+// segment. Called once per segment under the shard's load lock.
+func buildScatterIndex(b []byte) []uint32 {
+	v := segView{b: b}
+	n := v.pairs()
+	if n == 0 {
+		return nil
+	}
+	idx := make([]uint32, n)
+	for k := range idx {
+		idx[k] = uint32(k)
+	}
+	sort.Slice(idx, func(a, b int) bool { return v.jkey(int(idx[a])) < v.jkey(int(idx[b])) })
+	return idx
+}
+
+// pairs returns the record count.
+func (v segView) pairs() int { return len(v.b) / pairRecordSize }
+
+// key returns record k's packed (i<<32 | j) sort key.
+func (v segView) key(k int) uint64 {
+	o := k * pairRecordSize
+	i := binary.LittleEndian.Uint32(v.b[o:])
+	j := binary.LittleEndian.Uint32(v.b[o+4:])
+	return uint64(i)<<32 | uint64(j)
+}
+
+// jkey returns record k's packed (j<<32 | i) key — the scatter-index
+// sort order.
+func (v segView) jkey(k int) uint64 {
+	o := k * pairRecordSize
+	i := binary.LittleEndian.Uint32(v.b[o:])
+	j := binary.LittleEndian.Uint32(v.b[o+4:])
+	return uint64(j)<<32 | uint64(i)
+}
+
+// score returns record k's score.
+func (v segView) score(k int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.b[k*pairRecordSize+8:]))
+}
+
+// lowerBound returns the first record index whose key is >= want.
+func (v segView) lowerBound(want uint64) int {
+	return sort.Search(v.pairs(), func(k int) bool { return v.key(k) >= want })
+}
+
+// find binary-searches the unordered pair (a, b), returning its stored
+// score — the in-place twin of PairTable.Get.
+func (v segView) find(a, b int) (float64, bool) {
+	if a == b {
+		return 0, false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	want := uint64(uint32(a))<<32 | uint64(uint32(b))
+	k := v.lowerBound(want)
+	if k < v.pairs() && v.key(k) == want {
+		return v.score(k), true
+	}
+	return 0, false
+}
+
+// topKFor returns node's k highest-scoring partners (ties broken by
+// ascending id; k < 0 means all), matching PairTable.TopKFor exactly.
+// The contiguous (node, j) run is binary-searched in the primary order;
+// the scattered (i, node) records are the matching run of the by-(j, i)
+// permutation. Both are O(log pairs + degree).
+func (v segView) topKFor(node, k int) []sparse.Scored {
+	// Both runs' bounds come from binary searches, so the result is
+	// allocated exactly once at its final size.
+	want := uint64(uint32(node)) << 32
+	next := uint64(uint32(node)+1) << 32
+	jLo := sort.Search(len(v.byJ), func(x int) bool { return v.jkey(int(v.byJ[x])) >= want })
+	jHi := jLo + sort.Search(len(v.byJ)-jLo, func(x int) bool { return v.jkey(int(v.byJ[jLo+x])) >= next })
+	iLo := v.lowerBound(want)
+	iHi := iLo + sort.Search(v.pairs()-iLo, func(x int) bool { return v.key(iLo+x) >= next })
+	out := make([]sparse.Scored, 0, (jHi-jLo)+(iHi-iLo))
+	// Scattered region: records whose j side is node, contiguous in byJ.
+	for x := jLo; x < jHi; x++ {
+		r := int(v.byJ[x])
+		out = append(out, sparse.Scored{
+			Node:  int(binary.LittleEndian.Uint32(v.b[r*pairRecordSize:])),
+			Score: v.score(r),
+		})
+	}
+	// Contiguous region: the (node, j) run in the primary order.
+	for r := iLo; r < iHi; r++ {
+		out = append(out, sparse.Scored{
+			Node:  int(binary.LittleEndian.Uint32(v.b[r*pairRecordSize+4:])),
+			Score: v.score(r),
+		})
+	}
+	sparse.SortScoredDesc(out)
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,489 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+)
+
+// The serving benchmark behind cmd/servebench: the same multi-cluster
+// workload the shard benchmarks use is scored once, persisted with a
+// precomputed top-k rewrite section, and then served two ways —
+//
+//   - zerocopy: the mmap path (segments binary-searched in place, /rewrite
+//     answered from the precomputed section), and
+//   - heap: the pre-optimization baseline (segments decoded into heap
+//     tables, /rewrite running the live pipeline per request)
+//
+// — driving the real http.Handler in process at 1/8/64 concurrent
+// clients and recording p50/p99/p999 latency, throughput, and allocs per
+// request for /rewrite, /similar, and POST /batch. The response cache,
+// load shedding, and deadlines are disabled so the numbers describe the
+// lookup path itself, not the LRU. BENCH_serve.json records the matrix;
+// the gate metric is RewriteP99Speedup (worst-case across
+// concurrencies), which the zero-copy tentpole must keep ≥ its floor.
+
+// ServeBenchCase is one (endpoint, path, clients) cell of the matrix.
+type ServeBenchCase struct {
+	// Endpoint is "rewrite", "similar", or "batch"; Path is "zerocopy"
+	// (mmap + precomputed section) or "heap" (decoded tables + live
+	// pipeline); Clients is the number of concurrent drivers.
+	Endpoint string `json:"endpoint"`
+	Path     string `json:"path"`
+	Clients  int    `json:"clients"`
+	Ops      int    `json:"ops"`
+	// Latency quantiles over every request in the case, merged across
+	// clients. BatchSize queries ride in each /batch op, so its
+	// per-query cost is NsP50/BatchSize.
+	NsP50  float64 `json:"ns_p50"`
+	NsP99  float64 `json:"ns_p99"`
+	NsP999 float64 `json:"ns_p999"`
+	// QPS is ops over wall clock (whole-request throughput).
+	QPS float64 `json:"qps"`
+	// AllocsPerOp is the heap-allocation count per request (mallocs
+	// delta over the measured window, divided by ops; includes the
+	// driver's request/recorder objects, identical across paths).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// ServeBenchResult is the recorded serving matrix plus its headline
+// ratios.
+type ServeBenchResult struct {
+	// SnapshotBytes is the size of the benchmarked snapshot; Mmapped
+	// reports whether the zerocopy side actually mapped it (false means
+	// the platform fell back to heap and the comparison is vacuous).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	Mmapped       bool  `json:"mmapped"`
+	// BatchSize is the queries per /batch request.
+	BatchSize int              `json:"batch_size"`
+	Cases     []ServeBenchCase `json:"cases"`
+	// RewriteP99Speedup is min over concurrencies of heap-p99 /
+	// zerocopy-p99 on /rewrite — the tentpole's gate metric. Similar and
+	// Batch speedups are recorded alongside for the table.
+	RewriteP99Speedup float64 `json:"rewrite_p99_speedup"`
+	SimilarP99Speedup float64 `json:"similar_p99_speedup"`
+	BatchP99Speedup   float64 `json:"batch_p99_speedup"`
+}
+
+// serveBenchBatchSize is the queries carried per POST /batch request.
+const serveBenchBatchSize = 8
+
+// ServeBenchWorkload returns the serving benchmark's shape: the shard
+// benchmark workload with its click density scaled toward a real query
+// log (4x the edges on the same node counts and shard budget). The
+// scaling matters because per-request pipeline cost — the thing the
+// precomputed section removes — grows with a query's partner count,
+// and the engine-benchmark graphs are far sparser than the click logs
+// the paper serves.
+func ServeBenchWorkload(smoke bool) core.ShardBenchConfig {
+	bc := core.DefaultShardBenchConfig()
+	if smoke {
+		bc = core.SmokeShardBenchConfig()
+	}
+	bc.ClusterEdges *= 4
+	bc.GiantEdges *= 4
+	return bc
+}
+
+// The serving benchmark names its nodes with shopping-query-like phrases
+// instead of the engine benchmarks' compact labels ("c3-q17"), because
+// /rewrite's per-request pipeline cost is dominated by Porter-stemming
+// each candidate's text — a cost proportional to words and letters that
+// six-character labels understate by an order of magnitude. The trailing
+// cluster-unique token keeps names distinct under stem dedup.
+var serveBenchVocab = [3][]string{
+	{"discounted", "refurbished", "wireless", "professional", "portable", "vintage", "waterproof", "ergonomic",
+		"compact", "digital", "organic", "handmade", "industrial", "luxury", "budget", "certified"},
+	{"cameras", "batteries", "running shoes", "coffee makers", "headphones", "mattresses", "sunglasses", "printers",
+		"guitars", "watches", "backpacks", "blenders", "keyboards", "telescopes", "luggage", "speakers"},
+	{"accessories", "comparison", "reviews", "warranty", "shipping", "clearance", "bundles", "replacement",
+		"installation", "financing", "ratings", "deals", "repairs", "manuals", "coupons", "pricing"},
+}
+
+func serveBenchPhrase(prefix string, kind byte, i int) string {
+	h := uint64(i)*2654435761 + uint64(kind)*97
+	for _, c := range []byte(prefix) {
+		h = h*131 + uint64(c)
+	}
+	v := serveBenchVocab
+	return fmt.Sprintf("%s %s %s %s%c%d",
+		v[0][h%uint64(len(v[0]))], v[1][(h/31)%uint64(len(v[1]))], v[2][(h/997)%uint64(len(v[2]))],
+		prefix, kind, i)
+}
+
+// serveBenchGraph builds the workload's click graph: the exact cluster
+// layout and edge sampling of core.MultiClusterGraph, with phrase names.
+func serveBenchGraph(bc core.ShardBenchConfig) *clickgraph.Graph {
+	b := clickgraph.NewBuilder()
+	cluster := func(prefix string, seed uint64, nq, na, edges int) {
+		s := seed
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		for i := 0; i < nq; i++ {
+			b.AddQuery(serveBenchPhrase(prefix, 'q', i))
+		}
+		for e := 0; e < edges; e++ {
+			q, a := next(nq), next(na)
+			clicks := int64(next(20) + 1)
+			if err := b.AddEdge(serveBenchPhrase(prefix, 'q', q), serveBenchPhrase(prefix, 'a', a), clickgraph.EdgeWeights{
+				Impressions: clicks * 3, Clicks: clicks,
+				ExpectedClickRate: float64(next(100)) / 100,
+			}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for c := 0; c < bc.Clusters; c++ {
+		cluster(fmt.Sprintf("c%d-", c), bc.Seed+uint64(c)*1000003, bc.ClusterQueries, bc.ClusterAds, bc.ClusterEdges)
+	}
+	cluster("g-", bc.Seed+999999937, bc.GiantQueries, bc.GiantAds, bc.GiantEdges)
+	return b.Build()
+}
+
+// serveBenchBidStride picks every Nth query as a bid term. Sparse bids
+// are the production shape the paper describes — most candidate rewrites
+// are not bid on — and they are what makes the live pipeline walk (and
+// stem) deep into the TopN=100 ranking per request instead of stopping
+// at the first five candidates.
+const serveBenchBidStride = 16
+
+func serveBenchBids(g *clickgraph.Graph) map[string]bool {
+	bids := make(map[string]bool, g.NumQueries()/serveBenchBidStride+1)
+	for i := 0; i < g.NumQueries(); i += serveBenchBidStride {
+		bids[g.Query(i)] = true
+	}
+	return bids
+}
+
+// benchRecorder is a minimal http.ResponseWriter: the driver only needs
+// the status code, and discarding bodies keeps the recorder out of the
+// allocation profile it is there to measure.
+type benchRecorder struct {
+	h      http.Header
+	status int
+	n      int64
+}
+
+func (r *benchRecorder) Header() http.Header { return r.h }
+func (r *benchRecorder) WriteHeader(c int)   { r.status = c }
+func (r *benchRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	r.n += int64(len(p))
+	return len(p), nil
+}
+
+// serveBenchServer opens path the requested way and wraps it in a Server
+// with the cache, shedding, and deadlines off.
+func serveBenchServer(path string, zerocopy bool, bids map[string]bool) (*Server, *Snapshot, error) {
+	open := OpenSnapshotHeap
+	if zerocopy {
+		open = OpenSnapshot
+	}
+	snap, err := open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := snap.PreloadAll(); err != nil {
+		snap.Close()
+		return nil, nil, err
+	}
+	cfg := DefaultServerConfig()
+	cfg.CacheSize = 0
+	cfg.MaxInFlight = 0
+	cfg.RequestTimeout = 0
+	cfg.BidTerms = bids
+	cfg.DisablePrecomputed = !zerocopy
+	return NewServer(snap, cfg), snap, nil
+}
+
+// serveBenchWork is the pre-built per-case workload: everything a driver
+// goroutine needs so an op allocates nothing (GETs) or one reader
+// (POSTs) outside the handler — driver garbage would otherwise show up
+// in both sides' tails and drown the path difference the benchmark
+// exists to measure.
+type serveBenchWork struct {
+	endpoint string
+	path     string
+	// rawQueries[i] is the pre-escaped "q=...&top=5" for GET endpoints;
+	// bodies[i] is a pre-marshaled /batch payload.
+	rawQueries []string
+	bodies     [][]byte
+}
+
+func newServeBenchWork(endpoint string, queries []string) *serveBenchWork {
+	w := &serveBenchWork{endpoint: endpoint, path: "/" + endpoint}
+	switch endpoint {
+	case "rewrite", "similar":
+		w.rawQueries = make([]string, len(queries))
+		for i, q := range queries {
+			w.rawQueries[i] = "q=" + url.QueryEscape(q) + "&top=5"
+		}
+	case "batch":
+		// One payload per distinct batch window over the rotating query
+		// list; drivers cycle through them.
+		n := (len(queries) + serveBenchBatchSize - 1) / serveBenchBatchSize
+		w.bodies = make([][]byte, n)
+		for b := 0; b < n; b++ {
+			var buf bytes.Buffer
+			buf.WriteString(`{"top":5,"queries":[`)
+			for i := 0; i < serveBenchBatchSize; i++ {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				fmt.Fprintf(&buf, "%q", queries[(b*serveBenchBatchSize+i)%len(queries)])
+			}
+			buf.WriteString(`]}`)
+			w.bodies[b] = buf.Bytes()
+		}
+	}
+	return w
+}
+
+// size returns how many distinct ops the workload rotates through.
+func (w *serveBenchWork) size() int {
+	if w.endpoint == "batch" {
+		return len(w.bodies)
+	}
+	return len(w.rawQueries)
+}
+
+// prep points the client's reusable request at op (mod the workload) and
+// returns it. GETs mutate only RawQuery; POSTs reset the body reader.
+func (w *serveBenchWork) prep(req *http.Request, body *bytes.Reader, op int) *http.Request {
+	if w.endpoint == "batch" {
+		b := w.bodies[op%len(w.bodies)]
+		body.Reset(b)
+		req.ContentLength = int64(len(b))
+		return req
+	}
+	req.URL.RawQuery = w.rawQueries[op%len(w.rawQueries)]
+	return req
+}
+
+// newClientReq builds one driver goroutine's reusable request. The
+// handlers (and ServeMux) treat the request as read-only, so sequential
+// reuse from a single goroutine is safe.
+func (w *serveBenchWork) newClientReq() (*http.Request, *bytes.Reader) {
+	u := &url.URL{Path: w.path}
+	if w.endpoint == "batch" {
+		body := bytes.NewReader(nil)
+		return &http.Request{Method: http.MethodPost, URL: u, Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1, Host: "bench",
+			Header: http.Header{"Content-Type": []string{"application/json"}},
+			Body:   io.NopCloser(body),
+		}, body
+	}
+	return &http.Request{Method: http.MethodGet, URL: u, Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1, Host: "bench"}, nil
+}
+
+// runServeBenchCase drives h with clients concurrent loops of ops/clients
+// requests each and returns the merged per-request latencies, the wall
+// time, and the mallocs delta.
+func runServeBenchCase(h http.Handler, work *serveBenchWork, clients, ops int) ([]time.Duration, time.Duration, uint64, error) {
+	perClient := ops / clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perClient)
+			req, body := work.newClientReq()
+			rec := benchRecorder{h: make(http.Header, 2)}
+			for op := 0; op < perClient; op++ {
+				r := work.prep(req, body, c*perClient+op)
+				rec.status, rec.n = 0, 0
+				t0 := time.Now()
+				h.ServeHTTP(&rec, r)
+				lat = append(lat, time.Since(t0))
+				if rec.status != http.StatusOK {
+					errs[c] = fmt.Errorf("servebench: %s returned HTTP %d", work.endpoint, rec.status)
+					return
+				}
+			}
+			lats[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	var merged []time.Duration
+	for _, l := range lats {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return merged, wall, ms1.Mallocs - ms0.Mallocs, nil
+}
+
+// latQuantile returns the q-quantile (0 < q <= 1) of sorted by ceil rank.
+func latQuantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Nanoseconds())
+}
+
+// RunServeBench scores the multi-cluster workload, persists it with a
+// precomputed top-k section, and measures the endpoint × path ×
+// concurrency matrix. ops is the request count per cell (split across
+// the cell's clients); concurrencies is typically {1, 8, 64}. Progress
+// rows go to logf when non-nil.
+func RunServeBench(bc core.ShardBenchConfig, concurrencies []int, ops int, logf func(format string, args ...any)) (ServeBenchResult, error) {
+	var out ServeBenchResult
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	g := serveBenchGraph(bc)
+	bids := serveBenchBids(g)
+	pcfg := partition.DefaultPlanConfig()
+	pcfg.MaxShardNodes = bc.MaxShardNodes
+	pcfg.MinCutNodes = bc.MaxShardNodes / 4
+	plan, err := partition.BuildPlan(g, pcfg)
+	if err != nil {
+		return out, err
+	}
+	res, err := core.RunSharded(g, core.ShardBenchRunConfig(bc), plan, core.ShardOptions{Workers: bc.Workers, RetainShardScores: true})
+	if err != nil {
+		return out, err
+	}
+
+	dir, err := os.MkdirTemp("", "simrank-serve-bench")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.snap")
+	if err := WriteSnapshotFileTopK(path, res, TopKOptions{K: DefaultRewriteTopK, BidTerms: bids}); err != nil {
+		return out, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return out, err
+	}
+	out.SnapshotBytes = st.Size()
+	out.BatchSize = serveBenchBatchSize
+
+	// The query mix: every query name, so rotation touches all shards.
+	queries := make([]string, g.NumQueries())
+	for i := range queries {
+		queries[i] = g.Query(i)
+	}
+
+	type side struct {
+		name string
+		srv  *Server
+	}
+	var sides []side
+	for _, zerocopy := range []bool{true, false} {
+		srv, snap, err := serveBenchServer(path, zerocopy, bids)
+		if err != nil {
+			return out, err
+		}
+		defer snap.Close()
+		name := "heap"
+		if zerocopy {
+			name = "zerocopy"
+			out.Mmapped = snap.Mmapped()
+		}
+		sides = append(sides, side{name: name, srv: srv})
+	}
+
+	// p99 per (endpoint, path, clients), for the speedup ratios.
+	p99 := map[string]float64{}
+	for _, endpoint := range []string{"rewrite", "similar", "batch"} {
+		work := newServeBenchWork(endpoint, queries)
+		for _, s := range sides {
+			h := s.srv.Handler()
+			// One warmup sweep per (endpoint, side) primes whatever the
+			// path lazily builds (segment indexes on heap, page cache on
+			// mmap) out of the measured window.
+			warm := ops / 4
+			if warm > 400 {
+				warm = 400
+			}
+			if _, _, _, err := runServeBenchCase(h, work, 1, warm); err != nil {
+				return out, err
+			}
+			for _, clients := range concurrencies {
+				lat, wall, mallocs, err := runServeBenchCase(h, work, clients, ops)
+				if err != nil {
+					return out, err
+				}
+				c := ServeBenchCase{
+					Endpoint: endpoint,
+					Path:     s.name,
+					Clients:  clients,
+					Ops:      len(lat),
+					NsP50:    latQuantile(lat, 0.50),
+					NsP99:    latQuantile(lat, 0.99),
+					NsP999:   latQuantile(lat, 0.999),
+				}
+				if wall > 0 {
+					c.QPS = float64(len(lat)) / wall.Seconds()
+				}
+				if len(lat) > 0 {
+					c.AllocsPerOp = float64(mallocs) / float64(len(lat))
+				}
+				out.Cases = append(out.Cases, c)
+				p99[fmt.Sprintf("%s/%s/%d", endpoint, s.name, clients)] = c.NsP99
+				logf("  %-8s %-8s %3d clients: p50 %8.0f ns  p99 %8.0f ns  p999 %9.0f ns  %9.0f qps  %6.1f allocs/op",
+					endpoint, s.name, clients, c.NsP50, c.NsP99, c.NsP999, c.QPS, c.AllocsPerOp)
+			}
+		}
+	}
+
+	minSpeedup := func(endpoint string) float64 {
+		min := 0.0
+		for _, clients := range concurrencies {
+			fast := p99[fmt.Sprintf("%s/zerocopy/%d", endpoint, clients)]
+			slow := p99[fmt.Sprintf("%s/heap/%d", endpoint, clients)]
+			if fast <= 0 {
+				continue
+			}
+			if s := slow / fast; min == 0 || s < min {
+				min = s
+			}
+		}
+		return min
+	}
+	out.RewriteP99Speedup = minSpeedup("rewrite")
+	out.SimilarP99Speedup = minSpeedup("similar")
+	out.BatchP99Speedup = minSpeedup("batch")
+	return out, nil
+}

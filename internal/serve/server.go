@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -62,32 +64,97 @@ type Config struct {
 	// MaxRetryAfterSeconds clamps the derived Retry-After hint;
 	// defaults to 30.
 	MaxRetryAfterSeconds int
+	// MaxBatch caps how many queries one POST /batch may carry; defaults
+	// to 256. A batch occupies one in-flight slot and one deadline no
+	// matter its size, so the cap is what keeps a single request from
+	// monopolizing the scoring budget.
+	MaxBatch int
+	// BatchConcurrency bounds how many of a batch's queries are scored
+	// concurrently; defaults to 8.
+	BatchConcurrency int
+	// DisablePrecomputed forces /rewrite and /batch onto the live
+	// pipeline even when the snapshot's precomputed top-k section could
+	// answer (the simrankd -precomputed=false escape hatch; also what the
+	// differential tests use to pin both paths byte-identical).
+	DisablePrecomputed bool
 }
 
 // DefaultServerConfig returns the paper's depth-5 serving settings with a
 // 4096-entry cache, a 256-request in-flight bound, and a 5s deadline.
 func DefaultServerConfig() Config {
 	return Config{DefaultTop: 5, MaxTop: 100, CacheSize: 4096,
-		MaxInFlight: 256, RequestTimeout: 5 * time.Second, RetryAfterSeconds: 1}
+		MaxInFlight: 256, RequestTimeout: 5 * time.Second, RetryAfterSeconds: 1,
+		MaxBatch: 256, BatchConcurrency: 8}
 }
 
-// EndpointStats is one endpoint's request/error counters in /stats.
+// EndpointStats is one endpoint's request/error counters in /stats, with
+// latency percentiles over the last latWindowSize requests.
 type EndpointStats struct {
 	Requests  int64 `json:"requests"`
 	Errors4xx int64 `json:"errors_4xx"`
 	Errors5xx int64 `json:"errors_5xx"`
+	// P50Ms/P99Ms are handler-latency percentiles over a sliding window
+	// of recent requests; absent until the endpoint has served one.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+}
+
+// latWindowSize is the per-endpoint latency ring: big enough for stable
+// p99 estimates, small enough that /stats sorts it without noticing.
+const latWindowSize = 512
+
+// latWindow is a fixed-size ring of recent request latencies.
+type latWindow struct {
+	mu      sync.Mutex
+	samples [latWindowSize]float64 // milliseconds
+	n, next int
+}
+
+func (l *latWindow) record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	l.mu.Lock()
+	l.samples[l.next] = ms
+	l.next = (l.next + 1) % latWindowSize
+	if l.n < latWindowSize {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// percentiles returns (p50, p99) over the window, zeros when empty.
+func (l *latWindow) percentiles() (float64, float64) {
+	l.mu.Lock()
+	n := l.n
+	buf := append([]float64(nil), l.samples[:n]...)
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(buf)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return buf[i]
+	}
+	return rank(0.50), rank(0.99)
 }
 
 // endpointCounters is the live (atomic) form of EndpointStats.
 type endpointCounters struct {
 	requests, errors4xx, errors5xx atomic.Int64
+	lat                            latWindow
 }
 
 func (c *endpointCounters) snapshot() EndpointStats {
+	p50, p99 := c.lat.percentiles()
 	return EndpointStats{
 		Requests:  c.requests.Load(),
 		Errors4xx: c.errors4xx.Load(),
 		Errors5xx: c.errors5xx.Load(),
+		P50Ms:     p50,
+		P99Ms:     p99,
 	}
 }
 
@@ -99,6 +166,7 @@ func (c *endpointCounters) snapshot() EndpointStats {
 //	                              bid filtering, depth cap)
 //	GET /similar?q=QUERY[&top=K]  raw ranked similar queries, unfiltered
 //	GET /similar?ad=AD[&top=K]    raw ranked similar ads
+//	POST /batch                   many rewrite lookups in one request
 //	GET /stats                    serving counters + index metadata
 //	GET /healthz                  liveness probe (process up)
 //	GET /readyz                   readiness: ok / degraded / unready,
@@ -107,6 +175,11 @@ type Server struct {
 	cfg   Config
 	cache *lruCache
 	start time.Time
+
+	// bidHash identifies cfg.BidTerms (BidTermsHash), compared against
+	// the snapshot header to decide whether the precomputed rewrite
+	// section answers byte-identically to this server's pipeline.
+	bidHash uint64
 
 	// inflight is the scoring-request admission semaphore; nil when
 	// shedding is disabled.
@@ -149,12 +222,19 @@ func NewServer(idx ScoreIndex, cfg Config) *Server {
 	if cfg.MaxRetryAfterSeconds <= 0 {
 		cfg.MaxRetryAfterSeconds = 30
 	}
-	s := &Server{cfg: cfg, cache: newLRU(cfg.CacheSize), idx: idx, start: time.Now()}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.BatchConcurrency <= 0 {
+		cfg.BatchConcurrency = 8
+	}
+	s := &Server{cfg: cfg, cache: newLRU(cfg.CacheSize), idx: idx, start: time.Now(),
+		bidHash: BidTermsHash(cfg.BidTerms)}
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.endpoints = make(map[string]*endpointCounters)
-	for _, name := range []string{"rewrite", "similar", "stats", "healthz", "readyz"} {
+	for _, name := range []string{"rewrite", "similar", "batch", "stats", "healthz", "readyz"} {
 		s.endpoints[name] = &endpointCounters{}
 	}
 	return s
@@ -298,6 +378,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/rewrite", s.instrument("rewrite", true, s.handleRewrite))
 	mux.Handle("/similar", s.instrument("similar", true, s.handleSimilar))
+	mux.Handle("/batch", s.instrument("batch", true, s.handleBatch))
 	mux.Handle("/stats", s.instrument("stats", false, s.handleStats))
 	mux.Handle("/healthz", s.instrument("healthz", false, s.handleHealthz))
 	mux.Handle("/readyz", s.instrument("readyz", false, s.handleReadyz))
@@ -334,8 +415,10 @@ func (s *Server) instrument(name string, scoring bool, h http.HandlerFunc) http.
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		c.requests.Add(1)
+		started := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
+			c.lat.record(time.Since(started))
 			if p := recover(); p != nil {
 				// A panicking handler must cost one 500, not the daemon.
 				s.panics.Add(1)
@@ -427,15 +510,19 @@ func (s *Server) topParam(r *http.Request) (int, error) {
 	return top, nil
 }
 
-// scoreError maps a scoring-path failure to a status: an exceeded
-// deadline is 504 (the request, not the server, ran out of time);
-// anything else is a 500.
-func scoreError(w http.ResponseWriter, err error) {
+// scoreErrorInfo maps a scoring-path failure to a status and message: an
+// exceeded deadline is 504 (the request, not the server, ran out of
+// time); anything else is a 500.
+func scoreErrorInfo(err error) (int, string) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
-		return
+		return http.StatusGatewayTimeout, "deadline exceeded"
 	}
-	http.Error(w, err.Error(), http.StatusInternalServerError)
+	return http.StatusInternalServerError, err.Error()
+}
+
+func scoreError(w http.ResponseWriter, err error) {
+	status, msg := scoreErrorInfo(err)
+	http.Error(w, msg, status)
 }
 
 func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
@@ -449,46 +536,86 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	body, status, msg := s.rewriteBody(r.Context(), q, top)
+	if status != http.StatusOK {
+		http.Error(w, msg, status)
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+// rewriteBody computes one /rewrite answer — the shared core of the
+// single endpoint and every /batch item. The caller holds the index read
+// lock. It returns the cached-or-computed JSON body (trailing newline
+// included) with StatusOK, or a status and message for error answers.
+//
+// When the served index is a snapshot whose precomputed top-k section
+// matches this server's effective parameters (depth within the stored k,
+// same candidate pool, same bid-term set — RewriteSectionUsable), the
+// answer is a single in-place section lookup; otherwise — no snapshot,
+// section absent or too shallow, parameters differ, blob quarantined, or
+// DisablePrecomputed — it runs the live §9.3 pipeline. Both paths emit
+// identical bytes by construction: the section was written by this same
+// pipeline code at build time.
+func (s *Server) rewriteBody(ctx context.Context, q string, top int) ([]byte, int, string) {
 	key := "rw\x00" + q + "\x00" + strconv.Itoa(top)
 	if body, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
-		writeJSONBytes(w, body)
-		return
+		return body, http.StatusOK, ""
 	}
-
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	qid, ok := s.idx.QueryID(q)
 	if !ok {
-		http.Error(w, fmt.Sprintf("query %q not in index", q), http.StatusNotFound)
-		return
+		return nil, http.StatusNotFound, fmt.Sprintf("query %q not in index", q)
 	}
-	pipe := rewrite.NewPipeline(s.idx, s.cfg.BidTerms)
-	pipe.MaxRewrites = top
-	if top > pipe.TopN {
-		// A depth above the paper's 100-candidate default (operator
-		// raised -max-top) must widen the raw ranking too, or filtering
-		// would silently truncate at TopN.
-		pipe.TopN = top
+
+	var answers []RewriteAnswer
+	method := ""
+	if snap, isSnap := s.idx.(*Snapshot); isSnap && !s.cfg.DisablePrecomputed && snap.RewriteSectionUsable(top, s.bidHash) {
+		if pre, hit := snap.PrecomputedRewrites(qid, top); hit {
+			// The lookup may have sat on a slow (or fault-injected) blob
+			// load; honor the request deadline before answering.
+			if err := ctx.Err(); err != nil {
+				status, msg := scoreErrorInfo(err)
+				return nil, status, msg
+			}
+			answers = make([]RewriteAnswer, 0, len(pre))
+			for _, sc := range pre {
+				answers = append(answers, RewriteAnswer{Text: snap.Query(sc.Node), Score: sc.Score})
+			}
+			method = snap.VariantName()
+		}
 	}
-	src := &rewrite.ResultSource{Index: s.idx}
-	cands, err := pipe.RewriteContext(r.Context(), src, qid)
-	if err != nil {
-		scoreError(w, err)
-		return
+	if method == "" {
+		pipe := rewrite.NewPipeline(s.idx, s.cfg.BidTerms)
+		pipe.MaxRewrites = top
+		if top > pipe.TopN {
+			// A depth above the paper's 100-candidate default (operator
+			// raised -max-top) must widen the raw ranking too, or filtering
+			// would silently truncate at TopN.
+			pipe.TopN = top
+		}
+		src := &rewrite.ResultSource{Index: s.idx}
+		cands, err := pipe.RewriteContext(ctx, src, qid)
+		if err != nil {
+			status, msg := scoreErrorInfo(err)
+			return nil, status, msg
+		}
+		answers = make([]RewriteAnswer, 0, len(cands))
+		for _, c := range cands {
+			answers = append(answers, RewriteAnswer{Text: c.Text, Score: c.Score})
+		}
+		method = src.Name()
 	}
-	resp := rewriteResponse{Query: q, Method: src.Name(), Rewrites: make([]RewriteAnswer, 0, len(cands))}
-	for _, c := range cands {
-		resp.Rewrites = append(resp.Rewrites, RewriteAnswer{Text: c.Text, Score: c.Score})
-	}
+	resp := rewriteResponse{Query: q, Method: method, Rewrites: answers}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return nil, http.StatusInternalServerError, err.Error()
 	}
 	body = append(body, '\n')
 	s.cache.Put(key, body)
-	writeJSONBytes(w, body)
+	return body, http.StatusOK, ""
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
@@ -539,6 +666,105 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// BatchRequest is the POST /batch payload: one round trip for many
+// rewrite lookups, sharing one admission slot and one deadline.
+type BatchRequest struct {
+	Queries []string `json:"queries"`
+	// Top is the rewrite depth for every query; 0 means the server's
+	// default, and values above MaxTop are clamped like the single
+	// endpoint's top parameter.
+	Top int `json:"top"`
+}
+
+// BatchItemError is one failed query's entry in a /batch response: the
+// error message and status the single endpoint would have answered.
+type BatchItemError struct {
+	Query  string `json:"query"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// BatchResponse is the POST /batch payload: results in request order,
+// each either a /rewrite response object or a BatchItemError.
+type BatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// maxBatchBody bounds the /batch request body; far above any plausible
+// MaxBatch-query payload, far below anything that hurts.
+const maxBatchBody = 8 << 20
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JSON body to /batch", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad batch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty batch: give queries", http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d queries exceeds the %d limit", len(req.Queries), s.cfg.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	top := req.Top
+	if top == 0 {
+		top = s.cfg.DefaultTop
+	}
+	if top < 0 {
+		http.Error(w, fmt.Sprintf("bad top %d: want a positive integer", req.Top), http.StatusBadRequest)
+		return
+	}
+	if top > s.cfg.MaxTop {
+		top = s.cfg.MaxTop
+	}
+
+	// One read lock for the whole batch: every item answers from the
+	// same index generation even if a reload lands mid-request.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	results := make([]json.RawMessage, len(req.Queries))
+	workers := s.cfg.BatchConcurrency
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := req.Queries[i]
+				body, status, msg := s.rewriteBody(r.Context(), q, top)
+				if status == http.StatusOK {
+					// The single endpoint's bytes, minus its trailing
+					// newline: already-marshaled JSON embeds as-is.
+					results[i] = json.RawMessage(body[:len(body)-1])
+					continue
+				}
+				item, err := json.Marshal(BatchItemError{Query: q, Error: msg, Status: status})
+				if err != nil {
+					item = []byte(`{"error":"internal error","status":500}`)
+				}
+				results[i] = item
+			}
+		}()
+	}
+	for i := range req.Queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	writeJSON(w, BatchResponse{Results: results})
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -574,6 +800,27 @@ type StatsResponse struct {
 	IndexError        string        `json:"index_error,omitempty"`
 	QuarantinedShards int           `json:"quarantined_shards"`
 	Quarantined       []ShardHealth `json:"quarantined,omitempty"`
+	// Mmap reports whether the served snapshot answers from memory-mapped
+	// segment bytes (the zero-copy path) or heap-decoded tables.
+	Mmap bool `json:"mmap"`
+	// TopKSection describes the snapshot's precomputed rewrite section
+	// and whether this server's parameters let /rewrite use it.
+	TopKSection *TopKSectionStats `json:"topk_section,omitempty"`
+}
+
+// TopKSectionStats is /stats' view of the precomputed rewrite section.
+type TopKSectionStats struct {
+	// Present is whether the snapshot carries a section at all.
+	Present bool `json:"present"`
+	// K and TopN are the stored list depth and the candidate-pool size
+	// the lists were filtered from.
+	K    int `json:"k"`
+	TopN int `json:"top_n"`
+	// BidFiltered is whether the lists were built under a bid-term set.
+	BidFiltered bool `json:"bid_filtered"`
+	// Serving is whether this server answers default-depth /rewrite
+	// requests from the section (parameters match, not disabled).
+	Serving bool `json:"serving"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -608,6 +855,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Quarantined = snap.Quarantined()
 		resp.QuarantinedShards = len(resp.Quarantined)
+		resp.Mmap = snap.Mmapped()
+		resp.TopKSection = &TopKSectionStats{
+			Present:     meta.RewriteTopK > 0,
+			K:           meta.RewriteTopK,
+			TopN:        meta.RewriteTopN,
+			BidFiltered: meta.RewriteBidFiltered,
+			Serving:     !s.cfg.DisablePrecomputed && snap.RewriteSectionUsable(s.cfg.DefaultTop, s.bidHash),
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -645,9 +900,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		if quar := snap.Quarantined(); len(quar) > 0 {
 			resp.Status = "degraded"
 			resp.Quarantined = quar
-			if len(quar) >= 2*snap.NumShards() {
-				// Every segment of every shard is quarantined: nothing
-				// can be answered — that is unready, not degraded.
+			// Only the score-segment sides decide unreadiness: a
+			// quarantined topk blob costs the fast path, not answers —
+			// /rewrite falls back to the live pipeline.
+			scoring := 0
+			for _, h := range quar {
+				if h.Side != "topk" {
+					scoring++
+				}
+			}
+			if scoring >= 2*snap.NumShards() {
+				// Every score segment of every shard is quarantined:
+				// nothing can be answered — unready, not degraded.
 				resp.Status = "unready"
 				code = http.StatusServiceUnavailable
 			}

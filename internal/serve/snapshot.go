@@ -28,15 +28,16 @@ import (
 //
 // Layout (all integers little-endian):
 //
-//	header    fixed 180 bytes: magic, version, run metadata (variant,
+//	header    fixed 200 bytes: magic, version, run metadata (variant,
 //	          iterations executed and budgeted, C1/C2, converged,
 //	          strict-evidence/spread flags, weight channel, evidence
 //	          form, prune epsilon, convergence and delta-skip
 //	          tolerances), graph
 //	          dimensions, shard count, generation info (creation time,
 //	          dirty-shard count of the refresh that produced it), section
-//	          offsets/lengths, per-section CRC32s, and a trailing CRC32
-//	          over the header itself.
+//	          offsets/lengths, per-section CRC32s, the precomputed
+//	          rewrite section's parameters (k, candidate pool, bid-term
+//	          hash), and a trailing CRC32 over the header itself.
 //	strings   NumQueries then NumAds names, each uvarint length + raw
 //	          bytes. Length-prefixed, so names may contain tabs or
 //	          newlines that would corrupt the line-oriented text format.
@@ -44,23 +45,38 @@ import (
 //	          partition.Plan node→shard map in serialized form. Pairs
 //	          never cross shards (cut pairs score 0), so one lookup
 //	          routes a query to the only segment that can score it.
-//	dir       one fixed 48-byte entry per shard: offset, pair count and
-//	          CRC32 of its query segment and of its ad segment, plus the
+//	dir       one fixed 64-byte entry per shard: offset, pair count and
+//	          CRC32 of its query segment and of its ad segment, the
 //	          shard's subgraph fingerprint — which is what lets the next
 //	          refresh diff a new graph against this snapshot alone
 //	          (partition.DiffPlans) and byte-copy unchanged segments
-//	          (RefreshSnapshot).
+//	          (RefreshSnapshot) — plus the offset/length/CRC32 of the
+//	          shard's precomputed top-k rewrite blob.
 //	segments  per shard, per side: pair records (uint32 i, uint32 j,
 //	          float64 score) with i < j in global ids, sorted ascending —
-//	          written in parallel, one encoder per shard, and loaded
-//	          lazily per shard per side on first access.
+//	          written in parallel, one encoder per shard, and either
+//	          decoded lazily per shard per side on first access (heap
+//	          mode) or binary-searched in place over the mapped bytes
+//	          (mmap mode; see segview.go).
+//	topk      per shard, one self-contained blob of precomputed §9.3
+//	          rewrite lists: u32 entry count, then per stored query
+//	          (global id ascending) a (u32 id, u32 list offset relative
+//	          to the blob, u32 list length) entry, then the list records
+//	          (u32 rewrite id, float64 score). Offsets are blob-relative
+//	          and ids are global, so a refresh byte-copies clean shards'
+//	          blobs exactly like score segments. See topk.go.
 
 const (
 	snapshotMagic   = "SRPPSNAP"
-	snapshotVersion = 2
-	headerSize      = 180
-	dirEntrySize    = 48
+	snapshotVersion = 3
+	headerSize      = 200
+	dirEntrySize    = 64
 	pairRecordSize  = 16
+
+	// Precomputed top-k blob encoding: per-query directory entries and
+	// list records (see topk.go).
+	topkEntrySize = 12
+	topkRecSize   = 12
 
 	flagConverged      = 1 << 0
 	flagStrictEvidence = 1 << 1
@@ -109,6 +125,20 @@ type SnapshotMeta struct {
 	// Fingerprint is the XOR of every shard's subgraph fingerprint — a
 	// whole-generation identity, printed hex for /stats.
 	Fingerprint string `json:"fingerprint"`
+	// RewriteTopK is the depth of the precomputed per-query rewrite lists
+	// (0 when the snapshot carries no top-k section); RewriteTopN is the
+	// candidate-pool size those lists were filtered from — a serving
+	// pipeline whose effective pool differs must fall back to live
+	// scoring for byte-identity.
+	RewriteTopK int `json:"rewrite_topk"`
+	RewriteTopN int `json:"rewrite_topn,omitempty"`
+	// RewriteBidHash is the order-independent hash of the bid-term set
+	// the lists were filtered with (0 = no bid filtering); a server
+	// configured with different terms must not serve the section.
+	RewriteBidHash uint64 `json:"-"`
+	// RewriteBidFiltered reports whether the section was built under a
+	// bid-term filter (the /stats-visible face of RewriteBidHash).
+	RewriteBidFiltered bool `json:"rewrite_bid_filtered,omitempty"`
 }
 
 // shardSource is one shard's tables awaiting encoding: ids remap local →
@@ -171,6 +201,10 @@ type shardPayload struct {
 	qSeg, aSeg []byte
 	qCRC, aCRC uint32
 	fp         uint64
+	// tkBlob is the shard's precomputed top-k rewrite blob (empty when
+	// the snapshot carries no section).
+	tkBlob []byte
+	tkCRC  uint32
 	// qIDs/aIDs are the shard's global node ids for the route section
 	// (nil means identity — the single-shard monolithic case).
 	qIDs, aIDs []int
@@ -204,13 +238,21 @@ func shardFingerprints(res *core.Result, shards int) ([]uint64, error) {
 	return fps, nil
 }
 
-// WriteSnapshot serializes res in the snapshot format. A result carrying
+// WriteSnapshot serializes res in the snapshot format, including a
+// precomputed rewrite section at the default depth (see TopKOptions;
+// use WriteSnapshotTopK to tune or disable it). A result carrying
 // retained shard scores (core.ShardOptions.RetainShardScores) writes one
 // segment pair per shard, encoded in parallel directly from the shard
 // engines' local tables; any other result writes a single segment pair.
 // Results of a partial (ShardOptions.RunShards) run are rejected — their
 // missing shards can only be completed by RefreshSnapshot.
 func WriteSnapshot(w io.Writer, res *core.Result) error {
+	return WriteSnapshotTopK(w, res, DefaultTopKOptions())
+}
+
+// WriteSnapshotTopK is WriteSnapshot with an explicit precomputed
+// rewrite-section configuration.
+func WriteSnapshotTopK(w io.Writer, res *core.Result, opts TopKOptions) error {
 	srcs := snapshotSources(res)
 	fps, err := shardFingerprints(res, len(srcs))
 	if err != nil {
@@ -232,13 +274,17 @@ func WriteSnapshot(w io.Writer, res *core.Result) error {
 	encodePayloads(payloads, all, func(i int) (*sparse.PairTable, *sparse.PairTable) {
 		return srcs[i].q, srcs[i].a
 	})
+	tk := opts.meta()
+	if err := fillTopKBlobs(payloads, all, res, tk, opts.BidTerms); err != nil {
+		return err
+	}
 
 	return writeAssembled(w, res, res.Config, payloads, genInfo{
 		iterations:  res.Iterations,
 		converged:   res.Converged,
 		generatedAt: time.Now(),
 		dirtyShards: fullBuildSentinel,
-	})
+	}, tk)
 }
 
 // encodePayloads fills the given payload indices' segments and CRCs from
@@ -284,10 +330,19 @@ type nodeNames interface {
 	Ad(id int) string
 }
 
+// topkMeta is the precomputed rewrite section's header parameters: list
+// depth k, the candidate-pool size the lists were filtered from, and the
+// bid-term-set hash. A zero k means no section (every blob empty).
+type topkMeta struct {
+	k, topN uint32
+	bidHash uint64
+}
+
 // writeAssembled lays out and writes a complete snapshot from per-shard
 // payloads: string table and route map from the names source, directory
-// and header from the payloads, cfg and gen.
-func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []shardPayload, gen genInfo) error {
+// and header from the payloads, cfg, gen and the top-k section
+// parameters.
+func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []shardPayload, gen genInfo, tk topkMeta) error {
 	nq, na := names.NumQueries(), names.NumAds()
 	if len(payloads) > 1<<30 || uint64(nq) > math.MaxUint32 || uint64(na) > math.MaxUint32 {
 		return fmt.Errorf("serve: snapshot dimensions overflow uint32")
@@ -319,7 +374,8 @@ func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []sh
 		}
 	}
 
-	// Directory + totals; segment offsets follow header/strings/route/dir.
+	// Directory + totals; segment offsets follow header/strings/route/dir,
+	// and the top-k blobs follow every shard's segments.
 	stringsOff := uint64(headerSize)
 	routeOff := stringsOff + uint64(len(strBuf))
 	dirOff := routeOff + uint64(len(route))
@@ -341,6 +397,13 @@ func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []sh
 		binary.LittleEndian.PutUint64(dir[o+40:], payloads[i].fp)
 		totalQ += qPairs
 		totalA += aPairs
+	}
+	for i := range payloads {
+		o := i * dirEntrySize
+		binary.LittleEndian.PutUint64(dir[o+48:], segOff)
+		binary.LittleEndian.PutUint32(dir[o+56:], uint32(len(payloads[i].tkBlob)))
+		binary.LittleEndian.PutUint32(dir[o+60:], payloads[i].tkCRC)
+		segOff += uint64(len(payloads[i].tkBlob))
 	}
 
 	hdr := make([]byte, headerSize)
@@ -383,7 +446,11 @@ func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []sh
 	binary.LittleEndian.PutUint64(hdr[156:], math.Float64bits(cfg.Tolerance))
 	binary.LittleEndian.PutUint64(hdr[164:], math.Float64bits(cfg.DeltaSkipTolerance))
 	binary.LittleEndian.PutUint32(hdr[172:], uint32(cfg.Iterations))
-	binary.LittleEndian.PutUint32(hdr[176:], crc32.ChecksumIEEE(hdr[:176]))
+	binary.LittleEndian.PutUint32(hdr[176:], tk.k)
+	binary.LittleEndian.PutUint32(hdr[180:], tk.topN)
+	binary.LittleEndian.PutUint64(hdr[184:], tk.bidHash)
+	binary.LittleEndian.PutUint32(hdr[192:], 0) // reserved
+	binary.LittleEndian.PutUint32(hdr[196:], crc32.ChecksumIEEE(hdr[:196]))
 
 	for _, b := range [][]byte{hdr, strBuf, route, dir} {
 		if _, err := w.Write(b); err != nil {
@@ -398,6 +465,11 @@ func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []sh
 			return err
 		}
 	}
+	for i := range payloads {
+		if _, err := w.Write(payloads[i].tkBlob); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -405,13 +477,19 @@ func writeAssembled(w io.Writer, names nodeNames, cfg core.Config, payloads []sh
 // directory and renames it into place, so a server reloading on SIGHUP
 // never observes a half-written snapshot.
 func WriteSnapshotFile(path string, res *core.Result) error {
+	return WriteSnapshotFileTopK(path, res, DefaultTopKOptions())
+}
+
+// WriteSnapshotFileTopK is WriteSnapshotFile with an explicit
+// precomputed rewrite-section configuration.
+func WriteSnapshotFileTopK(path string, res *core.Result, opts TopKOptions) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := WriteSnapshot(tmp, res); err != nil {
+	if err := WriteSnapshotTopK(tmp, res, opts); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -427,6 +505,9 @@ type segEntry struct {
 	qPairs, aPairs uint64
 	qCRC, aCRC     uint32
 	fp             uint64
+	tkOff          uint64
+	tkLen          uint64
+	tkCRC          uint32
 }
 
 // segState is one score segment's lazy-load state machine. A segment
@@ -437,19 +518,35 @@ type segEntry struct {
 // cannot melt the disk with retry storms. The mutex makes concurrent
 // first touches race-free (one loader, everyone else waits, exactly
 // like the sync.Once it replaced); after a successful load the table
-// is read-only (PairTable reads and EnsureIndex are concurrency-safe).
+// is read-only (PairTable reads and EnsureIndex are concurrency-safe),
+// as is a verified raw view (never written after verification).
 type segState struct {
-	mu       sync.Mutex
-	tab      *sparse.PairTable
+	mu sync.Mutex
+	// Exactly one of tab/raw is populated on success: tab holds the
+	// decoded table in heap mode, raw the CRC-verified zero-copy view in
+	// mmap mode (and, for the top-k side, the verified blob bytes in
+	// either mode).
+	tab *sparse.PairTable
+	raw []byte
+	// byJ is the scatter index over raw in mmap mode (see
+	// segView.byJ): record indices sorted by (j, i), built once here so
+	// ranked lookups never scan the segment.
+	byJ      []uint32
 	loaded   bool
 	err      error     // last load failure
 	failures int       // consecutive load failures
 	retryAt  time.Time // quarantined until then
+	// ready mirrors loaded with release/acquire semantics: once a load
+	// succeeds the payload fields above are frozen, so readers that
+	// observe ready skip the mutex entirely — a segment lookup on the
+	// hot path costs no lock once its shard is warm.
+	ready atomic.Bool
 }
 
-// snapShard is one shard's lazily-loaded tables, one state per side.
+// snapShard is one shard's lazily-loaded state: the two score-segment
+// sides plus the precomputed top-k rewrite blob.
 type snapShard struct {
-	q, a segState
+	q, a, tk segState
 }
 
 // Quarantine backoff policy: first failure waits backoffBase, each
@@ -480,7 +577,7 @@ func (e *errQuarantined) Unwrap() error { return e.cause }
 // /stats degraded-mode detail.
 type ShardHealth struct {
 	Shard    int       `json:"shard"`
-	Side     string    `json:"side"` // "query" or "ad"
+	Side     string    `json:"side"` // "query", "ad", or "topk"
 	Failures int       `json:"failures"`
 	Error    string    `json:"error"`
 	RetryAt  time.Time `json:"retry_at"`
@@ -489,11 +586,19 @@ type ShardHealth struct {
 // Snapshot is a loaded snapshot file implementing ScoreIndex. Opening
 // reads only the header, string table, route map and directory — O(nodes),
 // independent of how many scores the file holds; each shard's score
-// segments are read, checksummed and indexed on first access.
+// segments are read, checksummed and indexed on first access. A
+// memory-mapped snapshot (OpenSnapshot on supported platforms) skips
+// the decode entirely: segments are CRC-verified once on first touch
+// and binary-searched in place over the mapped bytes.
 type Snapshot struct {
 	r      io.ReaderAt
 	size   int64
 	closer io.Closer
+	// mapped is the whole file when memory-mapped; nil in heap mode.
+	// Views handed out (segment raws, top-k blobs) alias this memory, so
+	// Close must not be called while lookups are in flight — the server
+	// swap protocol (write-lock the index swap) guarantees that.
+	mapped []byte
 
 	meta         SnapshotMeta
 	queries, ads []string
@@ -521,8 +626,22 @@ type Snapshot struct {
 	lazyErr error // first segment-load failure, surfaced via Err
 }
 
-// OpenSnapshot opens a snapshot file. Close releases it.
+// OpenSnapshot opens a snapshot file, memory-mapping it when the
+// platform supports it and falling back silently to the heap reader
+// when mapping fails. Close releases it.
 func OpenSnapshot(path string) (*Snapshot, error) {
+	return openSnapshotFile(path, mmapSupported)
+}
+
+// OpenSnapshotHeap opens a snapshot file on the read-into-heap segment
+// path, never mapping — the differential-test and fallback twin of
+// OpenSnapshot (also reachable via simrankd -mmap=false, or everywhere
+// under the simrank_nommap build tag / on non-Linux platforms).
+func OpenSnapshotHeap(path string) (*Snapshot, error) {
+	return openSnapshotFile(path, false)
+}
+
+func openSnapshotFile(path string, tryMmap bool) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -532,8 +651,18 @@ func OpenSnapshot(path string) (*Snapshot, error) {
 		f.Close()
 		return nil, err
 	}
-	s, err := NewSnapshot(f, st.Size())
+	var mapped []byte
+	if tryMmap && st.Size() >= headerSize {
+		// A failed map is not fatal: serve from the heap path instead.
+		if m, merr := mmapFile(f, st.Size()); merr == nil {
+			mapped = m
+		}
+	}
+	s, err := newSnapshot(f, st.Size(), mapped)
 	if err != nil {
+		if mapped != nil {
+			munmapFile(mapped)
+		}
 		f.Close()
 		return nil, err
 	}
@@ -541,9 +670,14 @@ func OpenSnapshot(path string) (*Snapshot, error) {
 	return s, nil
 }
 
-// NewSnapshot opens a snapshot from any random-access reader of the given
-// total size.
+// NewSnapshot opens a snapshot from any random-access reader of the
+// given total size — always heap mode (mapping needs a file; use
+// OpenSnapshot).
 func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
+	return newSnapshot(r, size, nil)
+}
+
+func newSnapshot(r io.ReaderAt, size int64, mapped []byte) (*Snapshot, error) {
 	if size < headerSize {
 		return nil, fmt.Errorf("serve: snapshot too small (%d bytes)", size)
 	}
@@ -557,13 +691,13 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	if v := binary.LittleEndian.Uint32(hdr[8:]); v != snapshotVersion {
 		return nil, fmt.Errorf("serve: unsupported snapshot version %d (want %d)", v, snapshotVersion)
 	}
-	if got, want := crc32.ChecksumIEEE(hdr[:176]), binary.LittleEndian.Uint32(hdr[176:]); got != want {
+	if got, want := crc32.ChecksumIEEE(hdr[:196]), binary.LittleEndian.Uint32(hdr[196:]); got != want {
 		return nil, fmt.Errorf("serve: snapshot header checksum mismatch (corrupt header)")
 	}
 
 	flags := binary.LittleEndian.Uint32(hdr[12:])
 	s := &Snapshot{
-		r: r, size: size,
+		r: r, size: size, mapped: mapped,
 		backoffBase: defaultBackoffBase,
 		backoffMax:  defaultBackoffMax,
 		now:         time.Now,
@@ -595,6 +729,10 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	} else {
 		s.meta.LastRefreshDirty = int(d)
 	}
+	s.meta.RewriteTopK = int(binary.LittleEndian.Uint32(hdr[176:]))
+	s.meta.RewriteTopN = int(binary.LittleEndian.Uint32(hdr[180:]))
+	s.meta.RewriteBidHash = binary.LittleEndian.Uint64(hdr[184:])
+	s.meta.RewriteBidFiltered = s.meta.RewriteBidHash != 0
 	stringsOff := binary.LittleEndian.Uint64(hdr[72:])
 	stringsLen := binary.LittleEndian.Uint64(hdr[80:])
 	routeOff := binary.LittleEndian.Uint64(hdr[88:])
@@ -634,13 +772,19 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	s.ads = make([]string, na)
 	s.queryID = make(map[string]int, nq)
 	s.adID = make(map[string]int, na)
+	// Intern the whole table once: every name is a substring of one
+	// backing string, so decoding costs one allocation total (not one
+	// per name) and lookups never re-touch the raw section. The copy
+	// also detaches names from mapped memory, keeping them valid past
+	// Close.
+	interned := string(strBuf)
 	pos := 0
 	readName := func() (string, error) {
 		n, used := binary.Uvarint(strBuf[pos:])
 		if used <= 0 || n > uint64(len(strBuf)) || pos+used+int(n) > len(strBuf) {
 			return "", fmt.Errorf("serve: string table truncated at byte %d", pos)
 		}
-		name := string(strBuf[pos+used : pos+used+int(n)])
+		name := interned[pos+used : pos+used+int(n)]
 		pos += used + int(n)
 		return name, nil
 	}
@@ -677,6 +821,9 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 			qCRC:   binary.LittleEndian.Uint32(dirBuf[o+32:]),
 			aCRC:   binary.LittleEndian.Uint32(dirBuf[o+36:]),
 			fp:     binary.LittleEndian.Uint64(dirBuf[o+40:]),
+			tkOff:  binary.LittleEndian.Uint64(dirBuf[o+48:]),
+			tkLen:  uint64(binary.LittleEndian.Uint32(dirBuf[o+56:])),
+			tkCRC:  binary.LittleEndian.Uint32(dirBuf[o+60:]),
 		}
 		genFP ^= s.dir[i].fp
 	}
@@ -695,16 +842,22 @@ func NewSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
 	return s, nil
 }
 
-// section reads and checksums one eagerly-loaded region. The bounds check
-// is overflow-safe: length is checked against the file size before the
-// offset is, so off+length cannot wrap.
+// section reads and checksums one eagerly-loaded region — zero-copy
+// over the mapped bytes when mapped, read into the heap otherwise. The
+// bounds check is overflow-safe: length is checked against the file
+// size before the offset is, so off+length cannot wrap.
 func (s *Snapshot) section(name string, off, length uint64, wantCRC uint32) ([]byte, error) {
 	if length > uint64(s.size) || off > uint64(s.size)-length {
 		return nil, fmt.Errorf("serve: %s [%d,+%d) extends past snapshot end (%d bytes)", name, off, length, s.size)
 	}
-	buf := make([]byte, length)
-	if _, err := s.r.ReadAt(buf, int64(off)); err != nil {
-		return nil, fmt.Errorf("serve: reading %s: %w", name, err)
+	var buf []byte
+	if s.mapped != nil {
+		buf = s.mapped[off : off+length]
+	} else {
+		buf = make([]byte, length)
+		if _, err := s.r.ReadAt(buf, int64(off)); err != nil {
+			return nil, fmt.Errorf("serve: reading %s: %w", name, err)
+		}
 	}
 	if got := crc32.ChecksumIEEE(buf); got != wantCRC {
 		return nil, fmt.Errorf("serve: %s checksum mismatch", name)
@@ -734,12 +887,47 @@ func (s *Snapshot) segmentBytes(side string, shard int, off, pairs uint64, wantC
 		}
 		return nil, nil
 	}
-	buf := make([]byte, length)
-	if _, err := s.r.ReadAt(buf, int64(off)); err != nil {
-		return nil, fmt.Errorf("serve: reading shard %d %s segment: %w", shard, side, err)
+	var buf []byte
+	if s.mapped != nil {
+		buf = s.mapped[off : off+length]
+	} else {
+		buf = make([]byte, length)
+		if _, err := s.r.ReadAt(buf, int64(off)); err != nil {
+			return nil, fmt.Errorf("serve: reading shard %d %s segment: %w", shard, side, err)
+		}
 	}
 	if got := crc32.ChecksumIEEE(buf); got != wantCRC {
 		return nil, fmt.Errorf("serve: shard %d %s segment checksum mismatch", shard, side)
+	}
+	return buf, nil
+}
+
+// topkBytes reads and checksums shard si's precomputed top-k blob —
+// zero-copy when mapped. A zero-length blob (snapshot written with the
+// section disabled) returns nil.
+func (s *Snapshot) topkBytes(si int) ([]byte, error) {
+	e := &s.dir[si]
+	if e.tkLen > uint64(s.size) || e.tkOff > uint64(s.size)-e.tkLen {
+		return nil, fmt.Errorf("serve: shard %d topk blob [%d,+%d) extends past snapshot end (%d bytes)",
+			si, e.tkOff, e.tkLen, s.size)
+	}
+	if e.tkLen == 0 {
+		if e.tkCRC != crc32.ChecksumIEEE(nil) {
+			return nil, fmt.Errorf("serve: shard %d topk blob checksum mismatch", si)
+		}
+		return nil, nil
+	}
+	var buf []byte
+	if s.mapped != nil {
+		buf = s.mapped[e.tkOff : e.tkOff+e.tkLen]
+	} else {
+		buf = make([]byte, e.tkLen)
+		if _, err := s.r.ReadAt(buf, int64(e.tkOff)); err != nil {
+			return nil, fmt.Errorf("serve: reading shard %d topk blob: %w", si, err)
+		}
+	}
+	if got := crc32.ChecksumIEEE(buf); got != e.tkCRC {
+		return nil, fmt.Errorf("serve: shard %d topk blob checksum mismatch", si)
 	}
 	return buf, nil
 }
@@ -769,27 +957,53 @@ func (s *Snapshot) recordErr(err error) {
 	s.mu.Unlock()
 }
 
-// segTable returns one side's table for shard si, loading it on first
-// use. A failed load quarantines the segment: until its backoff
-// elapses, callers get the remembered error without a disk touch; after
-// it elapses, the next touch retries — which is how a shard recovers
-// once a transient fault clears. All other shards are untouched by one
-// shard's quarantine: the daemon keeps answering for them.
-func (s *Snapshot) segTable(st *segState, side string, si int) (*sparse.PairTable, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+// segLoad materializes one segment side under st's lock, running the
+// shared quarantine state machine. A failed load quarantines the
+// segment: until its backoff elapses, callers get the remembered error
+// without a disk touch; after it elapses, the next touch retries —
+// which is how a shard recovers once a transient fault clears. All
+// other shards are untouched by one shard's quarantine: the daemon
+// keeps answering for them. Side "query"/"ad" decodes into a table
+// (heap mode) or CRC-verifies the mapped bytes in place (mmap mode);
+// side "topk" verifies and structurally validates the shard's
+// precomputed rewrite blob in either mode.
+func (s *Snapshot) segLoad(st *segState, side string, si int) error {
 	if st.loaded {
-		return st.tab, nil
+		return nil
 	}
 	if st.failures > 0 && s.now().Before(st.retryAt) {
-		return nil, &errQuarantined{shard: si, side: side, failures: st.failures, retryAt: st.retryAt, cause: st.err}
+		return &errQuarantined{shard: si, side: side, failures: st.failures, retryAt: st.retryAt, cause: st.err}
 	}
 	e := &s.dir[si]
-	off, pairs, crc := e.qOff, e.qPairs, e.qCRC
-	if side == "ad" {
-		off, pairs, crc = e.aOff, e.aPairs, e.aCRC
+	var err error
+	switch side {
+	case "topk":
+		var raw []byte
+		if raw, err = s.topkBytes(si); err == nil {
+			if err = validateTopKBlob(raw, s.meta.RewriteTopK); err != nil {
+				err = fmt.Errorf("serve: shard %d topk blob: %w", si, err)
+			} else {
+				st.raw = raw
+			}
+		}
+	default:
+		off, pairs, crc := e.qOff, e.qPairs, e.qCRC
+		if side == "ad" {
+			off, pairs, crc = e.aOff, e.aPairs, e.aCRC
+		}
+		if s.mapped != nil {
+			var raw []byte
+			if raw, err = s.segmentBytes(side, si, off, pairs, crc); err == nil {
+				st.raw = raw
+				st.byJ = buildScatterIndex(raw)
+			}
+		} else {
+			var tab *sparse.PairTable
+			if tab, err = s.loadSegment(side, si, off, pairs, crc); err == nil {
+				st.tab = tab
+			}
+		}
 	}
-	tab, err := s.loadSegment(side, si, off, pairs, crc)
 	if err != nil {
 		st.failures++
 		st.err = err
@@ -801,12 +1015,41 @@ func (s *Snapshot) segTable(st *segState, side string, si int) (*sparse.PairTabl
 		backoff = half + time.Duration(s.jitter()*float64(backoff-half))
 		st.retryAt = s.now().Add(backoff)
 		s.recordErr(err)
+		return err
+	}
+	st.loaded = true
+	st.failures, st.err = 0, nil
+	st.ready.Store(true)
+	s.loaded.Add(1)
+	return nil
+}
+
+// segTable returns one side's decoded table for shard si (heap mode),
+// loading it on first use.
+func (s *Snapshot) segTable(st *segState, side string, si int) (*sparse.PairTable, error) {
+	if st.ready.Load() {
+		return st.tab, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := s.segLoad(st, side, si); err != nil {
 		return nil, err
 	}
-	st.tab, st.loaded = tab, true
-	st.failures, st.err = 0, nil
-	s.loaded.Add(1)
-	return tab, nil
+	return st.tab, nil
+}
+
+// segRawView returns one side's verified raw segment view (mmap mode),
+// loading it on first use.
+func (s *Snapshot) segRawView(st *segState, side string, si int) (segView, error) {
+	if st.ready.Load() {
+		return segView{b: st.raw, byJ: st.byJ}, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := s.segLoad(st, side, si); err != nil {
+		return segView{}, err
+	}
+	return segView{b: st.raw, byJ: st.byJ}, nil
 }
 
 // queryTable returns shard si's query-side table, loading it on first use.
@@ -819,6 +1062,36 @@ func (s *Snapshot) adTable(si int) (*sparse.PairTable, error) {
 	return s.segTable(&s.shards[si].a, "ad", si)
 }
 
+// queryView and adView are the mmap-mode twins of queryTable/adTable:
+// CRC-verified in-place views searched without decoding.
+func (s *Snapshot) queryView(si int) (segView, error) {
+	return s.segRawView(&s.shards[si].q, "query", si)
+}
+
+func (s *Snapshot) adView(si int) (segView, error) {
+	return s.segRawView(&s.shards[si].a, "ad", si)
+}
+
+// topkBlob returns shard si's verified precomputed rewrite blob (either
+// mode), loading it on first use; nil when the snapshot carries no
+// section.
+func (s *Snapshot) topkBlob(si int) ([]byte, error) {
+	st := &s.shards[si].tk
+	if st.ready.Load() {
+		return st.raw, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := s.segLoad(st, "topk", si); err != nil {
+		return nil, err
+	}
+	return st.raw, nil
+}
+
+// Mmapped reports whether lookups run zero-copy over a memory-mapped
+// snapshot (the /stats `mmap` field).
+func (s *Snapshot) Mmapped() bool { return s.mapped != nil }
+
 // Quarantined reports every score segment currently in quarantine — a
 // past load failed and no retry has succeeded since. Empty means fully
 // healthy (or untouched: lazily-loaded segments that were never read
@@ -826,10 +1099,10 @@ func (s *Snapshot) adTable(si int) (*sparse.PairTable, error) {
 func (s *Snapshot) Quarantined() []ShardHealth {
 	var out []ShardHealth
 	for i := range s.shards {
-		for _, side := range [2]struct {
+		for _, side := range [3]struct {
 			name string
 			st   *segState
-		}{{"query", &s.shards[i].q}, {"ad", &s.shards[i].a}} {
+		}{{"query", &s.shards[i].q}, {"ad", &s.shards[i].a}, {"topk", &s.shards[i].tk}} {
 			side.st.mu.Lock()
 			if !side.st.loaded && side.st.failures > 0 {
 				out = append(out, ShardHealth{
@@ -886,26 +1159,48 @@ func (s *Snapshot) Err() error {
 // concurrently with lazy loads (stats endpoint vs cold queries).
 func (s *Snapshot) LoadedSegments() int { return int(s.loaded.Load()) }
 
-// PreloadAll materializes and verifies every score segment, returning the
-// first failure. Use it to validate a snapshot end to end.
+// PreloadAll materializes and verifies every score segment and top-k
+// blob, returning the first failure. Use it to validate a snapshot end
+// to end.
 func (s *Snapshot) PreloadAll() error {
 	for i := range s.shards {
-		if _, err := s.queryTable(i); err != nil {
-			return err
+		if s.mapped != nil {
+			if _, err := s.queryView(i); err != nil {
+				return err
+			}
+			if _, err := s.adView(i); err != nil {
+				return err
+			}
+		} else {
+			if _, err := s.queryTable(i); err != nil {
+				return err
+			}
+			if _, err := s.adTable(i); err != nil {
+				return err
+			}
 		}
-		if _, err := s.adTable(i); err != nil {
+		if _, err := s.topkBlob(i); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Close releases the underlying file, when file-backed.
+// Close unmaps the snapshot (when mapped) and releases the underlying
+// file (when file-backed). Lookups must not race with Close: views
+// handed out by a mapped snapshot alias the mapping.
 func (s *Snapshot) Close() error {
-	if s.closer != nil {
-		return s.closer.Close()
+	var err error
+	if s.mapped != nil {
+		err = munmapFile(s.mapped)
+		s.mapped = nil
 	}
-	return nil
+	if s.closer != nil {
+		if cerr := s.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // NumQueries implements ScoreIndex.
@@ -934,7 +1229,7 @@ func (s *Snapshot) AdID(name string) (int, bool) {
 
 // QuerySim implements ScoreIndex: 1 on the diagonal, 0 across shards
 // (sharded runs never score cross-shard pairs), the stored score within
-// one.
+// one. Mapped snapshots binary-search the segment bytes in place.
 func (s *Snapshot) QuerySim(q1, q2 int) float64 {
 	if q1 == q2 {
 		return 1
@@ -942,7 +1237,16 @@ func (s *Snapshot) QuerySim(q1, q2 int) float64 {
 	if s.qRoute[q1] != s.qRoute[q2] {
 		return 0
 	}
-	t, err := s.queryTable(int(s.qRoute[q1]))
+	si := int(s.qRoute[q1])
+	if s.mapped != nil {
+		v, err := s.queryView(si)
+		if err != nil {
+			return 0
+		}
+		score, _ := v.find(q1, q2)
+		return score
+	}
+	t, err := s.queryTable(si)
 	if err != nil {
 		return 0
 	}
@@ -958,7 +1262,16 @@ func (s *Snapshot) AdSim(a1, a2 int) float64 {
 	if s.aRoute[a1] != s.aRoute[a2] {
 		return 0
 	}
-	t, err := s.adTable(int(s.aRoute[a1]))
+	si := int(s.aRoute[a1])
+	if s.mapped != nil {
+		v, err := s.adView(si)
+		if err != nil {
+			return 0
+		}
+		score, _ := v.find(a1, a2)
+		return score
+	}
+	t, err := s.adTable(si)
 	if err != nil {
 		return 0
 	}
@@ -966,15 +1279,35 @@ func (s *Snapshot) AdSim(a1, a2 int) float64 {
 	return v
 }
 
+// topRewrites is TopRewrites returning load errors: the shared core of
+// the ScoreIndex surface and the deadline-aware variant.
+func (s *Snapshot) topRewrites(q, k int) ([]sparse.Scored, error) {
+	si := int(s.qRoute[q])
+	if s.mapped != nil {
+		v, err := s.queryView(si)
+		if err != nil {
+			return nil, err
+		}
+		return v.topKFor(q, k), nil
+	}
+	t, err := s.queryTable(si)
+	if err != nil {
+		return nil, err
+	}
+	t.EnsureIndex()
+	return t.TopKFor(q, k), nil
+}
+
 // TopRewrites implements ScoreIndex: it routes q to its shard's query
-// segment and answers from that segment's partner index alone.
+// segment and answers from that segment alone — the decoded partner
+// index in heap mode, an in-place scan of the mapped bytes in mmap
+// mode (identical ranking either way; the differential tests pin it).
 func (s *Snapshot) TopRewrites(q, k int) []sparse.Scored {
-	t, err := s.queryTable(int(s.qRoute[q]))
+	out, err := s.topRewrites(q, k)
 	if err != nil {
 		return nil
 	}
-	t.EnsureIndex()
-	return t.TopKFor(q, k)
+	return out
 }
 
 // TopRewritesContext is TopRewrites under a request deadline: an
@@ -985,20 +1318,27 @@ func (s *Snapshot) TopRewritesContext(ctx context.Context, q, k int) ([]sparse.S
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t, err := s.queryTable(int(s.qRoute[q]))
+	out, err := s.topRewrites(q, k)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t.EnsureIndex()
-	return t.TopKFor(q, k), nil
+	return out, nil
 }
 
 // TopSimilarAds implements ScoreIndex.
 func (s *Snapshot) TopSimilarAds(a, k int) []sparse.Scored {
-	t, err := s.adTable(int(s.aRoute[a]))
+	si := int(s.aRoute[a])
+	if s.mapped != nil {
+		v, err := s.adView(si)
+		if err != nil {
+			return nil
+		}
+		return v.topKFor(a, k)
+	}
+	t, err := s.adTable(si)
 	if err != nil {
 		return nil
 	}

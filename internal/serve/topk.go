@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"simrankpp/internal/rewrite"
+	"simrankpp/internal/sparse"
+)
+
+// The precomputed top-k rewrite section: at save/refresh time the full
+// §9.3 pipeline (top-100 candidate pool, stem dedup, bid-term filter)
+// runs once per stored query and its surviving rewrites land in the
+// snapshot, so /rewrite becomes a single in-place list lookup instead
+// of per-candidate scoring. The lists are the pipeline's bytes by
+// construction — the same rewrite.Pipeline code filters them here and
+// at serve time, fed by the same sorted candidate ranking — so a server
+// whose effective parameters match the header's (depth within k,
+// identical candidate-pool size, identical bid-term set) answers
+// byte-identically from the section or the live pipeline.
+//
+// Per-shard blob layout (all integers little-endian, offsets relative
+// to the blob start, ids global — both properties are what make a blob
+// position-independent, so RefreshSnapshot byte-copies clean shards'
+// blobs exactly like score segments):
+//
+//	u32 entry count n
+//	n × (u32 query id ascending, u32 list offset, u32 list length)
+//	list records: (u32 rewrite query id, float64 score)
+//
+// Every query routed to the shard gets an entry (length 0 allowed), so
+// a missing entry is a structural fault, never an empty answer.
+
+// DefaultRewriteTopK is the list depth WriteSnapshot records when the
+// caller does not choose one (the simrank CLI's -rewrite-topk default):
+// deep enough for the paper's top-5 serving depth plus headroom for
+// operators raising -top, shallow enough to stay a rounding error next
+// to the score segments.
+const DefaultRewriteTopK = 16
+
+// TopKOptions configures the precomputed rewrite section.
+type TopKOptions struct {
+	// K is the stored list depth; 0 disables the section.
+	K int
+	// BidTerms is the bid-term filter the lists are built under — it
+	// must match the serving daemon's -bids set (compared by hash) for
+	// the section to be served.
+	BidTerms map[string]bool
+}
+
+// DefaultTopKOptions is the configuration WriteSnapshot uses: default
+// depth, no bid filtering.
+func DefaultTopKOptions() TopKOptions { return TopKOptions{K: DefaultRewriteTopK} }
+
+// meta derives the header parameters: the candidate pool mirrors the
+// serving pipeline's TopN growth (100, grown to K when K exceeds it).
+func (o TopKOptions) meta() topkMeta {
+	if o.K <= 0 {
+		return topkMeta{}
+	}
+	topN := o.K
+	if topN < 100 {
+		topN = 100
+	}
+	return topkMeta{k: uint32(o.K), topN: uint32(topN), bidHash: BidTermsHash(o.BidTerms)}
+}
+
+// BidTermsHash is an order-independent identity for a bid-term set: 0
+// for nil (no filtering), and for any non-nil set the FNV-64a offset
+// basis XORed with each term's hash — so an empty non-nil set (filter
+// everything) still differs from no filter at all.
+func BidTermsHash(terms map[string]bool) uint64 {
+	if terms == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	acc := h.Sum64() // offset basis
+	for t, ok := range terms {
+		if !ok {
+			continue
+		}
+		h.Reset()
+		h.Write([]byte(t))
+		acc ^= h.Sum64()
+	}
+	return acc
+}
+
+// topkSliceSource feeds a prebuilt ranked candidate list through the
+// real rewrite.Pipeline — literally the serving filter code running at
+// build time, which is what guarantees stored lists match live answers
+// byte for byte.
+type topkSliceSource struct {
+	list []sparse.Scored
+}
+
+func (s *topkSliceSource) Name() string { return "topk-build" }
+
+func (s *topkSliceSource) Rewrites(_ int, limit int) ([]sparse.Scored, error) {
+	if limit < 0 || limit > len(s.list) {
+		limit = len(s.list)
+	}
+	return s.list[:limit], nil
+}
+
+// buildTopKBlob builds one shard's blob from its encoded query segment:
+// decode partner lists in one pass, rank them exactly as
+// PairTable.TopKFor would, and filter each query's ranking through the
+// pipeline at depth k. qIDs is the shard's global query ids (nil =
+// identity shard covering every query).
+func buildTopKBlob(qSeg []byte, qIDs []int, names nodeNames, tk topkMeta, bids map[string]bool) ([]byte, error) {
+	if tk.k == 0 {
+		return nil, nil
+	}
+	var ids []int
+	if qIDs != nil {
+		ids = append([]int(nil), qIDs...)
+		sort.Ints(ids)
+	} else {
+		ids = make([]int, names.NumQueries())
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	partners := make(map[int][]sparse.Scored)
+	for o := 0; o+pairRecordSize <= len(qSeg); o += pairRecordSize {
+		i := int(binary.LittleEndian.Uint32(qSeg[o:]))
+		j := int(binary.LittleEndian.Uint32(qSeg[o+4:]))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(qSeg[o+8:]))
+		partners[i] = append(partners[i], sparse.Scored{Node: j, Score: v})
+		partners[j] = append(partners[j], sparse.Scored{Node: i, Score: v})
+	}
+
+	pipe := rewrite.NewPipeline(names, bids)
+	pipe.MaxRewrites = int(tk.k)
+	pipe.TopN = int(tk.topN)
+	src := &topkSliceSource{}
+
+	entries := make([]byte, 4+len(ids)*topkEntrySize)
+	binary.LittleEndian.PutUint32(entries, uint32(len(ids)))
+	var lists []byte
+	listsBase := len(entries)
+	for e, qid := range ids {
+		if uint64(qid) > math.MaxUint32 {
+			return nil, fmt.Errorf("serve: query id %d overflows the topk entry", qid)
+		}
+		ranked := partners[qid]
+		sparse.SortScoredDesc(ranked)
+		src.list = ranked
+		cands, err := pipe.Rewrite(src, qid)
+		if err != nil {
+			return nil, fmt.Errorf("serve: building topk list for query %d: %w", qid, err)
+		}
+		o := 4 + e*topkEntrySize
+		binary.LittleEndian.PutUint32(entries[o:], uint32(qid))
+		binary.LittleEndian.PutUint32(entries[o+4:], uint32(listsBase+len(lists)))
+		binary.LittleEndian.PutUint32(entries[o+8:], uint32(len(cands)))
+		for _, c := range cands {
+			var rec [topkRecSize]byte
+			binary.LittleEndian.PutUint32(rec[:], uint32(c.Query))
+			binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(c.Score))
+			lists = append(lists, rec[:]...)
+		}
+	}
+	return append(entries, lists...), nil
+}
+
+// fillTopKBlobs builds the given payload indices' blobs from their
+// already-encoded query segments, one builder per shard on a bounded
+// pool — the topk twin of encodePayloads, shared by WriteSnapshot
+// (every shard) and the refresh paths (dirty shards only).
+func fillTopKBlobs(payloads []shardPayload, idx []int, names nodeNames, tk topkMeta, bids map[string]bool) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				blob, err := buildTopKBlob(payloads[i].qSeg, payloads[i].qIDs, names, tk, bids)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				payloads[i].tkBlob = blob
+				payloads[i].tkCRC = crc32.ChecksumIEEE(blob)
+			}
+		}()
+	}
+	for _, i := range idx {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// validateTopKBlob structurally checks one CRC-verified blob on first
+// touch: bounded entry table, ids ascending, list lengths within k,
+// every list inside the blob. A nil blob (section disabled) is valid.
+func validateTopKBlob(b []byte, k int) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if k <= 0 {
+		return fmt.Errorf("topk blob present but header records no section")
+	}
+	if len(b) < 4 {
+		return fmt.Errorf("topk blob truncated (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	entriesEnd := 4 + uint64(n)*topkEntrySize
+	if entriesEnd > uint64(len(b)) {
+		return fmt.Errorf("topk blob claims %d entries, more than its %d bytes hold", n, len(b))
+	}
+	prev := int64(-1)
+	for e := 0; e < int(n); e++ {
+		o := 4 + e*topkEntrySize
+		qid := binary.LittleEndian.Uint32(b[o:])
+		off := uint64(binary.LittleEndian.Uint32(b[o+4:]))
+		cnt := uint64(binary.LittleEndian.Uint32(b[o+8:]))
+		if int64(qid) <= prev {
+			return fmt.Errorf("topk entries out of order at %d", e)
+		}
+		prev = int64(qid)
+		if cnt > uint64(k) {
+			return fmt.Errorf("topk list for query %d holds %d rewrites, past depth %d", qid, cnt, k)
+		}
+		if off < entriesEnd || off+cnt*topkRecSize > uint64(len(b)) {
+			return fmt.Errorf("topk list for query %d [%d,+%d recs) outside the blob", qid, off, cnt)
+		}
+	}
+	return nil
+}
+
+// RewriteSectionUsable reports whether the snapshot's precomputed
+// section can answer a /rewrite request at depth top under the bid-term
+// set identified by bidHash, byte-identically to the live pipeline: the
+// depth must be within the stored k, the bid sets must match, and the
+// server's effective candidate pool (max(100, top), mirroring the
+// pipeline's TopN growth) must equal the pool the lists were filtered
+// from — a differing pool could admit different survivors, so the
+// server falls back to live scoring instead of guessing.
+func (s *Snapshot) RewriteSectionUsable(top int, bidHash uint64) bool {
+	k := s.meta.RewriteTopK
+	if k <= 0 || top <= 0 || top > k {
+		return false
+	}
+	if s.meta.RewriteBidHash != bidHash {
+		return false
+	}
+	pool := top
+	if pool < 100 {
+		pool = 100
+	}
+	return pool == s.meta.RewriteTopN
+}
+
+// PrecomputedRewrites answers query q at depth top from the snapshot's
+// top-k section: one route lookup, one (lazily verified) blob, one
+// binary search, one bounded copy. The boolean is false — caller falls
+// back to the pipeline — when the section is absent or too shallow, the
+// blob is quarantined, or q has no entry. Callers must check
+// RewriteSectionUsable first for byte-identity with live answers.
+func (s *Snapshot) PrecomputedRewrites(q, top int) ([]sparse.Scored, bool) {
+	if s.meta.RewriteTopK == 0 || top < 0 || top > s.meta.RewriteTopK || q < 0 || q >= len(s.qRoute) {
+		return nil, false
+	}
+	blob, err := s.topkBlob(int(s.qRoute[q]))
+	if err != nil || len(blob) == 0 {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	e := sort.Search(n, func(e int) bool {
+		return binary.LittleEndian.Uint32(blob[4+e*topkEntrySize:]) >= uint32(q)
+	})
+	if e == n || binary.LittleEndian.Uint32(blob[4+e*topkEntrySize:]) != uint32(q) {
+		return nil, false
+	}
+	o := 4 + e*topkEntrySize
+	off := int(binary.LittleEndian.Uint32(blob[o+4:]))
+	cnt := int(binary.LittleEndian.Uint32(blob[o+8:]))
+	if cnt > top {
+		cnt = top
+	}
+	if cnt == 0 {
+		return nil, true
+	}
+	out := make([]sparse.Scored, cnt)
+	for r := 0; r < cnt; r++ {
+		ro := off + r*topkRecSize
+		out[r] = sparse.Scored{
+			Node:  int(binary.LittleEndian.Uint32(blob[ro:])),
+			Score: math.Float64frombits(binary.LittleEndian.Uint64(blob[ro+4:])),
+		}
+	}
+	return out, true
+}

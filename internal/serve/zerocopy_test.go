@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/sparse"
+)
+
+// This file pins the zero-copy serving tentpole: the mmap path answers
+// bit-identically to the heap path at every layer (raw lookups, segView
+// vs PairTable, HTTP bodies), the precomputed top-k section answers
+// byte-identically to the live pipeline (including through a refresh
+// that byte-copies clean shards' lists), and the section degrades to the
+// pipeline — never to an error — when its blob is corrupt or its
+// parameters don't match.
+
+// writeTopKFile runs g sharded and persists it with a top-k section.
+func writeTopKFile(t *testing.T, g *clickgraph.Graph, opts TopKOptions) (string, *core.Result) {
+	t.Helper()
+	plan := partition.ComponentPlan(g)
+	cfg := core.DefaultConfig().WithVariant(core.Weighted)
+	cfg.PruneEpsilon = 1e-6
+	res, err := core.RunSharded(g, cfg, plan, core.ShardOptions{Workers: 3, RetainShardScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "zc.snap")
+	if err := WriteSnapshotFileTopK(path, res, opts); err != nil {
+		t.Fatalf("WriteSnapshotFileTopK: %v", err)
+	}
+	return path, res
+}
+
+// openBoth opens path on the mmap and heap paths, skipping the test on
+// platforms where mmap is unavailable.
+func openBoth(t *testing.T, path string) (*Snapshot, *Snapshot) {
+	t.Helper()
+	mm, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	t.Cleanup(func() { mm.Close() })
+	if !mm.Mmapped() {
+		t.Skip("mmap unavailable on this platform; heap fallback already covered elsewhere")
+	}
+	hp, err := OpenSnapshotHeap(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshotHeap: %v", err)
+	}
+	t.Cleanup(func() { hp.Close() })
+	if hp.Mmapped() {
+		t.Fatal("OpenSnapshotHeap returned a mapped snapshot")
+	}
+	return mm, hp
+}
+
+// TestMmapHeapDifferential is the tentpole's core guarantee: every
+// lookup the serving surface offers answers identically from the mapped
+// bytes and from the decoded heap tables.
+func TestMmapHeapDifferential(t *testing.T) {
+	g := testGraph(t)
+	path, res := writeTopKFile(t, g, TopKOptions{K: DefaultRewriteTopK})
+	mm, hp := openBoth(t, path)
+
+	for q := 0; q < g.NumQueries(); q++ {
+		for _, k := range []int{-1, 0, 1, 3} {
+			if got, want := mm.TopRewrites(q, k), hp.TopRewrites(q, k); !scoredEqual(got, want) {
+				t.Fatalf("TopRewrites(%d,%d): mmap %v, heap %v", q, k, got, want)
+			}
+		}
+		if got, want := mm.TopRewrites(q, -1), res.TopRewrites(q, -1); !scoredEqual(got, want) {
+			t.Fatalf("TopRewrites(%d): mmap %v, live %v", q, got, want)
+		}
+		for q2 := q; q2 < g.NumQueries(); q2++ {
+			if got, want := mm.QuerySim(q, q2), hp.QuerySim(q, q2); got != want {
+				t.Fatalf("QuerySim(%d,%d): mmap %v, heap %v", q, q2, got, want)
+			}
+		}
+		pm, okm := mm.PrecomputedRewrites(q, 5)
+		ph, okh := hp.PrecomputedRewrites(q, 5)
+		if okm != okh || !scoredEqual(pm, ph) {
+			t.Fatalf("PrecomputedRewrites(%d): mmap %v,%v heap %v,%v", q, pm, okm, ph, okh)
+		}
+	}
+	for a := 0; a < g.NumAds(); a++ {
+		if got, want := mm.TopSimilarAds(a, -1), hp.TopSimilarAds(a, -1); !scoredEqual(got, want) {
+			t.Fatalf("TopSimilarAds(%d): mmap %v, heap %v", a, got, want)
+		}
+		for a2 := a; a2 < g.NumAds(); a2++ {
+			if got, want := mm.AdSim(a, a2), hp.AdSim(a, a2); got != want {
+				t.Fatalf("AdSim(%d,%d): mmap %v, heap %v", a, a2, got, want)
+			}
+		}
+	}
+}
+
+// serverOver wraps snap in a Server with the cache off (every request
+// exercises the lookup path, not the LRU).
+func serverOver(snap *Snapshot, mutate func(*Config)) *Server {
+	cfg := DefaultServerConfig()
+	cfg.CacheSize = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewServer(snap, cfg)
+}
+
+// TestMmapHeapResponsesByteIdentical lifts the differential to the HTTP
+// layer: /rewrite and /similar bodies are byte-equal across the two
+// paths for every query and ad in the fixture.
+func TestMmapHeapResponsesByteIdentical(t *testing.T) {
+	g := testGraph(t)
+	path, _ := writeTopKFile(t, g, TopKOptions{K: DefaultRewriteTopK})
+	mm, hp := openBoth(t, path)
+	hm, hh := serverOver(mm, nil).Handler(), serverOver(hp, nil).Handler()
+
+	urls := make([]string, 0, 2*g.NumQueries()+g.NumAds())
+	for q := 0; q < g.NumQueries(); q++ {
+		urls = append(urls,
+			"/rewrite?q="+g.Query(q)+"&top=3",
+			"/similar?q="+g.Query(q)+"&top=4")
+	}
+	for a := 0; a < g.NumAds(); a++ {
+		urls = append(urls, "/similar?ad="+g.Ad(a)+"&top=4")
+	}
+	urls = append(urls, "/rewrite?q=absent-query", "/similar?q=absent-query")
+	for _, u := range urls {
+		mc, mb := get(t, hm, u)
+		hc, hb := get(t, hh, u)
+		if mc != hc || !bytes.Equal(mb, hb) {
+			t.Fatalf("GET %s: mmap %d %q, heap %d %q", u, mc, mb, hc, hb)
+		}
+	}
+}
+
+// TestPrecomputedMatchesPipeline pins the fast-path contract: with a
+// usable section, /rewrite answers are byte-identical whether they come
+// from the precomputed lists or the live pipeline, at every depth the
+// section covers — with and without a bid-term filter.
+func TestPrecomputedMatchesPipeline(t *testing.T) {
+	g := testGraph(t)
+	bids := map[string]bool{}
+	for q := 0; q < g.NumQueries(); q += 3 {
+		bids[g.Query(q)] = true
+	}
+	for _, tc := range []struct {
+		name string
+		bids map[string]bool
+	}{{"unfiltered", nil}, {"bid-filtered", bids}} {
+		t.Run(tc.name, func(t *testing.T) {
+			path, _ := writeTopKFile(t, g, TopKOptions{K: 4, BidTerms: tc.bids})
+			mm, err := OpenSnapshot(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mm.Close()
+			if mm.Meta().RewriteTopK != 4 {
+				t.Fatalf("RewriteTopK = %d, want 4", mm.Meta().RewriteTopK)
+			}
+			fast := serverOver(mm, func(c *Config) { c.BidTerms = tc.bids }).Handler()
+			slow := serverOver(mm, func(c *Config) { c.BidTerms = tc.bids; c.DisablePrecomputed = true }).Handler()
+			for q := 0; q < g.NumQueries(); q++ {
+				for top := 1; top <= 4; top++ {
+					u := fmt.Sprintf("/rewrite?q=%s&top=%d", g.Query(q), top)
+					fc, fb := get(t, fast, u)
+					sc, sb := get(t, slow, u)
+					if fc != sc || !bytes.Equal(fb, sb) {
+						t.Fatalf("GET %s: precomputed %d %q, pipeline %d %q", u, fc, fb, sc, sb)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrecomputedFallsBackPastSectionDepth: a top beyond the stored k
+// cannot use the section; the server must transparently run the
+// pipeline, not truncate.
+func TestPrecomputedFallsBackPastSectionDepth(t *testing.T) {
+	g := testGraph(t)
+	path, _ := writeTopKFile(t, g, TopKOptions{K: 2})
+	mm, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	if mm.RewriteSectionUsable(2, 0) != true || mm.RewriteSectionUsable(3, 0) != false {
+		t.Fatalf("RewriteSectionUsable depth gating broken: k=2 got usable(2)=%v usable(3)=%v",
+			mm.RewriteSectionUsable(2, 0), mm.RewriteSectionUsable(3, 0))
+	}
+	fast := serverOver(mm, nil).Handler()
+	slow := serverOver(mm, func(c *Config) { c.DisablePrecomputed = true }).Handler()
+	for q := 0; q < g.NumQueries(); q++ {
+		u := "/rewrite?q=" + g.Query(q) + "&top=5" // beyond k=2 → pipeline
+		fc, fb := get(t, fast, u)
+		sc, sb := get(t, slow, u)
+		if fc != sc || !bytes.Equal(fb, sb) {
+			t.Fatalf("GET %s: section-open server %d %q, pipeline server %d %q", u, fc, fb, sc, sb)
+		}
+	}
+}
+
+// TestPrecomputedBidHashMismatch: a server running a different bid set
+// than the section was built under must not serve the section.
+func TestPrecomputedBidHashMismatch(t *testing.T) {
+	g := testGraph(t)
+	builtBids := map[string]bool{g.Query(0): true, g.Query(1): true}
+	servedBids := map[string]bool{g.Query(2): true}
+	path, _ := writeTopKFile(t, g, TopKOptions{K: 4, BidTerms: builtBids})
+	mm, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	if mm.RewriteSectionUsable(3, BidTermsHash(servedBids)) {
+		t.Fatal("section built under one bid set usable under another")
+	}
+	// The mismatched server still answers correctly — via the pipeline.
+	mis := serverOver(mm, func(c *Config) { c.BidTerms = servedBids }).Handler()
+	pipe := serverOver(mm, func(c *Config) { c.BidTerms = servedBids; c.DisablePrecomputed = true }).Handler()
+	for q := 0; q < g.NumQueries(); q++ {
+		u := "/rewrite?q=" + g.Query(q) + "&top=3"
+		mc, mb := get(t, mis, u)
+		pc, pb := get(t, pipe, u)
+		if mc != pc || !bytes.Equal(mb, pb) {
+			t.Fatalf("GET %s: mismatched-bids server %d %q, pipeline %d %q", u, mc, mb, pc, pb)
+		}
+	}
+}
+
+// TestRefreshPreservesPrecomputedIdentity runs a real churn step over a
+// snapshot carrying a section — clean shards' lists are byte-copied,
+// dirty shards' rebuilt — and pins that the refreshed snapshot still
+// answers /rewrite byte-identically to the live pipeline for every
+// query, clean and dirty alike.
+func TestRefreshPreservesPrecomputedIdentity(t *testing.T) {
+	bids := map[string]bool{}
+	g0 := refreshGraph(t, [4]int{1, 2, 3, 4})
+	for q := 0; q < g0.NumQueries(); q += 2 {
+		bids[g0.Query(q)] = true
+	}
+	plan := partition.ComponentPlan(g0)
+	cfg := refreshCfg()
+	res0, err := core.RunSharded(g0, cfg, plan, core.ShardOptions{Workers: 3, RetainShardScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf0 bytes.Buffer
+	if err := WriteSnapshotTopK(&buf0, res0, TopKOptions{K: 5, BidTerms: bids}); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := NewSnapshot(bytes.NewReader(buf0.Bytes()), int64(buf0.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prev.Close()
+
+	// Churn cluster 2 and refresh.
+	g1 := refreshGraph(t, [4]int{1, 2, 9, 4})
+	res1, diff, err := RunRefresh(g1, prev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyCount := 0
+	for _, d := range diff.Dirty {
+		if d {
+			dirtyCount++
+		}
+	}
+	if dirtyCount == 0 || dirtyCount == len(diff.Dirty) {
+		t.Fatalf("fixture produced %d/%d dirty shards; want a mix", dirtyCount, len(diff.Dirty))
+	}
+	var buf1 bytes.Buffer
+	if _, err := RefreshSnapshot(&buf1, prev, res1, diff.Dirty, bids); err != nil {
+		t.Fatalf("RefreshSnapshot: %v", err)
+	}
+	// Write to disk so the refreshed generation serves from the mmap path.
+	path := filepath.Join(t.TempDir(), "refreshed.snap")
+	if err := os.WriteFile(path, buf1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	next, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer next.Close()
+	if next.Meta().RewriteTopK != 5 || next.Meta().RewriteBidHash != BidTermsHash(bids) {
+		t.Fatalf("refreshed section meta = k%d hash %x, want k5 hash %x",
+			next.Meta().RewriteTopK, next.Meta().RewriteBidHash, BidTermsHash(bids))
+	}
+	fast := serverOver(next, func(c *Config) { c.BidTerms = bids }).Handler()
+	slow := serverOver(next, func(c *Config) { c.BidTerms = bids; c.DisablePrecomputed = true }).Handler()
+	for q := 0; q < g1.NumQueries(); q++ {
+		u := "/rewrite?q=" + g1.Query(q) + "&top=5"
+		fc, fb := get(t, fast, u)
+		sc, sb := get(t, slow, u)
+		if fc != sc || !bytes.Equal(fb, sb) {
+			t.Fatalf("after refresh, GET %s: precomputed %d %q, pipeline %d %q", u, fc, fb, sc, sb)
+		}
+	}
+
+	// A refresh under a different bid set than the section was built
+	// with must refuse — silently rebuilding only dirty lists would mix
+	// filter regimes across shards.
+	other := map[string]bool{g1.Query(1): true}
+	if _, err := RefreshSnapshot(&bytes.Buffer{}, prev, res1, diff.Dirty, other); err == nil {
+		t.Fatal("RefreshSnapshot accepted a bid set differing from the section's")
+	}
+}
+
+// makeSegBytes packs (i, j, score) records in the snapshot's segment
+// layout. Records must already be sorted ascending by (i, j) with i < j.
+func makeSegBytes(t *testing.T, recs [][3]float64) []byte {
+	t.Helper()
+	b := make([]byte, 0, len(recs)*pairRecordSize)
+	for _, r := range recs {
+		var rec [pairRecordSize]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(r[0]))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(r[1]))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(r[2]))
+		b = append(b, rec[:]...)
+	}
+	return b
+}
+
+// TestSegViewBoundaries pins the in-place search on the awkward shapes:
+// empty segment, single pair, first and last record of a segment, a
+// node with partners in both the scattered and contiguous regions, and
+// absent nodes — each cross-checked against a PairTable holding the
+// same pairs (the heap path's data structure).
+func TestSegViewBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		recs [][3]float64 // sorted (i, j, score), i < j
+	}{
+		{"empty", nil},
+		{"single-pair", [][3]float64{{2, 7, 0.5}}},
+		{"two-pairs-shared-node", [][3]float64{{1, 3, 0.4}, {3, 9, 0.7}}},
+		{"ties-and-regions", [][3]float64{
+			{0, 1, 0.9}, {0, 5, 0.3}, {1, 5, 0.3}, {2, 5, 0.8}, {2, 6, 0.1}, {5, 9, 0.3},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := makeSegBytes(t, tc.recs)
+			v := segView{b: raw, byJ: buildScatterIndex(raw)}
+			tab := sparse.NewPairTable(16)
+			maxNode := 0
+			for _, r := range tc.recs {
+				tab.Set(int(r[0]), int(r[1]), r[2])
+				if int(r[1]) > maxNode {
+					maxNode = int(r[1])
+				}
+			}
+			tab.EnsureIndex()
+			if v.pairs() != len(tc.recs) {
+				t.Fatalf("pairs() = %d, want %d", v.pairs(), len(tc.recs))
+			}
+			for node := 0; node <= maxNode+1; node++ {
+				for _, k := range []int{-1, 0, 1, 2, len(tc.recs) + 1} {
+					got, want := v.topKFor(node, k), tab.TopKFor(node, k)
+					if len(want) == 0 {
+						want = nil
+					}
+					if !scoredEqual(got, want) {
+						t.Errorf("topKFor(%d,%d) = %v, PairTable %v", node, k, got, want)
+					}
+				}
+				for other := 0; other <= maxNode+1; other++ {
+					gs, gok := v.find(node, other)
+					ws, wok := tab.Get(node, other)
+					if node == other {
+						// find treats the diagonal as absent; PairTable
+						// never stores it either.
+						ws, wok = 0, false
+					}
+					if gs != ws || gok != wok {
+						t.Errorf("find(%d,%d) = %v,%v, PairTable %v,%v", node, other, gs, gok, ws, wok)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryIDZeroAlloc pins the string-interning satellite: resolving a
+// query or ad name on a warm snapshot — hit or miss — allocates nothing
+// on either path.
+func TestQueryIDZeroAlloc(t *testing.T) {
+	g := testGraph(t)
+	path, _ := writeTopKFile(t, g, TopKOptions{K: 2})
+	mm, hp := openBoth(t, path)
+	hit, miss := g.Query(0), "no such query"
+	for name, snap := range map[string]*Snapshot{"mmap": mm, "heap": hp} {
+		if n := testing.AllocsPerRun(200, func() {
+			if _, ok := snap.QueryID(hit); !ok {
+				t.Fatal("hit lookup failed")
+			}
+			if _, ok := snap.QueryID(miss); ok {
+				t.Fatal("miss lookup hit")
+			}
+			snap.AdID(hit)
+		}); n != 0 {
+			t.Errorf("%s: QueryID/AdID allocated %.1f per run, want 0", name, n)
+		}
+	}
+}
+
+// TestTopKBlobCorruptionFallsBack pins the quarantine semantics of the
+// new section: a corrupt top-k blob quarantines only the "topk" side —
+// /rewrite transparently falls back to the pipeline with correct
+// answers, and /readyz reports degraded, never unready, because scoring
+// segments are intact.
+func TestTopKBlobCorruptionFallsBack(t *testing.T) {
+	g := testGraph(t)
+	path, _ := writeTopKFile(t, g, TopKOptions{K: 4})
+	probe, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the blob of the shard serving query 0 and flip one byte.
+	si := int(probe.qRoute[0])
+	off, ln := probe.dir[si].tkOff, probe.dir[si].tkLen
+	probe.Close()
+	if ln == 0 {
+		t.Fatal("fixture shard has no top-k blob")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off+ln/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("open with corrupt blob should succeed (lazy load): %v", err)
+	}
+	defer snap.Close()
+	srv := serverOver(snap, nil)
+	h := srv.Handler()
+
+	clean := serverOver(snap, func(c *Config) { c.DisablePrecomputed = true }).Handler()
+	for q := 0; q < g.NumQueries(); q++ {
+		u := "/rewrite?q=" + g.Query(q) + "&top=3"
+		code, body := get(t, h, u)
+		wc, wb := get(t, clean, u)
+		if code != wc || !bytes.Equal(body, wb) {
+			t.Fatalf("GET %s with corrupt blob: %d %q, pipeline %d %q", u, code, body, wc, wb)
+		}
+	}
+	qs := snap.Quarantined()
+	if len(qs) == 0 {
+		t.Fatal("corrupt blob load left nothing quarantined")
+	}
+	for _, s := range qs {
+		if s.Side != "topk" {
+			t.Fatalf("quarantined side %q, want only topk", s.Side)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 (degraded): %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"degraded"`) {
+		t.Fatalf("/readyz body %q, want degraded", rec.Body.String())
+	}
+}
