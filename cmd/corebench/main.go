@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"simrankpp/internal/core"
+	"simrankpp/internal/ingest"
 	"simrankpp/internal/serve"
+	"simrankpp/internal/workload"
 )
 
 type passResult struct {
@@ -83,6 +85,12 @@ type report struct {
 	// (diff + warm dirty-only run + segment-reusing rewrite) wall clock
 	// and the re-encoded/copied byte split. See PERF.md's refresh section.
 	Refresh *serve.RefreshBenchResult `json:"refresh,omitempty"`
+	// Ingest records the streaming-ingestion freshness-vs-cost curve: the
+	// same deterministic click stream folded through the WAL-backed
+	// controller at several cadences (records per fold), with per-cadence
+	// fold cost, dirty/clean shard split, and modeled staleness. See
+	// OPERATIONS.md's "Continuous ingestion" runbook.
+	Ingest *ingest.IngestBenchResult `json:"ingest,omitempty"`
 }
 
 // baselineVariant names the variant each benchmark group's speedups are
@@ -220,6 +228,32 @@ func main() {
 			float64(st.BytesReencoded)/1024, float64(st.BytesCopied)/1024)
 	}
 
+	ibc := ingest.IngestBenchConfig{
+		Log: workload.ClickLogConfig{
+			Seed: bc.Seed, Clusters: 6, QueriesPerCluster: 40, AdsPerCluster: 30,
+			BaseEvents: 2000, StreamEvents: 6000, HotFraction: 0.98,
+		},
+		Cadences: []int{100, 500, 2000},
+		Workers:  bc.Workers,
+	}
+	if *smoke {
+		ibc.Log.Clusters, ibc.Log.QueriesPerCluster, ibc.Log.AdsPerCluster = 4, 12, 9
+		ibc.Log.BaseEvents, ibc.Log.StreamEvents = 400, 900
+		ibc.Cadences = []int{100, 450}
+	}
+	fmt.Fprintf(os.Stderr, "corebench: ingest workload: %d clusters, %d stream events, cadences %v\n",
+		ibc.Log.Clusters, ibc.Log.StreamEvents, ibc.Cadences)
+	ingestRes, err := ingest.RunIngestBench(ibc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+	for _, pt := range ingestRes.Points {
+		fmt.Fprintf(os.Stderr, "  Ingest/cadence%d: %d folds (%d published)  mean %.1f ms  max %.1f ms  dirty %.1f / clean %.1f shards  clean-copy %.0f%%  staleness %.2fs\n",
+			pt.RecordsPerFold, pt.Folds, pt.Published, pt.MeanFoldMs, pt.MaxFoldMs,
+			pt.MeanDirtyShards, pt.MeanCleanShards, 100*pt.CleanCopyFraction, pt.ModelStalenessSeconds)
+	}
+
 	rep := report{
 		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:            runtime.Version(),
@@ -232,6 +266,7 @@ func main() {
 		ShardWorkload:        shard,
 		Snapshot:             &snapRes,
 		Refresh:              &refreshRes,
+		Ingest:               ingestRes,
 	}
 	base := map[string]passResult{}
 	for _, r := range results {

@@ -1,0 +1,233 @@
+// Command simrank-ingestd is the streaming half of the deployment: a
+// simrankd-style serving front-end fused with the crash-safe ingestion
+// pipeline (internal/ingest). Click observations POSTed to /ingest are
+// appended to a CRC-trailered write-ahead log and fsynced before the
+// request returns; a background controller folds the WAL into the click
+// graph on a cadence (or earlier, past a churn threshold), refreshes
+// only the dirty shards of the serving snapshot, publishes the new
+// generation through the journal, and hot-swaps it into the serving
+// index — no restart, no dropped requests.
+//
+// # Usage
+//
+//	simrank-ingestd -snapshot FILE [-graph FILE] [-wal DIR]
+//	                [-addr :8081] [-cadence 30s] [-churn N]
+//	                [-max-lag N] [-generations 4] [-workers N]
+//	                [-bids FILE] [-top 5] [-max-top 100] [-cache 4096]
+//
+// -graph is required on FIRST start (no fold state yet): it must be the
+// click graph the snapshot was built from. Later starts recover the
+// graph from the WAL directory's fold state and -graph is ignored.
+//
+// # Endpoints
+//
+// All simrankd read endpoints (/rewrite, /similar, /batch, /stats,
+// /healthz, /readyz), plus:
+//
+//	POST /ingest    text click records, one per line:
+//	                query \t ad \t impressions \t clicks \t rate
+//	                Records are durable (fsynced to the WAL) before the
+//	                200 returns. 503 + Retry-After when the WAL is more
+//	                than -max-lag records ahead of folding.
+//
+// # Crash safety and degradation
+//
+// Kill the process at any instant: acknowledged records are in the WAL,
+// and restart replays them onto the fold cursor exactly-once with
+// respect to the published generation. A failing refresh keeps the last
+// good generation serving while /readyz reports "degraded" and /stats
+// gains wal_lag_records / staleness_seconds / refresh_failures gauges;
+// folds retry on capped equal-jitter backoff until the fault clears.
+// SIGTERM cancels any in-flight fold at a shard boundary (the serving
+// snapshot and WAL cursor are left intact), then drains HTTP. See
+// OPERATIONS.md, "Continuous ingestion".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"simrankpp/internal/ingest"
+	"simrankpp/internal/rewrite"
+	"simrankpp/internal/serve"
+)
+
+func main() {
+	var (
+		snapPath  = flag.String("snapshot", "", "serving snapshot (simrank -save output; required)")
+		graphPath = flag.String("graph", "", "base click-graph file (required on first start, before a fold state exists)")
+		walDir    = flag.String("wal", "", "WAL directory (default: <snapshot>.wal)")
+		addr      = flag.String("addr", ":8081", "listen address")
+		cadence   = flag.Duration("cadence", 30*time.Second, "fold interval")
+		churn     = flag.Uint64("churn", 0, "fold early once this many records are pending (0: cadence only)")
+		maxLag    = flag.Uint64("max-lag", 0, "reject /ingest with 503 beyond this WAL lag in records (0: unbounded)")
+		keepGens  = flag.Int("generations", 4, "journaled generations to retain")
+		workers   = flag.Int("workers", 0, "refresh shard workers (0: GOMAXPROCS)")
+		bidsPath  = flag.String("bids", "", "bid-term list file (must match the snapshot's precomputed rewrite section)")
+		top       = flag.Int("top", 5, "default rewrites per query")
+		maxTop    = flag.Int("max-top", 100, "cap on the per-request top parameter")
+		cache     = flag.Int("cache", 4096, "hot-query LRU entries (0 disables)")
+	)
+	flag.Parse()
+	if *snapPath == "" {
+		fatal(fmt.Errorf("-snapshot is required"))
+	}
+	if *walDir == "" {
+		*walDir = *snapPath + ".wal"
+	}
+
+	cfg := serve.DefaultServerConfig()
+	cfg.DefaultTop = *top
+	cfg.MaxTop = *maxTop
+	cfg.CacheSize = *cache
+	var bids map[string]bool
+	if *bidsPath != "" {
+		terms, err := rewrite.ReadBidTermsFile(*bidsPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.BidTerms = terms
+		bids = terms
+	}
+
+	openPath := func(path string) (serve.ScoreIndex, error) { return serve.OpenSnapshot(path) }
+	idx, err := openPath(*snapPath)
+	if err != nil {
+		log.Printf("simrank-ingestd: %s failed to open: %v", *snapPath, err)
+		gen, gerr := serve.NewGenerationStore(*snapPath, 0).LastGood()
+		if gerr != nil {
+			fatal(err)
+		}
+		if idx, err = openPath(gen.SnapPath); err != nil {
+			fatal(err)
+		}
+		log.Printf("simrank-ingestd: serving journaled generation %d (%s)", gen.ID, gen.SnapPath)
+	}
+	srv := serve.NewServer(idx, cfg)
+	// Report the served snapshot's journal generation id from the start
+	// (matching by graph fingerprint, as simrankd does) so /stats and
+	// /readyz carry a full generation identity before the first fold.
+	if snap, ok := idx.(*serve.Snapshot); ok {
+		if gens, err := serve.NewGenerationStore(*snapPath, 0).List(); err == nil {
+			want, id := snap.Meta().Fingerprint, uint64(0)
+			for _, g := range gens {
+				if fmt.Sprintf("%016x", g.Fingerprint) == want && g.ID > id {
+					id = g.ID
+				}
+			}
+			srv.SetGenerationID(id)
+		}
+	}
+
+	ctl, err := ingest.NewController(ingest.Config{
+		WALDir:          *walDir,
+		SnapshotPath:    *snapPath,
+		GraphPath:       *graphPath,
+		Workers:         *workers,
+		Cadence:         *cadence,
+		ChurnRecords:    *churn,
+		MaxLagRecords:   *maxLag,
+		KeepGenerations: *keepGens,
+		Bids:            bids,
+		Logf:            log.Printf,
+		OnPublish: func(gen *serve.Generation) {
+			err := srv.Reload(func() (serve.ScoreIndex, error) {
+				idx, err := openPath(gen.SnapPath)
+				if err == nil {
+					srv.SetGenerationID(gen.ID)
+				}
+				return idx, err
+			}, nil, func(old serve.ScoreIndex) {
+				if c, ok := old.(*serve.Snapshot); ok {
+					c.Close()
+				}
+			}, log.Printf)
+			if err != nil {
+				log.Printf("simrank-ingestd: generation %d published but reload failed: %v", gen.ID, err)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv.SetIngestStatus(ctl.Status)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		recs, err := ingest.ReadRecords(http.MaxBytesReader(w, r.Body, 32<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, err := ctl.Ingest(recs)
+		if err != nil {
+			if errors.Is(err, ingest.ErrBackpressure) {
+				// The WAL has outrun folding past -max-lag: shed rather
+				// than queue unbounded durability debt. A cadence is a
+				// reasonable guess at when a fold will have drained some.
+				w.Header().Set("Retry-After", strconv.Itoa(int((*cadence).Seconds())+1))
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"accepted\":%d}\n", n)
+	})
+
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- ctl.Run(runCtx) }()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	sigs := make(chan os.Signal, 1)
+	drained := make(chan struct{})
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		// Shutdown order matters: stop the fold loop first (an in-flight
+		// fold aborts at its next shard boundary, leaving the serving
+		// bytes and WAL cursor intact), then drain HTTP — /ingest keeps
+		// acknowledging durable writes until the listener closes, and the
+		// WAL replays them on next start.
+		cancelRun()
+		<-runDone
+		if err := ctl.Close(); err != nil {
+			log.Printf("simrank-ingestd: close: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("simrank-ingestd: drain deadline expired with %d requests in flight: %v",
+				srv.InFlight(), err)
+		}
+		close(drained)
+	}()
+
+	log.Printf("simrank-ingestd: serving on %s (wal %s, cadence %s)", *addr, *walDir, *cadence)
+	err = httpSrv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	<-drained
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrank-ingestd:", err)
+	os.Exit(1)
+}

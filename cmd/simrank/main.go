@@ -307,6 +307,14 @@ func runRefresh(graphPath, prevPath, savePath, planSave string, workers, keepGen
 		savePath = prevPath // atomic in-place generation swap
 	}
 	gs := serve.NewGenerationStore(savePath, keepGens)
+	// One journal writer at a time: a concurrent -refresh or a running
+	// ingest controller holds the advisory lock, and interleaving
+	// generation writes with it would corrupt the journal's ordering.
+	release, err := gs.Lock()
+	if err != nil {
+		return err
+	}
+	defer release()
 	if swept, err := gs.SweepTemp(); err != nil {
 		return err
 	} else if swept > 0 {
@@ -432,7 +440,7 @@ func refreshGenerationFleet(gs *serve.GenerationStore, g *clickgraph.Graph, prev
 			fmt.Fprintf(os.Stderr, "simrank: "+format+"\n", args...)
 		},
 	})
-	st, diff, fleetRes, err := dist.RefreshGeneration(context.Background(), c, gs, g, prev)
+	st, diff, fleetRes, _, err := dist.RefreshGeneration(context.Background(), c, gs, g, prev)
 	if err != nil {
 		return st, diff, err
 	}
@@ -446,6 +454,11 @@ func refreshGenerationFleet(gs *serve.GenerationStore, g *clickgraph.Graph, prev
 // the last good journaled generation before the current one.
 func runRollback(path string, keepGens int) error {
 	gs := serve.NewGenerationStore(path, keepGens)
+	release, err := gs.Lock()
+	if err != nil {
+		return err
+	}
+	defer release()
 	if swept, err := gs.SweepTemp(); err != nil {
 		return err
 	} else if swept > 0 {

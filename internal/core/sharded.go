@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -47,6 +48,14 @@ type ShardOptions struct {
 	// segments. A Result of a partial run is NOT a complete score index;
 	// it exists to feed a refresh.
 	RunShards []bool
+	// Context, when non-nil, cancels the run between shards: each pool
+	// worker checks it before starting the next shard engine and the
+	// dispatcher stops feeding the queue, so cancellation costs at most
+	// the shards already in flight. RunSharded then returns the context's
+	// error. The ingest controller plumbs its shutdown context through
+	// here (via serve.RunRefreshContext) so SIGTERM stops an in-flight
+	// fold at the next shard boundary instead of finishing the refresh.
+	Context context.Context
 	// WarmStart, when non-nil, seeds every executed shard engine's
 	// starting frontiers from a previous generation's scores (matched by
 	// node name) instead of the identity start. With Config.Tolerance set,
@@ -196,6 +205,10 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 			defer wg.Done()
 			ar := &engineArena{} // reused across this worker's shards
 			for idx := range jobs {
+				if ctx := opt.Context; ctx != nil && ctx.Err() != nil {
+					fail(ctx.Err())
+					continue
+				}
 				sh := &plan.Shards[idx]
 				start := time.Now()
 				view, err := clickgraph.NewSubview(g, sh.Queries, sh.Ads)
@@ -234,6 +247,10 @@ func RunSharded(g *clickgraph.Graph, cfg Config, plan *partition.Plan, opt Shard
 		}()
 	}
 	for _, idx := range order {
+		if ctx := opt.Context; ctx != nil && ctx.Err() != nil {
+			fail(ctx.Err())
+			break
+		}
 		jobs <- idx
 	}
 	close(jobs)

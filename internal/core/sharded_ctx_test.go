@@ -1,0 +1,30 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"simrankpp/internal/partition"
+)
+
+// TestShardedContextCancel pins the cooperative-cancellation contract
+// ShardOptions.Context adds for the ingest fold path: a cancelled
+// context stops the run at a shard boundary with the context's error,
+// and a live context changes nothing.
+func TestShardedContextCancel(t *testing.T) {
+	g := multiComponentGraph(11, 5, 14, 10, 45)
+	plan := partition.ComponentPlan(g)
+	cfg := DefaultConfig()
+	cfg.Iterations = 3
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSharded(g, cfg, plan, ShardOptions{Workers: 2, Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+
+	if _, err := RunSharded(g, cfg, plan, ShardOptions{Workers: 2, Context: context.Background()}); err != nil {
+		t.Fatalf("live context failed the run: %v", err)
+	}
+}

@@ -261,7 +261,7 @@ func TestChaosCoordinatorCrashRecovery(t *testing.T) {
 					return nil
 				},
 			})
-			if _, _, _, err := RefreshGeneration(context.Background(), crashed, gs, next, prev); err == nil {
+			if _, _, _, _, err := RefreshGeneration(context.Background(), crashed, gs, next, prev); err == nil {
 				t.Fatalf("refresh survived an injected crash at %s", stage)
 			}
 
@@ -298,7 +298,7 @@ func TestChaosCoordinatorCrashRecovery(t *testing.T) {
 				t.Fatal(err)
 			}
 			retry := NewCoordinator(urls, Options{Logf: cl.logf})
-			if _, _, _, err := RefreshGeneration(context.Background(), retry, gs, next, prev); err != nil {
+			if _, _, _, _, err := RefreshGeneration(context.Background(), retry, gs, next, prev); err != nil {
 				t.Fatalf("retried refresh after crash at %s: %v", stage, err)
 			}
 			published, err := os.ReadFile(path)

@@ -637,26 +637,28 @@ func (cw *checkpointWriter) Write(p []byte) (int, error) {
 // passes the Checkpoint hook first, so a chaos test can kill the
 // refresh at any point and assert the previous generation still
 // serves. The caller owns Adopt/SweepTemp/Prune around it, exactly as
-// with the local refreshGeneration path.
-func RefreshGeneration(ctx context.Context, c *Coordinator, gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot) (serve.RefreshStats, *partition.Diff, *FleetResult, error) {
+// with the local refreshGeneration path. On success the published
+// generation is returned — the ingest controller keys its
+// reload-on-publish and its fold logging off it.
+func RefreshGeneration(ctx context.Context, c *Coordinator, gs *serve.GenerationStore, g *clickgraph.Graph, prev *serve.Snapshot) (serve.RefreshStats, *partition.Diff, *FleetResult, *serve.Generation, error) {
 	var st serve.RefreshStats
 	checkpoint := c.opt.Checkpoint
 	if checkpoint == nil {
 		checkpoint = func(string) error { return nil }
 	}
 	if err := checkpoint("pre-dispatch"); err != nil {
-		return st, nil, nil, err
+		return st, nil, nil, nil, err
 	}
 	diff, err := partition.DiffPlans(prev, g)
 	if err != nil {
-		return st, nil, nil, err
+		return st, nil, nil, nil, err
 	}
 	fleet, err := c.RefreshShards(ctx, g, prev, diff)
 	if err != nil {
-		return st, diff, nil, err
+		return st, diff, nil, nil, err
 	}
 	if err := checkpoint("pre-commit"); err != nil {
-		return st, diff, fleet, err
+		return st, diff, fleet, nil, err
 	}
 	cfg := prev.Config()
 	gen, err := gs.Commit(diff.DirtyShards, planGeneration(diff.Plan), func(w io.Writer) error {
@@ -667,15 +669,15 @@ func RefreshGeneration(ctx context.Context, c *Coordinator, gs *serve.Generation
 		return werr
 	})
 	if err != nil {
-		return st, diff, fleet, err
+		return st, diff, fleet, nil, err
 	}
 	if err := checkpoint("pre-publish"); err != nil {
-		return st, diff, fleet, err
+		return st, diff, fleet, nil, err
 	}
 	if err := gs.Publish(gen); err != nil {
-		return st, diff, fleet, err
+		return st, diff, fleet, nil, err
 	}
 	c.logf("dist: published generation %d (%d remote, %d local-fallback, %d retries, %d hedges)",
 		gen.ID, fleet.Stats.RemoteShards, fleet.Stats.LocalFallbackShards, fleet.Stats.Retries, fleet.Stats.Hedges)
-	return st, diff, fleet, nil
+	return st, diff, fleet, gen, nil
 }

@@ -1,0 +1,697 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/dist"
+	"simrankpp/internal/hedge"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/serve"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// WALDir holds the WAL segments and the fold-state file. Required.
+	WALDir string
+	// SnapshotPath is the serving snapshot the generation journal fronts
+	// (the same path simrankd serves and simrank -refresh targets).
+	// Required.
+	SnapshotPath string
+	// GraphPath is the base click-graph file, read on FIRST start only
+	// (no fold state yet): it must be the graph the serving snapshot was
+	// built from, so fold zero starts from the exact interned ids the
+	// snapshot's shard fingerprints assume. Later starts recover the
+	// graph from the fold state instead.
+	GraphPath string
+	// BaseGraph, when non-nil, is used instead of reading GraphPath —
+	// the in-process form of the same contract (tests, embedding).
+	BaseGraph *clickgraph.Graph
+
+	// Workers bounds the refresh shard pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Cadence is the fold interval (default 30s).
+	Cadence time.Duration
+	// ChurnRecords kicks a fold early once this many records are
+	// pending, without waiting out the cadence. 0 disables.
+	ChurnRecords uint64
+	// MaxLagRecords bounds WAL lag: Ingest rejects with ErrBackpressure
+	// beyond it (see LogOptions.MaxLagRecords). 0 disables.
+	MaxLagRecords uint64
+	// SegmentBytes is the WAL rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// KeepGenerations is the journal retention (serve.NewGenerationStore).
+	KeepGenerations int
+	// Bids is the bid-term set the snapshot's precomputed rewrite
+	// section was built under (RefreshSnapshot contract); nil when the
+	// snapshot carries no section.
+	Bids map[string]bool
+	// Fleet, when non-empty, dispatches dirty shards to these
+	// simrank-worker URLs per fold (dist.RefreshGeneration — retries,
+	// hedging, local fallback) instead of running them in-process.
+	Fleet []string
+	// Backoff schedules fold retries after a refresh failure (capped
+	// equal-jitter; zero value = 100ms base, 5s cap).
+	Backoff hedge.Backoff
+
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+	// Now is the gauge clock (nil: time.Now). Tests pin it.
+	Now func() time.Time
+	// Checkpoint, when non-nil, is called at every named stage of a fold
+	// ("fold:start", "fold:built", "fold:pre-commit",
+	// "fold:commit:mid-write", "fold:pre-publish", "fold:post-publish",
+	// "fold:post-cursor"); returning an error aborts the fold there —
+	// the crash-injection hook the chaos tests drive, mirroring the
+	// generation store's own failAt discipline.
+	Checkpoint func(stage string) error
+	// OpenSnapshot opens the serving snapshot for a fold (nil:
+	// serve.OpenSnapshot). The fault tests wrap it in faultfs.
+	OpenSnapshot func(path string) (*serve.Snapshot, error)
+	// OnPublish runs after a fold publishes a generation (and after the
+	// fold cursor is durable) — the daemon reloads its serving index
+	// here. Called on the fold goroutine; keep it quick.
+	OnPublish func(gen *serve.Generation)
+}
+
+// FoldResult reports what one FoldOnce did.
+type FoldResult struct {
+	// Replayed is how many WAL records this fold newly applied to the
+	// delta buffer; Pending is the total folded ahead of the previous
+	// durable cursor (replayed now plus records applied by earlier
+	// failed attempts and retained in memory).
+	Replayed, Pending uint64
+	// Skipped reports a zero-dirty fold: the rebuilt graph fingerprints
+	// identically to the serving generation shard for shard, so nothing
+	// was recomputed or published — only the cursor advanced. This is
+	// also how a crash between publish and cursor-save converges on
+	// replay: exactly-once by fingerprint, not by luck.
+	Skipped bool
+	// GenID is the published generation (0 when Skipped).
+	GenID uint64
+	// Stats is the snapshot write's dirty/clean split (zero when Skipped).
+	Stats serve.RefreshStats
+	// Duration is the fold's wall time.
+	Duration time.Duration
+}
+
+// Stats is the controller's gauge block, surfaced through /stats (and,
+// with Degraded, /readyz) via Status.
+type Stats struct {
+	// WALRecords is the next WAL sequence number (records ever appended,
+	// including truncated ones); FoldCursor the durable fold cursor;
+	// WALLagRecords their difference — how many appended records the
+	// published generation does not yet reflect.
+	WALRecords    uint64 `json:"wal_records"`
+	FoldCursor    uint64 `json:"fold_cursor"`
+	WALLagRecords uint64 `json:"wal_lag_records"`
+	WALSegments   int    `json:"wal_segments"`
+	// LastFoldAgeSeconds is the time since the last successful fold
+	// (since start-up if none yet); StalenessSeconds is how long the
+	// oldest unfolded record has been waiting — 0 when nothing is
+	// pending. Bounded staleness means StalenessSeconds stays near the
+	// cadence; it rising with RefreshFailures is the degraded signature.
+	LastFoldAgeSeconds float64 `json:"last_fold_age_seconds"`
+	StalenessSeconds   float64 `json:"staleness_seconds"`
+	// Folds counts successful folds (SkippedFolds of them zero-dirty);
+	// RefreshFailures counts failed fold attempts;
+	// BackpressureRejects counts Ingest calls bounced at MaxLagRecords.
+	Folds               int64 `json:"folds"`
+	SkippedFolds        int64 `json:"skipped_folds"`
+	RefreshFailures     int64 `json:"refresh_failures"`
+	BackpressureRejects int64 `json:"backpressure_rejects"`
+	// LastGeneration is the newest generation this controller published.
+	LastGeneration uint64 `json:"last_generation,omitempty"`
+	Degraded       bool   `json:"degraded"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// Controller is the continuous-refresh loop: it owns the WAL, the delta
+// buffer (a long-lived clickgraph.Builder — AddEdge's merge semantics
+// ARE the fold semantics: impressions and clicks sum, rates merge as an
+// impressions-weighted mean), the fold cursor, and the generation
+// journal writer lock. One controller per snapshot; the advisory lock
+// enforces it against concurrent CLI refreshes too.
+type Controller struct {
+	cfg   Config
+	log   *Log
+	gs    *serve.GenerationStore
+	coord *dist.Coordinator
+	release func() error
+
+	// foldMu serializes folds — overlapping FoldOnce calls (cadence
+	// firing during a slow manual fold, a Kick racing the timer) queue
+	// rather than interleave journal writes.
+	foldMu     sync.Mutex
+	builder    *clickgraph.Builder
+	applied    uint64 // WAL records below this are in builder (in-memory)
+	stateSaved bool   // a fold-state file exists for this builder state
+
+	mu              sync.Mutex // gauges
+	durable         uint64
+	folds           int64
+	skippedFolds    int64
+	refreshFailures int64
+	backpressure    int64
+	lastGenID       uint64
+	started         time.Time
+	lastFold        time.Time
+	pendingSince    time.Time // zero when nothing is pending
+	degraded        bool
+	lastErr         string
+
+	kick chan struct{}
+}
+
+// NewController opens the WAL, takes the journal lock, and restores the
+// delta buffer — from the fold state if one exists, else from the base
+// graph (Config.BaseGraph / GraphPath). It does not start folding; call
+// Run (or FoldOnce) for that.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.WALDir == "" {
+		return nil, errors.New("ingest: Config.WALDir is required")
+	}
+	if cfg.SnapshotPath == "" {
+		return nil, errors.New("ingest: Config.SnapshotPath is required")
+	}
+	if cfg.Cadence <= 0 {
+		cfg.Cadence = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.OpenSnapshot == nil {
+		cfg.OpenSnapshot = serve.OpenSnapshot
+	}
+
+	c := &Controller{cfg: cfg, kick: make(chan struct{}, 1)}
+	c.gs = serve.NewGenerationStore(cfg.SnapshotPath, cfg.KeepGenerations)
+	release, err := c.gs.Lock()
+	if err != nil {
+		return nil, err
+	}
+	c.release = release
+	fail := func(err error) (*Controller, error) {
+		release()
+		if c.log != nil {
+			c.log.Close()
+		}
+		return nil, err
+	}
+	if n, err := c.gs.SweepTemp(); err != nil {
+		return fail(err)
+	} else if n > 0 {
+		cfg.Logf("ingest: swept %d stale journal temp file(s)", n)
+	}
+
+	if c.log, err = OpenLog(cfg.WALDir, LogOptions{
+		SegmentBytes:  cfg.SegmentBytes,
+		MaxLagRecords: cfg.MaxLagRecords,
+	}); err != nil {
+		return fail(err)
+	}
+	if torn := c.log.TornBytesTruncated(); torn > 0 {
+		cfg.Logf("ingest: truncated %d torn byte(s) from the WAL tail", torn)
+	}
+
+	state, err := LoadFoldState(cfg.WALDir)
+	if err != nil {
+		return fail(err)
+	}
+	switch {
+	case state != nil:
+		c.builder, err = builderFromGraph(state.Graph)
+		if err != nil {
+			return fail(fmt.Errorf("ingest: rebuilding delta buffer from fold state: %w", err))
+		}
+		c.applied, c.durable, c.stateSaved = state.Seq, state.Seq, true
+	default:
+		// First start. Refuse to guess if the WAL has already dropped
+		// records (TruncateBefore ran under a state file that is now
+		// gone): replaying the remainder onto the base graph would
+		// silently lose the truncated prefix.
+		if c.log.FoldedSeq() > 0 {
+			return fail(fmt.Errorf("ingest: no fold state but the WAL starts at sequence %d — restore %s or start with a fresh WAL directory", c.log.FoldedSeq(), stateFile))
+		}
+		base := cfg.BaseGraph
+		if base == nil {
+			if cfg.GraphPath == "" {
+				return fail(errors.New("ingest: first start needs the base graph (Config.GraphPath) the serving snapshot was built from"))
+			}
+			if base, err = readGraphFile(cfg.GraphPath); err != nil {
+				return fail(err)
+			}
+		}
+		if c.builder, err = builderFromGraph(base); err != nil {
+			return fail(fmt.Errorf("ingest: seeding delta buffer from base graph: %w", err))
+		}
+	}
+	if c.durable > c.log.NextSeq() {
+		// The WAL tail was lost after those records were folded and
+		// published — they live on in the fold-state graph. Fast-forward
+		// so sequence numbers stay monotone.
+		cfg.Logf("ingest: WAL ends at sequence %d but the fold cursor is %d; fast-forwarding (folded records live in the fold state)",
+			c.log.NextSeq(), c.durable)
+		if err := c.log.AdvanceTo(c.durable); err != nil {
+			return fail(err)
+		}
+	}
+	c.log.SetFolded(c.durable)
+
+	if len(cfg.Fleet) > 0 {
+		c.coord = dist.NewCoordinator(cfg.Fleet, dist.Options{
+			LocalWorkers: cfg.Workers,
+			BidTerms:     cfg.Bids,
+			Logf:         cfg.Logf,
+			Checkpoint:   cfg.Checkpoint,
+		})
+	}
+
+	now := cfg.Now()
+	c.started, c.lastFold = now, now
+	if c.log.NextSeq() > c.durable {
+		// Pending records of unknown age survive a restart: date their
+		// staleness from now — conservative in the cheap direction.
+		c.pendingSince = now
+	}
+	return c, nil
+}
+
+// Close releases the journal lock and closes the WAL. It does not stop
+// a running Run loop — cancel its context first.
+func (c *Controller) Close() error {
+	err := c.log.Close()
+	if c.release != nil {
+		if rerr := c.release(); err == nil {
+			err = rerr
+		}
+		c.release = nil
+	}
+	return err
+}
+
+// Ingest validates, appends, and fsyncs recs as one batch (one fsync
+// however many records), returning how many were durably appended.
+// ErrBackpressure (possibly after a partial append, reflected in n)
+// means the WAL is MaxLagRecords ahead of folding — callers surface
+// "retry later". Crossing ChurnRecords kicks the fold loop.
+func (c *Controller) Ingest(recs []Record) (n int, err error) {
+	for _, r := range recs {
+		if _, aerr := c.log.Append(r); aerr != nil {
+			err = aerr
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		if serr := c.log.Sync(); serr != nil && err == nil {
+			return n, serr
+		}
+	}
+	c.mu.Lock()
+	if errors.Is(err, ErrBackpressure) {
+		c.backpressure++
+	}
+	if c.pendingSince.IsZero() && c.log.NextSeq() > c.durable {
+		c.pendingSince = c.cfg.Now()
+	}
+	durable := c.durable
+	c.mu.Unlock()
+	if c.cfg.ChurnRecords > 0 && c.log.NextSeq()-durable >= c.cfg.ChurnRecords {
+		c.Kick()
+	}
+	return n, err
+}
+
+// Kick nudges the Run loop to fold now instead of waiting out the
+// cadence. No-op if a kick is already pending or nothing is listening.
+func (c *Controller) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Run folds on the cadence (or on Kick) until ctx is cancelled. A
+// failed fold flips the controller degraded and retries on the capped
+// equal-jitter backoff schedule — kicks are ignored while backing off,
+// so a churn storm cannot defeat the backoff. The serving side keeps
+// answering from the last good generation throughout.
+func (c *Controller) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		wait := c.cfg.Cadence
+		if attempt > 0 {
+			wait = c.cfg.Backoff.Delay(attempt)
+		}
+		timer := time.NewTimer(wait)
+		if attempt == 0 {
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			case <-c.kick:
+				timer.Stop()
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+		if _, err := c.FoldOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			attempt++
+			c.cfg.Logf("ingest: fold failed (attempt %d, retrying in %v): %v",
+				attempt, c.cfg.Backoff.Delay(attempt+1), err)
+		} else {
+			attempt = 0
+		}
+	}
+}
+
+// FoldOnce runs one fold: replay pending WAL records into the delta
+// buffer, rebuild the graph, refresh the serving snapshot through the
+// generation journal (local shard pool or fleet), then durably advance
+// the fold cursor and truncate folded WAL segments.
+//
+// Failure discipline: any error leaves the durable cursor and the
+// serving snapshot untouched (the journal's own crash safety covers the
+// commit/publish window), marks the controller degraded, and keeps the
+// already-replayed records in the delta buffer — the retry rebuilds the
+// graph without re-reading the WAL, so a record is never applied twice
+// in memory either. A cancelled ctx aborts between shards and is
+// reported as ctx's error without counting as a refresh failure.
+func (c *Controller) FoldOnce(ctx context.Context) (*FoldResult, error) {
+	c.foldMu.Lock()
+	defer c.foldMu.Unlock()
+	start := c.cfg.Now()
+	if err := c.checkpoint("fold:start"); err != nil {
+		return nil, c.fail(err)
+	}
+
+	var replayed uint64
+	if c.log.NextSeq() > c.applied {
+		next := c.applied
+		err := c.log.Replay(c.applied, func(seq uint64, rec Record) error {
+			if aerr := c.builder.AddEdge(rec.Query, rec.Ad, rec.Weights()); aerr != nil {
+				return aerr
+			}
+			replayed++
+			next = seq + 1
+			return nil
+		})
+		if err != nil {
+			return nil, c.fail(fmt.Errorf("ingest: WAL replay: %w", err))
+		}
+		c.applied = next
+	}
+	res := &FoldResult{Replayed: replayed, Pending: c.applied - c.durableSeq()}
+	if res.Pending == 0 && c.stateSaved {
+		// Nothing new since the last durable fold: not even a cursor to
+		// advance. (Without a state file yet, fall through — the skip
+		// path below writes the first one.)
+		res.Skipped = true
+		c.noteFold(res, start)
+		return res, nil
+	}
+
+	g := c.builder.Build()
+	if err := c.checkpoint("fold:built"); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	prev, err := c.cfg.OpenSnapshot(c.cfg.SnapshotPath)
+	if err != nil {
+		return nil, c.fail(fmt.Errorf("ingest: opening serving snapshot: %w", err))
+	}
+	defer prev.Close()
+	if _, err := c.gs.Adopt(); err != nil {
+		return nil, c.fail(fmt.Errorf("ingest: adopting serving snapshot: %w", err))
+	}
+
+	var gen *serve.Generation
+	if c.coord != nil {
+		gen, err = c.foldFleet(ctx, g, prev, res)
+	} else {
+		gen, err = c.foldLocal(ctx, g, prev, res)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// Shutdown, not failure: serving bytes and cursor are
+			// untouched; the fold re-runs after restart.
+			return nil, ctx.Err()
+		}
+		return nil, c.fail(err)
+	}
+
+	// Durable cursor: the single atomic state write that makes replay
+	// exactly-once. Crash before it → the published generation already
+	// reflects these records, and the next fold's replay rebuilds an
+	// id-identical graph whose diff is zero-dirty (see state.go).
+	if err := SaveFoldState(c.cfg.WALDir, c.applied, g); err != nil {
+		return nil, c.fail(fmt.Errorf("ingest: saving fold cursor: %w", err))
+	}
+	c.stateSaved = true
+	if err := c.checkpoint("fold:post-cursor"); err != nil {
+		return nil, c.fail(err)
+	}
+	c.log.SetFolded(c.applied)
+	if err := c.log.TruncateBefore(c.applied); err != nil {
+		c.cfg.Logf("ingest: WAL retention: %v", err)
+	}
+	if _, err := c.gs.Prune(); err != nil {
+		c.cfg.Logf("ingest: journal retention: %v", err)
+	}
+
+	if gen != nil {
+		res.GenID = gen.ID
+	}
+	c.noteFold(res, start)
+	if gen != nil {
+		c.cfg.Logf("ingest: fold published generation %d (%d records, %d dirty / %d clean shards, %s)",
+			gen.ID, res.Pending, res.Stats.DirtyShards, res.Stats.CleanShards, res.Duration.Round(time.Millisecond))
+		if c.cfg.OnPublish != nil {
+			c.cfg.OnPublish(gen)
+		}
+	}
+	return res, nil
+}
+
+// foldLocal runs the in-process refresh path: dirty-shard pool, journal
+// commit, publish. A zero-dirty diff publishes nothing and marks the
+// fold skipped.
+func (c *Controller) foldLocal(ctx context.Context, g *clickgraph.Graph, prev *serve.Snapshot, res *FoldResult) (*serve.Generation, error) {
+	run, diff, err := serve.RunRefreshContext(ctx, g, prev, c.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: refresh run: %w", err)
+	}
+	if diff.DirtyShards == 0 {
+		res.Skipped = true
+		return nil, nil
+	}
+	if err := c.checkpoint("fold:pre-commit"); err != nil {
+		return nil, err
+	}
+	var fp uint64
+	for i := range run.ShardStats {
+		fp ^= run.ShardStats[i].Fingerprint
+	}
+	gen, err := c.gs.Commit(diff.DirtyShards, fp, func(w io.Writer) error {
+		cw := &checkpointWriter{w: w, hook: func() error { return c.checkpoint("fold:commit:mid-write") }}
+		var werr error
+		res.Stats, werr = serve.RefreshSnapshot(cw, prev, run, diff.Dirty, c.cfg.Bids)
+		return werr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: journal commit: %w", err)
+	}
+	if err := c.checkpoint("fold:pre-publish"); err != nil {
+		return nil, err
+	}
+	if err := c.gs.Publish(gen); err != nil {
+		return nil, fmt.Errorf("ingest: publish: %w", err)
+	}
+	if err := c.checkpoint("fold:post-publish"); err != nil {
+		return nil, err
+	}
+	return gen, nil
+}
+
+// foldFleet dispatches dirty shards to the worker fleet
+// (dist.RefreshGeneration: leases, retries, hedging, local fallback).
+// The zero-dirty skip is decided here first so an unchanged graph never
+// costs a fleet round trip or an empty generation.
+func (c *Controller) foldFleet(ctx context.Context, g *clickgraph.Graph, prev *serve.Snapshot, res *FoldResult) (*serve.Generation, error) {
+	diff, err := partition.DiffPlans(prev, g)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: refresh diff: %w", err)
+	}
+	if diff.DirtyShards == 0 {
+		res.Skipped = true
+		return nil, nil
+	}
+	st, _, _, gen, err := dist.RefreshGeneration(ctx, c.coord, c.gs, g, prev)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: fleet refresh: %w", err)
+	}
+	res.Stats = st
+	return gen, nil
+}
+
+// Stats reports the bounded-staleness gauges.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	st := Stats{
+		WALRecords:          c.log.NextSeq(),
+		FoldCursor:          c.durable,
+		WALSegments:         c.log.Segments(),
+		LastFoldAgeSeconds:  now.Sub(c.lastFold).Seconds(),
+		Folds:               c.folds,
+		SkippedFolds:        c.skippedFolds,
+		RefreshFailures:     c.refreshFailures,
+		BackpressureRejects: c.backpressure,
+		LastGeneration:      c.lastGenID,
+		Degraded:            c.degraded,
+		LastError:           c.lastErr,
+	}
+	st.WALLagRecords = st.WALRecords - st.FoldCursor
+	if !c.pendingSince.IsZero() {
+		st.StalenessSeconds = now.Sub(c.pendingSince).Seconds()
+	}
+	return st
+}
+
+// Status adapts Stats to the serving surface — wire it into a
+// serve.Server with SetIngestStatus so /readyz turns "degraded" and
+// /stats carries the gauges while refresh is failing.
+func (c *Controller) Status() serve.IngestStatus {
+	st := c.Stats()
+	return serve.IngestStatus{Degraded: st.Degraded, Reason: st.LastError, Stats: st}
+}
+
+// --- internals ---
+
+func (c *Controller) checkpoint(stage string) error {
+	if c.cfg.Checkpoint == nil {
+		return nil
+	}
+	return c.cfg.Checkpoint(stage)
+}
+
+func (c *Controller) durableSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.durable
+}
+
+// fail records a fold failure: degraded until the next success, cursor
+// and serving untouched.
+func (c *Controller) fail(err error) error {
+	c.mu.Lock()
+	c.refreshFailures++
+	c.degraded = true
+	c.lastErr = err.Error()
+	if c.pendingSince.IsZero() && c.log.NextSeq() > c.durable {
+		c.pendingSince = c.cfg.Now()
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// noteFold records a successful fold's gauge effects.
+func (c *Controller) noteFold(res *FoldResult, start time.Time) {
+	res.Duration = c.cfg.Now().Sub(start)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.durable = c.applied
+	c.folds++
+	if res.Skipped {
+		c.skippedFolds++
+	}
+	if res.GenID != 0 {
+		c.lastGenID = res.GenID
+	}
+	c.degraded = false
+	c.lastErr = ""
+	c.lastFold = c.cfg.Now()
+	if c.log.NextSeq() > c.durable {
+		// Records arrived while this fold ran: the next staleness clock
+		// starts now.
+		c.pendingSince = c.cfg.Now()
+	} else {
+		c.pendingSince = time.Time{}
+	}
+}
+
+// checkpointWriter fires its hook once, after the first write reaches
+// the journal temp file — the "died with a partial snapshot on disk"
+// instant (same idiom as dist's and the generation store's own).
+type checkpointWriter struct {
+	w     io.Writer
+	hook  func() error
+	fired bool
+}
+
+func (cw *checkpointWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if err == nil && !cw.fired {
+		cw.fired = true
+		if herr := cw.hook(); herr != nil {
+			return n, herr
+		}
+	}
+	return n, err
+}
+
+// builderFromGraph re-interns g into a fresh Builder in g's exact id
+// order — queries first, ads second, both by ascending id — so the
+// builder's future Build()s keep every existing node's global id. The
+// incremental pipeline keys on this: shard fingerprints hash ids, and a
+// clean shard's segment byte-copy assumes identical ids.
+func builderFromGraph(g *clickgraph.Graph) (*clickgraph.Builder, error) {
+	b := clickgraph.NewBuilder()
+	for _, q := range g.Queries() {
+		b.AddQuery(q)
+	}
+	for _, a := range g.Ads() {
+		b.AddAd(a)
+	}
+	var err error
+	g.Edges(func(q, a int, w clickgraph.EdgeWeights) bool {
+		err = b.AddEdge(g.Query(q), g.Ad(a), w)
+		return err == nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func readGraphFile(path string) (*clickgraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return clickgraph.Read(f)
+}

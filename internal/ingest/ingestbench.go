@@ -1,0 +1,189 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/core"
+	"simrankpp/internal/partition"
+	"simrankpp/internal/serve"
+	"simrankpp/internal/workload"
+)
+
+// The freshness-vs-cost bench: replay the same deterministic click
+// stream through the full ingest pipeline (WAL append+fsync → fold →
+// dirty-shard refresh → journal publish) at several fold cadences and
+// record what each cadence buys. Small cadences minimize staleness but
+// pay the per-fold fixed cost (diff, clean-segment copy, journal write)
+// more often; large cadences amortize it but let records age in the
+// WAL. The curve lands in BENCH_core.json's "ingest" section so the
+// trade-off is tracked across PRs.
+
+// IngestBenchConfig parameterizes RunIngestBench.
+type IngestBenchConfig struct {
+	// Log is the deterministic workload (workload.GenerateClickLog).
+	Log workload.ClickLogConfig `json:"log"`
+	// Cadences are the records-per-fold settings to sweep.
+	Cadences []int `json:"cadences"`
+	// Workers bounds each fold's refresh pool (<= 0: GOMAXPROCS).
+	Workers int `json:"workers"`
+	// ArrivalPerSec models the stream's arrival rate for the staleness
+	// column (the bench replays as fast as it can; staleness is
+	// arrival-model arithmetic, not wall-clock waiting). Default 100.
+	ArrivalPerSec float64 `json:"arrival_per_sec"`
+}
+
+// IngestBenchPoint is one cadence's measurement.
+type IngestBenchPoint struct {
+	RecordsPerFold int `json:"records_per_fold"`
+	// Folds ran in total; Published of them wrote a generation (the
+	// rest were zero-dirty skips — possible when a chunk only retraces
+	// existing weights).
+	Folds     int `json:"folds"`
+	Published int `json:"published"`
+	// Fold wall-clock: mean/max per fold and the sweep total.
+	MeanFoldMs float64 `json:"mean_fold_ms"`
+	MaxFoldMs  float64 `json:"max_fold_ms"`
+	TotalMs    float64 `json:"total_ms"`
+	// MeanDirtyShards/MeanCleanShards average the per-publish refresh
+	// split; CleanCopyFraction is copied/(copied+re-encoded) segment
+	// bytes — the share of the snapshot each fold did NOT have to
+	// recompute, the incremental pipeline's win.
+	MeanDirtyShards   float64 `json:"mean_dirty_shards"`
+	MeanCleanShards   float64 `json:"mean_clean_shards"`
+	CleanCopyFraction float64 `json:"clean_copy_fraction"`
+	// ModelStalenessSeconds = cadence/(2·arrival) + mean fold time: the
+	// expected age of a record at publish under the arrival model.
+	ModelStalenessSeconds float64 `json:"model_staleness_seconds"`
+}
+
+// IngestBenchResult is the recorded freshness-vs-cost curve.
+type IngestBenchResult struct {
+	Config IngestBenchConfig  `json:"config"`
+	Points []IngestBenchPoint `json:"points"`
+}
+
+// RunIngestBench replays the configured stream once per cadence through
+// a real controller (tempdir WAL + journal), measuring fold cost and
+// the modeled staleness.
+func RunIngestBench(bc IngestBenchConfig) (*IngestBenchResult, error) {
+	if bc.ArrivalPerSec <= 0 {
+		bc.ArrivalPerSec = 100
+	}
+	if len(bc.Cadences) == 0 {
+		bc.Cadences = []int{100, 500, 2000}
+	}
+	log := workload.GenerateClickLog(bc.Log)
+	base, err := bc.Log.BaseGraph(log)
+	if err != nil {
+		return nil, err
+	}
+	// Rate channel: expected-click-rate weights live in [0,1], so the
+	// spread factor e^{-variance} stays O(1). Raw click counts would give
+	// per-node variances in the hundreds and prune every score to zero.
+	cfg := core.DefaultConfig().WithVariant(core.Weighted)
+	cfg.Channel = core.ChannelRate
+	cfg.Iterations = 40
+	cfg.Tolerance = 1e-10
+	cfg.PruneEpsilon = 1e-8
+
+	out := &IngestBenchResult{Config: bc}
+	for _, k := range bc.Cadences {
+		pt, err := benchCadence(bc, log, base, cfg, k)
+		if err != nil {
+			return nil, fmt.Errorf("ingest bench cadence %d: %w", k, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+func benchCadence(bc IngestBenchConfig, log workload.ClickLog, base *clickgraph.Graph, cfg core.Config, k int) (IngestBenchPoint, error) {
+	pt := IngestBenchPoint{RecordsPerFold: k}
+	dir, err := os.MkdirTemp("", "ingestbench")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(dir)
+
+	snapPath := filepath.Join(dir, "serving.snap")
+	plan := partition.ComponentPlan(base)
+	res, err := core.RunSharded(base, cfg, plan, core.ShardOptions{
+		Workers: bc.Workers, RetainShardScores: true,
+	})
+	if err != nil {
+		return pt, err
+	}
+	if err := serve.WriteSnapshotFile(snapPath, res); err != nil {
+		return pt, err
+	}
+
+	c, err := NewController(Config{
+		WALDir:       filepath.Join(dir, "wal"),
+		SnapshotPath: snapPath,
+		BaseGraph:    base,
+		Workers:      bc.Workers,
+		Cadence:      time.Hour, // folds are driven manually below
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var totalNs, maxNs int64
+	var dirty, clean int
+	var copied, reencoded int64
+	for off := 0; off < len(log.Stream); off += k {
+		end := off + k
+		if end > len(log.Stream) {
+			end = len(log.Stream)
+		}
+		recs := make([]Record, 0, end-off)
+		for _, e := range log.Stream[off:end] {
+			recs = append(recs, Record{
+				Query: e.Query, Ad: e.Ad,
+				Impressions: e.Impressions, Clicks: e.Clicks, Rate: e.Rate,
+			})
+		}
+		if _, err := c.Ingest(recs); err != nil {
+			return pt, err
+		}
+		t0 := time.Now()
+		fr, err := c.FoldOnce(ctx)
+		if err != nil {
+			return pt, err
+		}
+		ns := time.Since(t0).Nanoseconds()
+		totalNs += ns
+		if ns > maxNs {
+			maxNs = ns
+		}
+		pt.Folds++
+		if !fr.Skipped {
+			pt.Published++
+			dirty += fr.Stats.DirtyShards
+			clean += fr.Stats.CleanShards
+			copied += fr.Stats.BytesCopied
+			reencoded += fr.Stats.BytesReencoded
+		}
+	}
+	if pt.Folds > 0 {
+		pt.MeanFoldMs = float64(totalNs) / float64(pt.Folds) / 1e6
+	}
+	pt.MaxFoldMs = float64(maxNs) / 1e6
+	pt.TotalMs = float64(totalNs) / 1e6
+	if pt.Published > 0 {
+		pt.MeanDirtyShards = float64(dirty) / float64(pt.Published)
+		pt.MeanCleanShards = float64(clean) / float64(pt.Published)
+	}
+	if copied+reencoded > 0 {
+		pt.CleanCopyFraction = float64(copied) / float64(copied+reencoded)
+	}
+	pt.ModelStalenessSeconds = float64(k)/(2*bc.ArrivalPerSec) + pt.MeanFoldMs/1e3
+	return pt, nil
+}

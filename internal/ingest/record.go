@@ -1,0 +1,155 @@
+// Package ingest closes the batch→continuous gap: a crash-safe streaming
+// ingestion pipeline that tails weighted click edges into a write-ahead
+// log, folds them into the click graph on a cadence or churn threshold,
+// and drives the existing incremental-refresh machinery (fingerprint
+// diff, warm dirty-shard run, clean-segment byte copy, generation
+// journal) once per fold — with a durable fold cursor so replay after a
+// crash is exactly-once with respect to the published generation.
+//
+// The package has three layers:
+//
+//   - Log: a segmented, CRC-trailered, length-prefixed WAL of Records
+//     (wal.go). Appends batch through one fsync per Sync call, segments
+//     rotate at a size threshold, reopen truncates a torn tail, and the
+//     decoder is allocation-bounded and rejects every flipped byte —
+//     the same validation discipline as internal/dist/protocol.go.
+//   - fold state: one atomic CRC'd file holding the fold cursor AND the
+//     folded graph under its original intern order (state.go), so the
+//     crash windows between "generation published" and "cursor saved"
+//     resolve by replaying onto an id-identical graph and observing a
+//     zero-dirty diff — never by double-applying a delta.
+//   - Controller: the refresh loop (controller.go) — serialized folds,
+//     capped equal-jitter backoff on refresh failure, ingestion
+//     backpressure when the WAL outruns folding, and bounded-staleness
+//     gauges surfaced through serve.Server's /readyz and /stats.
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"simrankpp/internal/clickgraph"
+)
+
+// Record is one weighted click-edge observation: the unit the WAL
+// stores and the delta buffer folds. Semantics match
+// clickgraph.EdgeWeights — Impressions and Clicks accumulate across
+// records for the same (Query, Ad) pair, Rate merges as an
+// impressions-weighted mean (clickgraph.Builder.AddEdge).
+type Record struct {
+	Query, Ad   string
+	Impressions int64
+	Clicks      int64
+	Rate        float64
+}
+
+// Weights converts the record to the click-graph edge form.
+func (r Record) Weights() clickgraph.EdgeWeights {
+	return clickgraph.EdgeWeights{
+		Impressions:       r.Impressions,
+		Clicks:            r.Clicks,
+		ExpectedClickRate: r.Rate,
+	}
+}
+
+// maxNameLen bounds query/ad name lengths in the WAL — the allocation
+// bound the decoder enforces before trusting a length field.
+const maxNameLen = 4096
+
+// Validate applies the same edge discipline as clickgraph.AddEdge, plus
+// the WAL's wire bounds, so every record that enters the log is
+// guaranteed to fold cleanly later. Rejecting at append time means a
+// replay can treat any invalid record as corruption, not bad input.
+func (r Record) Validate() error {
+	switch {
+	case r.Query == "":
+		return errors.New("ingest: record has empty query")
+	case r.Ad == "":
+		return errors.New("ingest: record has empty ad")
+	case len(r.Query) > maxNameLen:
+		return fmt.Errorf("ingest: query name %d bytes exceeds the %d-byte bound", len(r.Query), maxNameLen)
+	case len(r.Ad) > maxNameLen:
+		return fmt.Errorf("ingest: ad name %d bytes exceeds the %d-byte bound", len(r.Ad), maxNameLen)
+	case strings.ContainsAny(r.Query, "\t\n") || strings.ContainsAny(r.Ad, "\t\n"):
+		return errors.New("ingest: names must not contain tabs or newlines")
+	case r.Impressions < 0:
+		return fmt.Errorf("ingest: negative impressions %d", r.Impressions)
+	case r.Clicks < 0:
+		return fmt.Errorf("ingest: negative clicks %d", r.Clicks)
+	case r.Impressions > 0 && r.Clicks > r.Impressions:
+		return fmt.Errorf("ingest: clicks %d exceed impressions %d", r.Clicks, r.Impressions)
+	case math.IsNaN(r.Rate) || r.Rate < 0 || r.Rate > 1:
+		return fmt.Errorf("ingest: expected click rate %v outside [0,1]", r.Rate)
+	}
+	return nil
+}
+
+// Text form: one record per line, tab-separated, the same five fields as
+// a click-graph edge line (query, ad, impressions, clicks, rate). This
+// is the /ingest request body and the replayable click-log file format.
+
+// FormatRecord renders r as one text line (no trailing newline).
+func FormatRecord(r Record) string {
+	return r.Query + "\t" + r.Ad + "\t" +
+		strconv.FormatInt(r.Impressions, 10) + "\t" +
+		strconv.FormatInt(r.Clicks, 10) + "\t" +
+		strconv.FormatFloat(r.Rate, 'g', -1, 64)
+}
+
+// ParseRecord parses one text line. Blank lines and '#' comments are the
+// caller's concern (ReadRecords skips them).
+func ParseRecord(line string) (Record, error) {
+	f := strings.Split(line, "\t")
+	if len(f) != 5 {
+		return Record{}, fmt.Errorf("ingest: record line has %d fields, want 5 (query ad impressions clicks rate)", len(f))
+	}
+	impr, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("ingest: bad impressions %q: %v", f[2], err)
+	}
+	clicks, err := strconv.ParseInt(f[3], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("ingest: bad clicks %q: %v", f[3], err)
+	}
+	rate, err := strconv.ParseFloat(f[4], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("ingest: bad rate %q: %v", f[4], err)
+	}
+	r := Record{Query: f[0], Ad: f[1], Impressions: impr, Clicks: clicks, Rate: rate}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// ReadRecords parses a stream of text-form records, skipping blank lines
+// and '#' comments. Used by the /ingest endpoint and the log-replay
+// tooling; a click-log file generated by workload.WriteClickLog reads
+// back with this.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 2*maxNameLen+64)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		rec, err := ParseRecord(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

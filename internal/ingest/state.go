@@ -1,0 +1,184 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"simrankpp/internal/clickgraph"
+	"simrankpp/internal/partition"
+)
+
+// The fold state is the durable cursor that makes crash replay
+// exactly-once with respect to the published generation. It is ONE
+// atomic file — cursor sequence number AND the folded graph together —
+// because splitting them would open a window (crash after one write,
+// before the other) where replay re-applies WAL records onto a graph
+// that already contains them, double-counting impressions.
+//
+// With the single file, every crash window resolves cleanly:
+//
+//   - crash before the generation publishes → state still holds the old
+//     cursor and old graph; replay re-folds the pending records onto the
+//     old graph and refreshes again — the serving side never saw the
+//     half-finished generation (the journal's own crash safety).
+//   - crash AFTER publish but BEFORE the state write → replay rebuilds a
+//     graph identical to the one the published generation was computed
+//     from (same intern order — see writeGraphOrdered), the fingerprint
+//     diff classifies zero shards dirty, and the controller skips
+//     straight to saving the state. The delta is never applied twice.
+//
+// File layout (little-endian):
+//
+//	magic "SRPPFST1" | version u32 | cursor seq u64 |
+//	graph fingerprint u64 | graph text length u64 | graph text |
+//	CRC32 of everything above u32
+const (
+	stateMagic   = "SRPPFST1"
+	stateVersion = 1
+	stateFile    = "fold-state.bin"
+	// maxStateGraphBytes bounds the allocation a corrupt length field
+	// could cause (1 GiB of graph text is far beyond any folded graph).
+	maxStateGraphBytes = 1 << 30
+)
+
+// FoldState is the decoded durable fold cursor.
+type FoldState struct {
+	// Seq: every WAL record with sequence < Seq is folded into Graph.
+	Seq uint64
+	// Fingerprint is partition.GraphFingerprint(Graph), verified on load.
+	Fingerprint uint64
+	// Graph is the folded click graph under its original intern order.
+	Graph *clickgraph.Graph
+}
+
+// SaveFoldState atomically writes the fold state into dir
+// (temp + rename + fsync of file and directory).
+func SaveFoldState(dir string, seq uint64, g *clickgraph.Graph) error {
+	var buf bytes.Buffer
+	buf.WriteString(stateMagic)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], stateVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], seq)
+	binary.LittleEndian.PutUint64(hdr[12:], partition.GraphFingerprint(g))
+	buf.Write(hdr[:])
+	var gbuf bytes.Buffer
+	if err := writeGraphOrdered(&gbuf, g); err != nil {
+		return err
+	}
+	var glen [8]byte
+	binary.LittleEndian.PutUint64(glen[:], uint64(gbuf.Len()))
+	buf.Write(glen[:])
+	buf.Write(gbuf.Bytes())
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+
+	tmp, err := os.CreateTemp(dir, stateFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, stateFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadFoldState reads the fold state from dir. A missing file returns
+// (nil, nil) — first start. A corrupt file is an error: the operator
+// playbook (OPERATIONS.md, "WAL corruption") covers recovery, silently
+// refolding from the wrong cursor must not.
+func LoadFoldState(dir string) (*FoldState, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, stateFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	const fixed = 8 + 20 + 8 + 4 // magic + header + graph length + CRC
+	if len(raw) < fixed {
+		return nil, fmt.Errorf("ingest: fold state truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:8]) != stateMagic {
+		return nil, fmt.Errorf("ingest: fold state has bad magic")
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("ingest: fold state CRC mismatch (got %08x want %08x)", got, want)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:]); v != stateVersion {
+		return nil, fmt.Errorf("ingest: fold state version %d, want %d", v, stateVersion)
+	}
+	st := &FoldState{
+		Seq:         binary.LittleEndian.Uint64(raw[12:]),
+		Fingerprint: binary.LittleEndian.Uint64(raw[20:]),
+	}
+	glen := binary.LittleEndian.Uint64(raw[28:])
+	if glen > maxStateGraphBytes || int(glen) != len(body)-fixed+4 {
+		return nil, fmt.Errorf("ingest: fold state graph length %d inconsistent with file size %d", glen, len(raw))
+	}
+	g, err := clickgraph.Read(bytes.NewReader(raw[36 : 36+glen]))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: fold state graph: %w", err)
+	}
+	if fp := partition.GraphFingerprint(g); fp != st.Fingerprint {
+		return nil, fmt.Errorf("ingest: fold state graph fingerprint %016x != recorded %016x", fp, st.Fingerprint)
+	}
+	st.Graph = g
+	return st, nil
+}
+
+// writeGraphOrdered serializes g in the clickgraph text format with one
+// crucial extra: EVERY node is declared (!query/!ad lines) in global id
+// order before any edge. clickgraph.Read interns declarations on sight,
+// so the round-trip reproduces g's exact intern order — which the whole
+// incremental pipeline keys on: shard fingerprints hash node ids, and a
+// clean shard's segment byte-copy assumes identical global ids. The
+// stock clickgraph.Write declares only isolated nodes (ads re-intern in
+// first-edge order), which is enough for a standalone graph file but
+// would shift ids here and spuriously dirty every shard after a crash.
+func writeGraphOrdered(w *bytes.Buffer, g *clickgraph.Graph) error {
+	for _, q := range g.Queries() {
+		w.WriteString("!query\t")
+		w.WriteString(q)
+		w.WriteByte('\n')
+	}
+	for _, a := range g.Ads() {
+		w.WriteString("!ad\t")
+		w.WriteString(a)
+		w.WriteByte('\n')
+	}
+	bw := bufio.NewWriter(w)
+	g.Edges(func(q, a int, wt clickgraph.EdgeWeights) bool {
+		bw.WriteString(g.Query(q))
+		bw.WriteByte('\t')
+		bw.WriteString(g.Ad(a))
+		bw.WriteByte('\t')
+		bw.WriteString(strconv.FormatInt(wt.Impressions, 10))
+		bw.WriteByte('\t')
+		bw.WriteString(strconv.FormatInt(wt.Clicks, 10))
+		bw.WriteByte('\t')
+		bw.WriteString(strconv.FormatFloat(wt.ExpectedClickRate, 'g', -1, 64))
+		bw.WriteByte('\n')
+		return true
+	})
+	return bw.Flush()
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package serve
+
+import "os"
+
+// Non-Unix platforms get no advisory locking: Lock succeeds
+// unconditionally. The production deployment targets are Unix; this
+// stub keeps the build portable without pretending to exclude anyone.
+func flockExclusive(*os.File) error { return nil }
+
+func funlock(*os.File) error { return nil }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package serve
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock on f. EWOULDBLOCK
+// means another holder exists — the caller turns that into its
+// fail-fast error.
+func flockExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return errors.New("flock: held elsewhere")
+	}
+	return err
+}
+
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -351,15 +352,30 @@ func RefreshSnapshotFile(path string, prev *Snapshot, res *core.Result, dirty []
 // speedup; Tolerance == 0 buys exactness. Both keep the dirty-only
 // scheduling and the segment-copy savings.
 func RunRefresh(g *clickgraph.Graph, prev *Snapshot, workers int) (*core.Result, *partition.Diff, error) {
+	return RunRefreshContext(context.Background(), g, prev, workers)
+}
+
+// RunRefreshContext is RunRefresh with cancellation: ctx is plumbed into
+// the shard pool (core.ShardOptions.Context), so a cancelled context
+// stops the dirty-shard run at the next shard boundary and the refresh
+// returns ctx's error with nothing written. The ingest controller uses
+// this to abandon an in-flight fold on SIGTERM — the serving snapshot
+// and the WAL cursor are untouched, and the fold simply re-runs after
+// restart.
+func RunRefreshContext(ctx context.Context, g *clickgraph.Graph, prev *Snapshot, workers int) (*core.Result, *partition.Diff, error) {
 	diff, err := partition.DiffPlans(prev, g)
 	if err != nil {
 		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, diff, err
 	}
 	cfg := prev.Config()
 	opt := core.ShardOptions{
 		Workers:           workers,
 		RetainShardScores: true,
 		RunShards:         diff.Dirty,
+		Context:           ctx,
 	}
 	if cfg.Tolerance > 0 {
 		opt.WarmStart = prev

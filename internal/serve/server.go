@@ -196,6 +196,11 @@ type Server struct {
 	// against the generation store); 0 otherwise.
 	genID atomic.Uint64
 
+	// ingest, when set, reports the co-located ingest controller's
+	// bounded-staleness status into /readyz and /stats — the serving
+	// surface is where operators and gateways already look.
+	ingest atomic.Pointer[func() IngestStatus]
+
 	endpoints      map[string]*endpointCounters
 	requests       atomic.Int64
 	cacheHits      atomic.Int64
@@ -258,6 +263,41 @@ func (s *Server) ReloadFailures() int64 { return s.reloadFailures.Load() }
 // after swapping in an index whose journal id is known; 0 (the default)
 // means "not journaled / unknown".
 func (s *Server) SetGenerationID(id uint64) { s.genID.Store(id) }
+
+// IngestStatus is a co-located ingest controller's health as surfaced
+// through the serving endpoints: /readyz upgrades "ok" to "degraded"
+// while Degraded is true (still HTTP 200 — the daemon keeps answering
+// from the last good generation, which is exactly why it should keep
+// receiving traffic), and /stats carries the bounded-staleness gauges
+// in Stats.
+type IngestStatus struct {
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"reason,omitempty"`
+	// Stats is the controller's gauge block (ingest.Stats):
+	// wal_lag_records, last_fold_age_seconds, staleness_seconds,
+	// refresh_failures, ...
+	Stats any `json:"stats,omitempty"`
+}
+
+// SetIngestStatus wires an ingest controller's status callback into
+// /readyz and /stats. fn is called per probe under no server locks and
+// must be safe for concurrent use. Pass nil to detach.
+func (s *Server) SetIngestStatus(fn func() IngestStatus) {
+	if fn == nil {
+		s.ingest.Store(nil)
+		return
+	}
+	s.ingest.Store(&fn)
+}
+
+func (s *Server) ingestStatus() *IngestStatus {
+	fn := s.ingest.Load()
+	if fn == nil {
+		return nil
+	}
+	st := (*fn)()
+	return &st
+}
 
 // GenerationIdentity is the serving snapshot's generation identity as
 // surfaced in /readyz and /stats: what a read gateway compares across a
@@ -806,6 +846,10 @@ type StatsResponse struct {
 	// TopKSection describes the snapshot's precomputed rewrite section
 	// and whether this server's parameters let /rewrite use it.
 	TopKSection *TopKSectionStats `json:"topk_section,omitempty"`
+	// Ingest is the co-located ingest controller's status and
+	// bounded-staleness gauges (SetIngestStatus); absent when the daemon
+	// serves without one.
+	Ingest *IngestStatus `json:"ingest,omitempty"`
 }
 
 // TopKSectionStats is /stats' view of the precomputed rewrite section.
@@ -846,6 +890,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Endpoints[name] = c.snapshot()
 	}
 	resp.Generation = s.generationIdentity(s.idx)
+	resp.Ingest = s.ingestStatus()
 	if snap, ok := s.idx.(*Snapshot); ok {
 		meta := snap.Meta()
 		resp.Snapshot = &meta
@@ -884,6 +929,10 @@ type ReadyResponse struct {
 	// responses generation-consistent during rollouts.
 	Generation  *GenerationIdentity `json:"generation,omitempty"`
 	Quarantined []ShardHealth       `json:"quarantined,omitempty"`
+	// Ingest reports a co-located ingest controller's status: a failing
+	// refresh turns Status "degraded" while the daemon keeps answering
+	// from the last good generation.
+	Ingest *IngestStatus `json:"ingest,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -915,6 +964,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				resp.Status = "unready"
 				code = http.StatusServiceUnavailable
 			}
+		}
+	}
+	// A degraded ingest pipeline (refresh failing, staleness growing)
+	// downgrades "ok" to "degraded" but never to unready: the last good
+	// generation still answers, and HTTP stays 200 so routers keep
+	// sending the traffic it can serve.
+	if ing := s.ingestStatus(); ing != nil {
+		resp.Ingest = ing
+		if ing.Degraded && resp.Status == "ok" {
+			resp.Status = "degraded"
 		}
 	}
 	body, err := json.Marshal(resp)
